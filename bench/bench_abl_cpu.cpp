@@ -1,0 +1,56 @@
+// Ablation A5: host CPU speed.
+//
+// Paper (section 5.4): "Host CPU frequency limits the parameter checking
+// and trap operation's overhead.  A faster CPU will reduce these
+// overheads."  We scale the cycle-bound software costs (traps, checks,
+// library calls) with the clock and watch the kernel-side extra shrink.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/harness.hpp"
+
+namespace {
+
+bcl::ClusterConfig scaled_config(double mhz) {
+  const double f = 375.0 / mhz;  // cost scale relative to the Power3-II
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.cpu.clock_hz = mhz * 1e6;
+  cfg.kernel.trap_enter = cfg.kernel.trap_enter * f;
+  cfg.kernel.trap_exit = cfg.kernel.trap_exit * f;
+  cfg.kernel.security_check = cfg.kernel.security_check * f;
+  cfg.kernel.pindown.lookup = cfg.kernel.pindown.lookup * f;
+  cfg.kernel.pindown.entry_per_page = cfg.kernel.pindown.entry_per_page * f;
+  cfg.cost.compose_send = cfg.cost.compose_send * f;
+  cfg.cost.recv_event_poll = cfg.cost.recv_event_poll * f;
+  cfg.cost.send_event_poll = cfg.cost.send_event_poll * f;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Ablation A5", "host CPU frequency");
+  benchutil::claim(
+      "the trap/check overhead is CPU-bound: a faster host CPU shrinks the "
+      "semi-user-level penalty while PIO and wire terms stay fixed");
+
+  const std::vector<double> clocks = {375, 750, 1500};
+  std::printf("%12s %16s %22s\n", "clock(MHz)", "0B latency(us)",
+              "kernel extra vs UL(us)");
+  double extra_slow = 0, extra_fast = 0;
+  for (const auto mhz : clocks) {
+    const auto cfg = scaled_config(mhz);
+    const auto lat = harness::bcl_oneway(cfg, 0, false);
+    const auto ul = harness::ul_oneway(cfg, 0);
+    const double extra = lat.oneway_us - ul.oneway_us;
+    if (mhz == clocks.front()) extra_slow = extra;
+    extra_fast = extra;
+    std::printf("%12.0f %16.2f %22.2f\n", mhz, lat.oneway_us, extra);
+  }
+  std::printf("\nkernel extra shrinks %.1fx from 375MHz to 1.5GHz (%s)\n",
+              extra_slow / extra_fast,
+              extra_slow / extra_fast > 2.0 ? "ok" : "DIFF");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A6: fabric independence.
+//
+// Paper (sections 3, 4.3): BCL supports both Myrinet and the custom nwrc
+// 2-D mesh; applications run unchanged on either ("binary code written in
+// BCL ... can run on any combination of networks supporting BCL").  We run
+// the same BCL measurement on both fabrics and across mesh distances.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/harness.hpp"
+
+int main() {
+  benchutil::header("Ablation A6", "Myrinet vs nwrc 2-D mesh");
+  benchutil::claim(
+      "the same BCL stack runs on both interconnects; the mesh adds "
+      "per-hop router latency with distance");
+
+  bcl::ClusterConfig myri;
+  myri.nodes = 2;
+
+  bcl::ClusterConfig mesh;
+  mesh.nodes = 16;  // 4x4
+  mesh.fabric.kind = hw::FabricKind::kNwrcMesh;
+  mesh.fabric.mesh_width = 4;
+
+  const auto m0 = harness::bcl_oneway(myri, 0, false);
+  const auto mb = harness::bcl_oneway(myri, 128 * 1024, false);
+  std::printf("%-24s %14s %16s\n", "fabric / distance", "0B latency(us)",
+              "128K bw(MB/s)");
+  std::printf("%-24s %14.2f %16.1f\n", "myrinet (2 hops)", m0.oneway_us,
+              mb.bandwidth_mbps());
+
+  // Mesh: same measurement between increasingly distant node pairs.
+  struct Pair {
+    hw::NodeId a, b;
+    const char* label;
+  };
+  const std::vector<Pair> pairs = {
+      {0, 1, "mesh d=1"}, {0, 5, "mesh d=2"}, {0, 15, "mesh d=6"}};
+  double lat_d1 = 0, lat_d6 = 0;
+  for (const auto& p : pairs) {
+    // bcl_oneway measures endpoint0 -> endpoint1; build manually per pair.
+    bcl::BclCluster c{mesh};
+    auto& tx = c.node(p.a).open_endpoint();
+    auto& rx = c.node(p.b).open_endpoint();
+    sim::Time t0{}, t1{};
+    c.engine().spawn([](sim::Engine& e, bcl::Endpoint& tx, bcl::PortId dst,
+                        sim::Time& t0) -> sim::Task<void> {
+      auto buf = tx.process().alloc(1);
+      (void)co_await tx.send_system(dst, buf, 0);  // warm
+      auto ev = co_await tx.wait_recv();
+      (void)co_await tx.copy_out_system(ev);
+      t0 = e.now();
+      (void)co_await tx.send_system(dst, buf, 0);
+    }(c.engine(), tx, rx.id(), t0));
+    c.engine().spawn([](sim::Engine& e, bcl::Endpoint& rx, bcl::PortId back,
+                        sim::Time& t1) -> sim::Task<void> {
+      auto ev = co_await rx.wait_recv();
+      (void)co_await rx.copy_out_system(ev);
+      auto buf = rx.process().alloc(1);
+      (void)co_await rx.send_system(back, buf, 0);
+      ev = co_await rx.wait_recv();
+      t1 = e.now();
+      (void)co_await rx.copy_out_system(ev);
+    }(c.engine(), rx, tx.id(), t1));
+    c.engine().run();
+    const double lat = (t1 - t0).to_us();
+    if (p.label[7] == '1') lat_d1 = lat;
+    if (p.label[7] == '6') lat_d6 = lat;
+    std::printf("%-24s %14.2f %16s\n", p.label, lat, "-");
+  }
+  std::printf("\nmesh latency grows with hop count: %s\n",
+              lat_d6 > lat_d1 + 0.5 ? "ok" : "DIFF");
+  std::printf("identical application binary on both fabrics: ok (by "
+              "construction — same Endpoint code path)\n");
+  return 0;
+}

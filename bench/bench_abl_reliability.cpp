@@ -1,0 +1,88 @@
+// Ablation A1: the cost of the on-NIC reliable protocol.
+//
+// The paper attributes 5.65 us of the NIC stage to "perform the reliable
+// transmission" and notes that reducing protocol overhead is a way to
+// improve performance (section 5.4) — BIP demonstrates the other end of
+// that trade-off.  Here we strip the go-back-N machinery (and the LANai
+// cycles it burns) and also show what a corrupted link then does.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bcl/bcl.hpp"
+#include "cluster/harness.hpp"
+#include "hw/myrinet_switch.hpp"
+
+namespace {
+
+// Messages delivered out of `sent` over a corrupted link.
+std::pair<std::uint64_t, std::uint64_t> lossy_run(bool reliable) {
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cost.reliable = reliable;
+  cfg.cost.rto = sim::Time::us(100);
+  bcl::BclCluster c{cfg};
+  dynamic_cast<hw::MyrinetFabric&>(c.fabric())
+      .set_host_link_corrupt_prob(0, 0.03);
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  constexpr std::uint64_t kMsgs = 200;
+  c.engine().spawn([](bcl::Endpoint& tx, bcl::PortId dst) -> sim::Task<void> {
+    auto buf = tx.process().alloc(2048);
+    for (std::uint64_t i = 0; i < kMsgs; ++i) {
+      (void)co_await tx.send_system(dst, buf, 2048);
+      (void)co_await tx.wait_send();
+    }
+  }(tx, rx.id()));
+  c.engine().spawn_daemon([](bcl::Endpoint& rx) -> sim::Task<void> {
+    for (;;) {
+      auto ev = co_await rx.wait_recv();
+      (void)co_await rx.copy_out_system(ev);
+    }
+  }(rx));
+  c.engine().run();
+  return {kMsgs, rx.port().messages_received};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Ablation A1", "reliable protocol on the NIC");
+  benchutil::claim(
+      "5.65us of stage 4 is reliable-transmission processing; removing it "
+      "approaches BIP's latency but forfeits delivery guarantees");
+
+  bcl::ClusterConfig with;
+  with.nodes = 2;
+  bcl::ClusterConfig without = with;
+  without.cost.reliable = false;
+  without.cost.mcp_tx_proc = sim::Time::us(1.00);  // bare firmware
+  without.cost.mcp_rx_proc = sim::Time::us(0.80);
+
+  const auto lat_with = harness::bcl_oneway(with, 0, false);
+  const auto lat_without = harness::bcl_oneway(without, 0, false);
+  const auto bw_with = harness::bcl_oneway(with, 128 * 1024, false);
+  const auto bw_without = harness::bcl_oneway(without, 128 * 1024, false);
+
+  std::printf("%-26s %14s %16s\n", "configuration", "latency(us)",
+              "bandwidth(MB/s)");
+  std::printf("%-26s %14.2f %16.1f\n", "reliable (BCL default)",
+              lat_with.oneway_us, bw_with.bandwidth_mbps());
+  std::printf("%-26s %14.2f %16.1f\n", "no reliability",
+              lat_without.oneway_us, bw_without.bandwidth_mbps());
+  std::printf("\nprotocol cost on the 0-length path: %.2f us (paper ~5.65+, %s)\n",
+              lat_with.oneway_us - lat_without.oneway_us,
+              lat_with.oneway_us - lat_without.oneway_us > 4.0 ? "ok"
+                                                               : "DIFF");
+
+  const auto [sent_r, got_r] = lossy_run(true);
+  const auto [sent_u, got_u] = lossy_run(false);
+  std::printf("\n3%% corrupted link, %llu messages:\n",
+              (unsigned long long)sent_r);
+  std::printf("  reliable:   delivered %llu/%llu (%s)\n",
+              (unsigned long long)got_r, (unsigned long long)sent_r,
+              got_r == sent_r ? "ok" : "DIFF");
+  std::printf("  unreliable: delivered %llu/%llu (losses expected: %s)\n",
+              (unsigned long long)got_u, (unsigned long long)sent_u,
+              got_u < sent_u ? "ok" : "DIFF");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of the discrete-event kernel itself:
+// event throughput, coroutine switch cost, and a full BCL message as an
+// end-to-end simulator cost probe.
+#include <benchmark/benchmark.h>
+
+#include "bcl/bcl.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    long count = 0;
+    eng.spawn([](sim::Engine& e, long& c) -> sim::Task<void> {
+      for (int i = 0; i < 1000; ++i) {
+        co_await e.sleep(sim::Time::ns(10));
+        ++c;
+      }
+    }(eng, count));
+    eng.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_SemaphorePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Semaphore a{eng, 1}, b{eng, 0};
+    eng.spawn([](sim::Semaphore& a, sim::Semaphore& b) -> sim::Task<void> {
+      for (int i = 0; i < 500; ++i) {
+        co_await a.acquire();
+        b.release();
+      }
+    }(a, b));
+    eng.spawn([](sim::Semaphore& a, sim::Semaphore& b) -> sim::Task<void> {
+      for (int i = 0; i < 500; ++i) {
+        co_await b.acquire();
+        a.release();
+      }
+    }(a, b));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SemaphorePingPong);
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> ch{eng, 16};
+    eng.spawn([](sim::Channel<int>& ch) -> sim::Task<void> {
+      for (int i = 0; i < 1000; ++i) co_await ch.send(i);
+    }(ch));
+    eng.spawn([](sim::Channel<int>& ch) -> sim::Task<void> {
+      long sum = 0;
+      for (int i = 0; i < 1000; ++i) sum += co_await ch.recv();
+      benchmark::DoNotOptimize(sum);
+    }(ch));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelThroughput);
+
+void BM_BclMessageEndToEnd(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    bcl::ClusterConfig cfg;
+    cfg.nodes = 2;
+    bcl::BclCluster c{cfg};
+    auto& tx = c.open_endpoint(0);
+    auto& rx = c.open_endpoint(1);
+    c.engine().spawn([](bcl::Endpoint& tx, bcl::PortId dst,
+                        std::size_t n) -> sim::Task<void> {
+      auto buf = tx.process().alloc(std::max<std::size_t>(n, 1));
+      (void)co_await tx.send_system(dst, buf, n);
+      (void)co_await tx.wait_send();
+    }(tx, rx.id(), bytes));
+    c.engine().spawn([](bcl::Endpoint& rx) -> sim::Task<void> {
+      auto ev = co_await rx.wait_recv();
+      (void)co_await rx.copy_out_system(ev);
+    }(rx));
+    c.engine().run();
+  }
+}
+BENCHMARK(BM_BclMessageEndToEnd)->Arg(0)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

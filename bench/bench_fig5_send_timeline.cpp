@@ -1,0 +1,40 @@
+// Figure 5 reproduction: the transmission timeline of a BCL message.
+//
+// Paper anchors: the processor overhead to push a message into the network
+// is ~7.04 us, completing the send operation costs another ~0.82 us, and
+// building + PIO-filling the send request consumes more than half of the
+// host time (interpreting "filling" as kernel descriptor construction +
+// PIO, per DESIGN.md).
+#include <cstdio>
+
+#include "bench_timeline_util.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  benchutil::header("Figure 5", "transmission timeline of a BCL message");
+  benchutil::claim(
+      "host send overhead ~7.04us; +0.82us to complete the send; "
+      "request filling > half of the host time");
+
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  const auto run = timeline::run_traced_message(cfg, 1024);
+
+  std::printf("sender-side timeline (1 KB message, warm):\n");
+  timeline::print_side(run, "node0", run.send_start);
+
+  const double host = timeline::send_host_overhead(run);
+  const double completion =
+      cfg.cost.send_event_poll.to_us();  // sender's completion poll
+  const double filling = timeline::stage_sum(run, "security-check", "node0") +
+                         timeline::stage_sum(run, "translate-pin", "node0") +
+                         timeline::stage_sum(run, "pio-fill", "node0");
+
+  std::printf("\nhost overhead to push the message: %.2f us (paper 7.04, %s)\n",
+              host, benchutil::check(host, 7.04, 0.05));
+  std::printf("completing the send operation:     %.2f us (paper 0.82, %s)\n",
+              completion, benchutil::check(completion, 0.82, 0.05));
+  std::printf("request build+fill share:          %.0f%% (paper: >50%%, %s)\n",
+              filling / host * 100.0, filling > host / 2 ? "ok" : "DIFF");
+  return 0;
+}

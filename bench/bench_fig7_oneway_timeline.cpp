@@ -1,0 +1,54 @@
+// Figure 7 reproduction: one-way latency timeline for a 0-length BCL
+// message, and the comparison against a fully user-level scheme.
+//
+// Paper anchors: the kernel adds ~4.17 us (stages the user-level design
+// does not have), about 22% of the total 0-length transfer time; minimal
+// one-way latency 18.3 us; about one third of the time is NIC processing
+// for the reliable protocol (5.65 us of stage 4).
+#include <cstdio>
+
+#include "bench_timeline_util.hpp"
+#include "bench_util.hpp"
+#include "cluster/harness.hpp"
+
+int main() {
+  benchutil::header("Figure 7",
+                    "one-way timeline, 0-length message, semi-user vs user");
+  benchutil::claim(
+      "semi-user-level adds ~4.17us (~22% of total) over user-level; "
+      "18.3us one-way; ~1/3 of the time is reliable-protocol NIC work");
+
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+
+  const auto run = timeline::run_traced_message(cfg, 0);
+  std::printf("end-to-end timeline (0-length message, warm):\n");
+  std::printf("-- sender host + NIC:\n");
+  timeline::print_side(run, "node0", run.send_start);
+  std::printf("-- receiver NIC + host:\n");
+  timeline::print_side(run, "node1", run.send_start);
+
+  const double total = (run.recv_done - run.send_start).to_us();
+  const auto bcl_pt = harness::bcl_oneway(cfg, 0, /*intra=*/false);
+  const auto ul_pt = harness::ul_oneway(cfg, 0);
+  const double extra = bcl_pt.oneway_us - ul_pt.oneway_us;
+  const double kernel_stages =
+      timeline::stage_sum(run, "trap-enter", "node0") +
+      timeline::stage_sum(run, "security-check", "node0") +
+      timeline::stage_sum(run, "translate-pin", "node0") +
+      timeline::stage_sum(run, "trap-exit", "node0");
+  const double nic_tx = timeline::stage_sum(run, "mcp-tx-proc", "node0");
+
+  std::printf("\none-way 0-length latency:      %.2f us (paper 18.3, %s)\n",
+              total, benchutil::check(total, 18.3, 0.05));
+  std::printf("user-level comparison latency: %.2f us\n", ul_pt.oneway_us);
+  std::printf("semi-user extra (vs user):     %.2f us (paper 4.17, %s)\n",
+              extra, benchutil::check(extra, 4.17, 0.10));
+  std::printf("extra as %% of total:           %.0f%% (paper ~22%%, %s)\n",
+              extra / bcl_pt.oneway_us * 100.0,
+              benchutil::check(extra / bcl_pt.oneway_us, 0.22, 0.20));
+  std::printf("kernel stages on the path:     %.2f us\n", kernel_stages);
+  std::printf("reliable-protocol NIC work:    %.2f us (paper 5.65, %s)\n",
+              nic_tx, benchutil::check(nic_tx, 5.65, 0.05));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 8 reproduction: inter-node one-way latency of raw BCL vs message
+// size (plus the intra-node curve quoted in section 5.2).
+//
+// Paper anchors: 18.3 us minimal latency between nodes, 2.7 us within one
+// node.
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/harness.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string_view{argv[1]} == "--csv";
+  if (csv) std::printf("bytes,inter_us,intra_us\n");
+  if (!csv) {
+    benchutil::header("Figure 8", "BCL one-way latency vs message size");
+    benchutil::claim(
+        "minimal latency 18.3us inter-node, 2.7us intra-node (section 5.2)");
+  }
+
+  bcl::ClusterConfig inter;
+  inter.nodes = 2;
+  bcl::ClusterConfig intra;
+  intra.nodes = 1;
+
+  const std::vector<std::size_t> sizes = {0,    64,   256,   1024, 4096,
+                                          8192, 16384, 65536, 131072};
+  if (!csv) {
+    std::printf("%10s %16s %16s\n", "size", "inter-node(us)",
+                "intra-node(us)");
+  }
+  double min_inter = 1e30, min_intra = 1e30;
+  for (const auto n : sizes) {
+    const auto pi = harness::bcl_oneway(inter, n, /*intra=*/false);
+    const auto pa = harness::bcl_oneway(intra, n, /*intra=*/true);
+    min_inter = std::min(min_inter, pi.oneway_us);
+    min_intra = std::min(min_intra, pa.oneway_us);
+    if (csv) {
+      std::printf("%zu,%.3f,%.3f\n", n, pi.oneway_us, pa.oneway_us);
+    } else {
+      std::printf("%10s %16.2f %16.2f\n", benchutil::human_size(n).c_str(),
+                  pi.oneway_us, pa.oneway_us);
+    }
+  }
+  if (!csv) {
+    std::printf("\nminimal inter-node latency: %.2f us (paper 18.3, %s)\n",
+                min_inter, benchutil::check(min_inter, 18.3, 0.10));
+    std::printf("minimal intra-node latency: %.2f us (paper 2.7, %s)\n",
+                min_intra, benchutil::check(min_intra, 2.7, 0.15));
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 9 reproduction: inter-node bandwidth of raw BCL vs message size
+// (plus the intra-node figure of section 5.2), computed the way the paper
+// does: size / one-way transfer time.
+//
+// Paper anchors: 146 MB/s inter-node (91% of the 160 MB/s link), 391 MB/s
+// intra-node, half-bandwidth reached below 4 KB, 128 KB in ~898 us.
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/harness.hpp"
+#include "cluster/report.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string_view{argv[1]} == "--csv";
+  if (csv) std::printf("bytes,inter_mbps,intra_mbps,inter_oneway_us\n");
+  if (!csv) {
+    benchutil::header("Figure 9", "BCL bandwidth vs message size");
+    benchutil::claim(
+        "146 MB/s inter-node, 391 MB/s intra-node, half-bandwidth < 4KB");
+  }
+
+  bcl::ClusterConfig inter;
+  inter.nodes = 2;
+  bcl::ClusterConfig intra;
+  intra.nodes = 1;
+
+  const std::vector<std::size_t> sizes = {256,   1024,  2048,  4096,
+                                          8192,  16384, 32768, 65536,
+                                          131072};
+  if (!csv) {
+    std::printf("%10s %14s %14s %16s\n", "size", "inter(MB/s)",
+                "intra(MB/s)", "inter 1-way(us)");
+  }
+  double peak_inter = 0, peak_intra = 0;
+  double t128k = 0;
+  std::size_t half_size = 0;
+  std::vector<harness::LatencyPoint> inter_pts;
+  for (const auto n : sizes) {
+    const auto pi = harness::bcl_oneway(inter, n, /*intra=*/false);
+    const auto pa = harness::bcl_oneway(intra, n, /*intra=*/true);
+    inter_pts.push_back(pi);
+    peak_inter = std::max(peak_inter, pi.bandwidth_mbps());
+    peak_intra = std::max(peak_intra, pa.bandwidth_mbps());
+    if (n == 131072) t128k = pi.oneway_us;
+    if (csv) {
+      std::printf("%zu,%.2f,%.2f,%.3f\n", n, pi.bandwidth_mbps(),
+                  pa.bandwidth_mbps(), pi.oneway_us);
+    } else {
+      std::printf("%10s %14.1f %14.1f %16.1f\n",
+                  benchutil::human_size(n).c_str(), pi.bandwidth_mbps(),
+                  pa.bandwidth_mbps(), pi.oneway_us);
+    }
+  }
+  if (csv) return 0;
+  // Interpolate the half-bandwidth crossing between sampled sizes.
+  for (std::size_t i = 0; i < inter_pts.size(); ++i) {
+    if (inter_pts[i].bandwidth_mbps() < peak_inter / 2) continue;
+    if (i == 0) {
+      half_size = inter_pts[0].bytes;
+    } else {
+      const double b0 = inter_pts[i - 1].bandwidth_mbps();
+      const double b1 = inter_pts[i].bandwidth_mbps();
+      const double f = (peak_inter / 2 - b0) / (b1 - b0);
+      half_size = static_cast<std::size_t>(
+          inter_pts[i - 1].bytes +
+          f * (inter_pts[i].bytes - inter_pts[i - 1].bytes));
+    }
+    break;
+  }
+  std::printf("\npeak inter-node bandwidth: %.1f MB/s (paper 146, %s)\n",
+              peak_inter, benchutil::check(peak_inter, 146.0, 0.05));
+  std::printf("peak intra-node bandwidth: %.1f MB/s (paper 391, %s)\n",
+              peak_intra, benchutil::check(peak_intra, 391.0, 0.10));
+  std::printf("128KB one-way: %.0f us (paper ~898, %s)\n", t128k,
+              benchutil::check(t128k, 898.0, 0.05));
+  std::printf("half-bandwidth crossing: ~%zu bytes (paper: < 4KB, %s)\n",
+              half_size, half_size > 0 && half_size < 4096 ? "ok" : "DIFF");
+
+  // Appendix: where the time goes during a 128 KB inter-node transfer
+  // (the section 5.4 discussion, in numbers).
+  {
+    bcl::BclCluster c{inter};
+    auto& tx = c.open_endpoint(0);
+    auto& rx = c.open_endpoint(1);
+    c.engine().spawn([](bcl::Endpoint& rx, bcl::Endpoint& tx)
+                         -> sim::Task<void> {
+      auto rbuf = rx.process().alloc(131072);
+      (void)co_await rx.post_recv(0, rbuf);
+      auto go = rx.process().alloc(1);
+      (void)co_await rx.send_system(tx.id(), go, 0);
+      (void)co_await rx.wait_recv();
+    }(rx, tx));
+    c.engine().spawn([](bcl::Endpoint& tx, bcl::PortId dst)
+                         -> sim::Task<void> {
+      (void)co_await tx.wait_recv();
+      auto sbuf = tx.process().alloc(131072);
+      (void)co_await tx.send(dst, bcl::ChannelRef{bcl::ChanKind::kNormal, 0},
+                             sbuf, 131072);
+    }(tx, rx.id()));
+    c.engine().run();
+    std::printf("\nresource usage during one 128KB transfer:\n%s",
+                cluster::collect_report(c).to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Section 4.2 / 5.2 reproduction: intra-node communication over shared
+// memory — latency and bandwidth vs size, and the properties the paper
+// claims for the design (no NIC involvement, no kernel on the data path).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bcl/bcl.hpp"
+#include "cluster/harness.hpp"
+
+int main() {
+  benchutil::header("Intra-node", "shared-memory path (sections 4.2, 5.2)");
+  benchutil::claim("2.7us minimal latency, 391 MB/s within one node; the "
+                   "data path touches neither the NIC nor the kernel");
+
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 1;
+
+  const std::vector<std::size_t> sizes = {0,    64,    1024,  4096,
+                                          16384, 65536, 262144};
+  std::printf("%10s %14s %16s\n", "size", "latency(us)", "bandwidth(MB/s)");
+  double min_lat = 1e30, peak_bw = 0;
+  for (const auto n : sizes) {
+    const auto p = harness::bcl_oneway(cfg, n, /*intra=*/true);
+    min_lat = std::min(min_lat, p.oneway_us);
+    peak_bw = std::max(peak_bw, p.bandwidth_mbps());
+    std::printf("%10s %14.2f %16.1f\n", benchutil::human_size(n).c_str(),
+                p.oneway_us, p.bandwidth_mbps());
+  }
+  std::printf("\nminimal intra-node latency: %.2f us (paper 2.7, %s)\n",
+              min_lat, benchutil::check(min_lat, 2.7, 0.08));
+  std::printf("peak intra-node bandwidth: %.1f MB/s (paper 391, %s)\n",
+              peak_bw, benchutil::check(peak_bw, 391.0, 0.08));
+
+  // Data-path property check: one intra-node exchange, count NIC packets
+  // and kernel traps.
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(0);
+  c.engine().spawn([](bcl::Endpoint& tx, bcl::PortId dst) -> sim::Task<void> {
+    auto buf = tx.process().alloc(4096);
+    (void)co_await tx.send_system(dst, buf, 4096);
+  }(tx, rx.id()));
+  c.engine().spawn([](bcl::Endpoint& rx) -> sim::Task<void> {
+    auto ev = co_await rx.wait_recv();
+    (void)co_await rx.copy_out_system(ev);
+  }(rx));
+  c.engine().run();
+  std::printf("NIC packets on intra-node path: %llu (paper: 0, %s)\n",
+              (unsigned long long)c.node(0).node().nic().tx_packets(),
+              c.node(0).node().nic().tx_packets() == 0 ? "ok" : "DIFF");
+  std::printf("kernel traps on intra-node data path: %llu (paper: 0, %s)\n",
+              (unsigned long long)c.node(0).kernel().traps(),
+              c.node(0).kernel().traps() == 0 ? "ok" : "DIFF");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 2 reproduction: comparison of different communication protocols on
+// the same (simulated) hardware: BCL vs GM-like user-level messaging vs
+// AM-II vs BIP, plus a kernel-level TCP-like row for context.
+//
+// Paper anchors: BCL 18.3us / 146 MB/s; GM's short-message latency lands
+// in the low-to-mid teens on comparable hosts with >140 MB/s peak; AM-II
+// has worse latency than BCL and much lower bandwidth (extra copy); BIP
+// has very low latency but lower bandwidth and no flow control / error
+// correction.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/harness.hpp"
+
+int main() {
+  benchutil::header("Table 2", "comparison of communication protocols");
+  benchutil::claim(
+      "BCL 18.3us/146MB/s; GM-like lower latency, similar bandwidth; "
+      "AM-II higher latency, much lower bandwidth; BIP lowest latency, "
+      "lower bandwidth; kernel-level far behind");
+
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  constexpr std::size_t kBig = 128 * 1024;
+
+  struct Row {
+    const char* name;
+    harness::LatencyPoint lat0;
+    harness::LatencyPoint big;
+    const char* reliability;
+    const char* smp;
+  };
+  const Row rows[] = {
+      {"BCL (semi-user)", harness::bcl_oneway(cfg, 0, false),
+       harness::bcl_oneway(cfg, kBig, false), "yes (NIC go-back-N)",
+       "yes (shm path)"},
+      {"GM-like (user)", harness::ul_oneway(cfg, 0),
+       harness::ul_oneway(cfg, kBig), "yes (NIC go-back-N)", "no"},
+      {"AM-II", harness::am2_oneway(cfg, 0), harness::am2_oneway(cfg, kBig),
+       "credit flow control", "no"},
+      {"BIP", harness::bip_oneway(cfg, 0), harness::bip_oneway(cfg, kBig),
+       "none", "no"},
+      {"TCP-like (kernel)", harness::kl_oneway(cfg, 0),
+       harness::kl_oneway(cfg, kBig), "yes (in kernel)", "no"},
+  };
+
+  std::printf("%-18s %14s %16s %22s %16s\n", "protocol", "latency(us)",
+              "bandwidth(MB/s)", "reliability", "SMP support");
+  for (const auto& r : rows) {
+    std::printf("%-18s %14.2f %16.1f %22s %16s\n", r.name, r.lat0.oneway_us,
+                r.big.bandwidth_mbps(), r.reliability, r.smp);
+  }
+
+  const auto& bcl_r = rows[0];
+  const auto& gm = rows[1];
+  const auto& am2 = rows[2];
+  const auto& bip = rows[3];
+  const auto& tcp = rows[4];
+  std::printf("\nshape checks:\n");
+  std::printf("  BCL latency ~18.3us: %.2f (%s)\n", bcl_r.lat0.oneway_us,
+              benchutil::check(bcl_r.lat0.oneway_us, 18.3, 0.05));
+  std::printf("  BCL bandwidth ~146MB/s: %.1f (%s)\n",
+              bcl_r.big.bandwidth_mbps(),
+              benchutil::check(bcl_r.big.bandwidth_mbps(), 146.0, 0.05));
+  std::printf("  GM-like faster than BCL on latency: %s\n",
+              gm.lat0.oneway_us < bcl_r.lat0.oneway_us ? "ok" : "DIFF");
+  std::printf("  GM-like bandwidth >140MB/s: %s\n",
+              gm.big.bandwidth_mbps() > 140.0 ? "ok" : "DIFF");
+  std::printf("  BCL better latency than AM-II: %s\n",
+              bcl_r.lat0.oneway_us < am2.lat0.oneway_us ? "ok" : "DIFF");
+  std::printf("  BCL much higher bandwidth than AM-II: %s\n",
+              bcl_r.big.bandwidth_mbps() > 2 * am2.big.bandwidth_mbps()
+                  ? "ok"
+                  : "DIFF");
+  std::printf("  BIP lowest latency: %s\n",
+              bip.lat0.oneway_us < gm.lat0.oneway_us ? "ok" : "DIFF");
+  std::printf("  BIP bandwidth below BCL: %s\n",
+              bip.big.bandwidth_mbps() < bcl_r.big.bandwidth_mbps()
+                  ? "ok"
+                  : "DIFF");
+  std::printf("  kernel-level far behind on both: %s\n",
+              tcp.lat0.oneway_us > 2 * bcl_r.lat0.oneway_us &&
+                      tcp.big.bandwidth_mbps() < bcl_r.big.bandwidth_mbps()
+                  ? "ok"
+                  : "DIFF");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 3 reproduction: performance of BCL and of MPI/PVM implemented over
+// BCL (through EADI-2), intra-node and inter-node.
+//
+// Paper anchors (minimal latency / bandwidth):
+//   BCL:  2.7us / 391 MB/s intra;  18.3us / 146 MB/s inter
+//   MPI:  6.3us / 328 MB/s intra;  23.7us / 131 MB/s inter
+//   PVM:  6.5us / 313 MB/s intra;  22.4us / 131 MB/s inter
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/harness.hpp"
+
+int main() {
+  benchutil::header("Table 3", "BCL and MPI/PVM over BCL");
+  benchutil::claim(
+      "MPI 6.3/23.7us and 328/131 MB/s; PVM 6.5/22.4us and 313/131 MB/s "
+      "(intra/inter)");
+
+  constexpr std::size_t kBig = 128 * 1024;
+  bcl::ClusterConfig bcfg;
+  bcfg.nodes = 2;
+  bcl::ClusterConfig bone;
+  bone.nodes = 1;
+  const cluster::WorldConfig wcfg;
+
+  struct Row {
+    const char* name;
+    double lat_intra, lat_inter, bw_intra, bw_inter;
+    double p_lat_intra, p_lat_inter, p_bw_intra, p_bw_inter;  // paper
+  };
+  Row rows[] = {
+      {"BCL", harness::bcl_oneway(bone, 0, true).oneway_us,
+       harness::bcl_oneway(bcfg, 0, false).oneway_us,
+       harness::bcl_oneway(bone, kBig, true).bandwidth_mbps(),
+       harness::bcl_oneway(bcfg, kBig, false).bandwidth_mbps(), 2.7, 18.3,
+       391, 146},
+      {"MPI over BCL", harness::mpi_oneway(wcfg, 0, true).oneway_us,
+       harness::mpi_oneway(wcfg, 0, false).oneway_us,
+       harness::mpi_oneway(wcfg, kBig, true).bandwidth_mbps(),
+       harness::mpi_oneway(wcfg, kBig, false).bandwidth_mbps(), 6.3, 23.7,
+       328, 131},
+      {"PVM over BCL", harness::pvm_oneway(wcfg, 0, true).oneway_us,
+       harness::pvm_oneway(wcfg, 0, false).oneway_us,
+       harness::pvm_oneway(wcfg, kBig, true).bandwidth_mbps(),
+       harness::pvm_oneway(wcfg, kBig, false).bandwidth_mbps(), 6.5, 22.4,
+       313, 131},
+  };
+
+  std::printf("%-14s | %21s | %21s\n", "", "latency us (intra/inter)",
+              "bandwidth MB/s (intra/inter)");
+  std::printf("%-14s | %9s %11s | %9s %11s\n", "layer", "measured", "paper",
+              "measured", "paper");
+  for (const auto& r : rows) {
+    std::printf("%-14s | %4.1f/%4.1f  %4.1f/%4.1f | %3.0f/%3.0f   %3.0f/%3.0f\n",
+                r.name, r.lat_intra, r.lat_inter, r.p_lat_intra, r.p_lat_inter,
+                r.bw_intra, r.bw_inter, r.p_bw_intra, r.p_bw_inter);
+  }
+
+  std::printf("\nchecks (12%% tolerance):\n");
+  for (const auto& r : rows) {
+    std::printf("  %-14s lat %s/%s  bw %s/%s\n", r.name,
+                benchutil::check(r.lat_intra, r.p_lat_intra, 0.12),
+                benchutil::check(r.lat_inter, r.p_lat_inter, 0.12),
+                benchutil::check(r.bw_intra, r.p_bw_intra, 0.12),
+                benchutil::check(r.bw_inter, r.p_bw_inter, 0.12));
+  }
+  return 0;
+}

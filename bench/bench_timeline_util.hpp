@@ -1,0 +1,110 @@
+// Shared logic for the Fig. 5-7 timeline benches: run one traced message
+// through a 2-node cluster and print the stage breakdown.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bcl/bcl.hpp"
+
+namespace timeline {
+
+struct TracedRun {
+  std::vector<sim::TraceEvent> events;  // sorted by start time
+  sim::Time send_start;                 // just before the timed send call
+  sim::Time recv_done;                  // receive completion (after poll)
+  sim::Time send_complete;              // sender's completion poll done
+};
+
+// One warm message of `bytes`, then one traced message; returns the trace.
+inline TracedRun run_traced_message(const bcl::ClusterConfig& cfg,
+                                    std::size_t bytes) {
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  TracedRun out;
+  c.engine().spawn([](sim::Engine& eng, sim::Trace& tr, bcl::Endpoint& ep,
+                      bcl::PortId dst, std::size_t bytes,
+                      TracedRun& out) -> sim::Task<void> {
+    auto payload = ep.process().alloc(std::max<std::size_t>(bytes, 1));
+    // Warm round (pins pages, fills caches).
+    (void)co_await ep.send_system(dst, payload, bytes);
+    (void)co_await ep.wait_send();
+    auto sync = co_await ep.wait_recv();
+    (void)co_await ep.copy_out_system(sync);
+    // Traced round.
+    tr.clear();
+    tr.enable();
+    out.send_start = eng.now();
+    (void)co_await ep.send_system(dst, payload, bytes);
+    (void)co_await ep.wait_send();
+    out.send_complete = eng.now();
+  }(c.engine(), c.trace(), tx, rx.id(), bytes, out));
+  c.engine().spawn([](sim::Engine& eng, bcl::Endpoint& ep, bcl::PortId back,
+                      TracedRun& out) -> sim::Task<void> {
+    auto ev = co_await ep.wait_recv();  // warm
+    (void)co_await ep.copy_out_system(ev);
+    auto token = ep.process().alloc(1);
+    (void)co_await ep.send_system(back, token, 0);
+    (void)co_await ep.wait_send();
+    ev = co_await ep.wait_recv();  // traced
+    out.recv_done = eng.now();
+    (void)co_await ep.copy_out_system(ev);
+  }(c.engine(), rx, tx.id(), out));
+  c.engine().run();
+  out.events = c.trace().events();
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
+                     return a.start < b.start;
+                   });
+  return out;
+}
+
+// Prints events whose component matches `side` ("node0"/"node1" prefix),
+// with times relative to `origin`.  Returns the summed duration.
+inline double print_side(const TracedRun& run, const std::string& side,
+                         sim::Time origin) {
+  double total = 0.0;
+  std::printf("%-28s %10s %10s %10s\n", "stage", "start(us)", "end(us)",
+              "dur(us)");
+  for (const auto& e : run.events) {
+    if (e.component.rfind(side, 0) != 0) continue;
+    if (e.end < origin) continue;
+    const double s = (e.start - origin).to_us();
+    const double t = (e.end - origin).to_us();
+    std::printf("%-28s %10.2f %10.2f %10.2f\n",
+                (e.component + ":" + e.stage).c_str(), s, t, t - s);
+    total += t - s;
+  }
+  return total;
+}
+
+// Sum of durations of host-side send stages (the paper's 7.04 us).
+inline double send_host_overhead(const TracedRun& run) {
+  double sum = 0.0;
+  for (const auto& e : run.events) {
+    if (e.stage == "user-compose" || e.stage == "trap-enter" ||
+        e.stage == "security-check" || e.stage == "translate-pin" ||
+        e.stage == "pio-fill" || e.stage == "trap-exit") {
+      if (e.component.rfind("node0", 0) == 0) {
+        sum += (e.end - e.start).to_us();
+      }
+    }
+  }
+  return sum;
+}
+
+inline double stage_sum(const TracedRun& run, const std::string& stage,
+                        const std::string& side) {
+  double sum = 0.0;
+  for (const auto& e : run.events) {
+    if (e.stage == stage && e.component.rfind(side, 0) == 0) {
+      sum += (e.end - e.start).to_us();
+    }
+  }
+  return sum;
+}
+
+}  // namespace timeline

@@ -1,0 +1,100 @@
+// Master/worker task farm over mini-PVM: adaptive quadrature of
+// f(x) = 4/(1+x^2) on [0,1] (which integrates to pi), with the master
+// handing interval chunks to workers on demand — the classic PVM usage
+// pattern on machines like DAWNING-3000.
+//
+// Run: ./build/examples/pvm_taskfarm
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+constexpr int kWorkers = 6;
+constexpr int kChunks = 48;
+constexpr int kSamplesPerChunk = 2000;
+
+constexpr int kTagJob = 1;
+constexpr int kTagResult = 2;
+constexpr int kTagStop = 3;
+
+double f(double x) { return 4.0 / (1.0 + x * x); }
+
+sim::Task<void> master(minipvm::Pvm& me, double& result) {
+  int next_chunk = 0;
+  int outstanding = 0;
+  double sum = 0.0;
+  // Prime every worker with one chunk.
+  for (int w = 1; w <= kWorkers && next_chunk < kChunks; ++w) {
+    me.initsend();
+    const std::vector<std::int32_t> job{next_chunk++};
+    co_await me.pkint(job);
+    co_await me.send(w, kTagJob);
+    ++outstanding;
+  }
+  // Farm: collect a result, hand out the next chunk to whoever answered.
+  while (outstanding > 0) {
+    const int worker = co_await me.recv(minipvm::kAnyTid, kTagResult);
+    std::vector<double> part(1);
+    co_await me.upkdouble(part);
+    sum += part[0];
+    --outstanding;
+    if (next_chunk < kChunks) {
+      me.initsend();
+      const std::vector<std::int32_t> job{next_chunk++};
+      co_await me.pkint(job);
+      co_await me.send(worker, kTagJob);
+      ++outstanding;
+    } else {
+      me.initsend();
+      co_await me.send(worker, kTagStop);
+    }
+  }
+  result = sum;
+}
+
+sim::Task<void> worker(minipvm::Pvm& me) {
+  for (;;) {
+    (void)co_await me.recv(0, minipvm::kAnyTag);
+    // A stop message carries no payload.
+    if (me.recv_len() == 0) co_return;
+    std::vector<std::int32_t> job(1);
+    co_await me.upkint(job);
+    const double lo = static_cast<double>(job[0]) / kChunks;
+    const double hi = static_cast<double>(job[0] + 1) / kChunks;
+    // Midpoint rule over the chunk; charge compute time on our CPU.
+    co_await me.process().cpu().busy(
+        sim::Time::ns(4.0 * kSamplesPerChunk));
+    const double h = (hi - lo) / kSamplesPerChunk;
+    double part = 0.0;
+    for (int i = 0; i < kSamplesPerChunk; ++i) {
+      part += f(lo + (i + 0.5) * h) * h;
+    }
+    me.initsend();
+    const std::vector<double> res{part};
+    co_await me.pkdouble(res);
+    co_await me.send(0, kTagResult);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PVM task farm: %d workers, %d chunks, estimating pi\n",
+              kWorkers, kChunks);
+  cluster::WorldConfig cfg;
+  cfg.cluster.nodes = 4;
+  cfg.cluster.node.mem_bytes = 48u << 20;
+  cluster::World world{cfg, kWorkers + 1};
+  double result = 0.0;
+  world.engine().spawn(master(world.pvm(0), result));
+  for (int w = 1; w <= kWorkers; ++w) {
+    world.engine().spawn(worker(world.pvm(w)));
+  }
+  world.engine().run();
+  std::printf("pi ~= %.10f (error %.2e), simulated time %s\n", result,
+              std::abs(result - M_PI), world.engine().now().str().c_str());
+  return std::abs(result - M_PI) < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+#include "baselines/am2.hpp"
+
+#include <algorithm>
+
+namespace baseline {
+
+Am2Net::Am2Net(Testbed& tb, const Am2Config& cfg) : tb_{tb}, cfg_{cfg} {
+  per_node_.resize(tb.nodes.size());
+  for (std::uint32_t n = 0; n < tb.nodes.size(); ++n) {
+    tb.eng.spawn_daemon(nic_rx_fw(n));
+  }
+}
+
+Am2Net::~Am2Net() = default;
+
+Am2Endpoint& Am2Net::open(hw::NodeId node) {
+  auto& st = per_node_.at(node);
+  auto& proc = tb_.kernels[node]->create_process();
+  endpoints_.push_back(
+      std::make_unique<Am2Endpoint>(*this, proc, node, st.next_port));
+  st.endpoints[st.next_port++] = endpoints_.back().get();
+  return *endpoints_.back();
+}
+
+sim::Task<void> Am2Net::nic_rx_fw(hw::NodeId node) {
+  auto& nic = tb_.nodes[node]->nic();
+  for (;;) {
+    hw::Packet p = co_await nic.rx().recv();
+    if (p.proto != kProto) continue;
+    if (p.kind == hw::PacketKind::kCtrl) {
+      // Credit return: release one staging slot toward p.src_node.
+      auto& st = per_node_[node];
+      const auto it = st.endpoints.find(p.dst_port);
+      if (it != st.endpoints.end()) {
+        it->second->credits_for(p.src_node).release();
+      }
+      continue;
+    }
+    co_await nic.lanai().use(cfg_.nic_rx_proc);
+    if (p.corrupted) continue;  // AM-II relies on rarely-lossy SANs
+    // DMA into the pinned staging pool; the host handler drains it.
+    co_await nic.pci().burst(p.payload.size() + 32);
+    auto& st = per_node_[node];
+    const auto it = st.endpoints.find(p.dst_port);
+    if (it != st.endpoints.end()) {
+      (void)it->second->frags_.try_send(std::move(p));
+    }
+  }
+}
+
+sim::Task<void> Am2Net::return_credit(hw::NodeId from, hw::NodeId to,
+                                      std::uint32_t port) {
+  auto& nic = tb_.nodes[from]->nic();
+  hw::Packet c;
+  c.dst_node = to;
+  c.proto = kProto;
+  c.kind = hw::PacketKind::kCtrl;
+  c.dst_port = port;
+  c.header_bytes = 16;
+  co_await nic.lanai().use(sim::Time::us(0.3));
+  co_await nic.transmit(std::move(c));
+}
+
+Am2Endpoint::Am2Endpoint(Am2Net& net, osk::Process& proc, hw::NodeId node,
+                         std::uint32_t port)
+    : net_{net},
+      proc_{proc},
+      node_{node},
+      port_{port},
+      frags_{net.tb_.eng},
+      complete_{net.tb_.eng} {
+  net_.tb_.eng.spawn_daemon(handler_pump());
+}
+
+sim::Task<void> Am2Endpoint::handler_pump() {
+  const auto& cfg = net_.cfg_;
+  for (;;) {
+    hw::Packet p = co_await frags_.recv();
+    // Handler invocation plus the extra copy staging -> user memory,
+    // charged per fragment on the receiving process's CPU.
+    co_await proc_.cpu().busy(
+        cfg.poll + cfg.handler + cfg.copy_setup +
+        sim::Time::bytes_at(std::max<std::size_t>(p.payload.size(), 1),
+                            cfg.staging_copy_bw));
+    auto& [msg, seen] = partial_[p.msg_id];
+    if (msg.data.size() < p.msg_bytes) msg.data.resize(p.msg_bytes);
+    msg.src_port = p.src_port;
+    msg.src_node = p.src_node;
+    std::copy(p.payload.begin(), p.payload.end(),
+              msg.data.begin() + static_cast<std::ptrdiff_t>(p.offset));
+    // Staging slot drained: return the credit.
+    net_.tb_.eng.spawn_daemon(
+        net_.return_credit(node_, p.src_node, p.src_port));
+    if (++seen == p.frag_count) {
+      (void)complete_.try_send(std::move(msg));
+      partial_.erase(p.msg_id);
+    }
+  }
+}
+
+sim::Semaphore& Am2Endpoint::credits_for(hw::NodeId dst) {
+  auto& sem = credits_[dst];
+  if (!sem) {
+    sem = std::make_unique<sim::Semaphore>(net_.tb_.eng,
+                                           net_.cfg_.credits);
+  }
+  return *sem;
+}
+
+sim::Task<void> Am2Endpoint::send(hw::NodeId dst_node, std::uint32_t dst_port,
+                                  const osk::UserBuffer& buf,
+                                  std::size_t len) {
+  const auto& cfg = net_.cfg_;
+  auto& nic = net_.tb_.nodes[node_]->nic();
+  const std::uint64_t msg_id = net_.next_msg_id_++;
+  const std::uint32_t frags = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (len + cfg.mtu - 1) / cfg.mtu));
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * cfg.mtu;
+    const std::size_t flen = std::min(cfg.mtu, len - off);
+    co_await credits_for(dst_node).acquire();
+    co_await proc_.cpu().busy(cfg.compose);
+    // The extra copy: user buffer -> pinned staging segment.
+    co_await proc_.cpu().busy(
+        cfg.copy_setup + sim::Time::bytes_at(flen, cfg.staging_copy_bw));
+    co_await nic.pci().pio_write(cfg.pio_desc_words);
+    co_await nic.pci().burst(flen + 32);  // staging -> NIC
+    co_await nic.lanai().use(cfg.nic_tx_proc);
+
+    hw::Packet p;
+    p.dst_node = dst_node;
+    p.proto = Am2Net::kProto;
+    p.dst_port = dst_port;
+    p.src_port = port_;
+    p.msg_id = msg_id;
+    p.frag_index = i;
+    p.frag_count = frags;
+    p.msg_bytes = len;
+    p.offset = off;
+    if (flen > 0) {
+      p.payload.resize(flen);
+      proc_.peek(buf, off, p.payload);
+    }
+    co_await nic.transmit(std::move(p));
+  }
+}
+
+sim::Task<Am2Message> Am2Endpoint::recv() {
+  Am2Message msg = co_await complete_.recv();
+  co_await proc_.cpu().busy(net_.cfg_.poll);
+  co_return msg;
+}
+
+}  // namespace baseline

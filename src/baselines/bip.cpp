@@ -1,0 +1,107 @@
+#include "baselines/bip.hpp"
+
+#include <algorithm>
+
+namespace baseline {
+
+BipNet::BipNet(Testbed& tb, const BipConfig& cfg) : tb_{tb}, cfg_{cfg} {
+  per_node_.resize(tb.nodes.size());
+  for (std::uint32_t n = 0; n < tb.nodes.size(); ++n) {
+    tb.eng.spawn_daemon(nic_rx_fw(n));
+  }
+}
+
+BipNet::~BipNet() = default;
+
+BipEndpoint& BipNet::open(hw::NodeId node) {
+  auto& st = per_node_.at(node);
+  auto& proc = tb_.kernels[node]->create_process();
+  endpoints_.push_back(
+      std::make_unique<BipEndpoint>(*this, proc, node, st.next_port));
+  st.endpoints[st.next_port++] = endpoints_.back().get();
+  return *endpoints_.back();
+}
+
+sim::Task<void> BipNet::nic_rx_fw(hw::NodeId node) {
+  auto& nic = tb_.nodes[node]->nic();
+  for (;;) {
+    hw::Packet p = co_await nic.rx().recv();
+    if (p.proto != kProto) continue;
+    co_await nic.lanai().use(cfg_.nic_rx_proc);
+    auto& st = per_node_[node];
+    const auto it = st.endpoints.find(p.dst_port);
+    if (it == st.endpoints.end()) continue;
+    auto& ep = *it->second;
+    if (p.corrupted || !ep.posted_valid_ ||
+        p.offset + p.payload.size() > ep.posted_.len) {
+      ++ep.drops_;  // no error correction: gone for good
+      continue;
+    }
+    if (!p.payload.empty()) {
+      auto segs = ep.proc_.translate(ep.posted_.vaddr + p.offset,
+                                     p.payload.size());
+      co_await nic.dma_scatter(p.payload, std::move(segs));
+    }
+    if (++ep.frags_seen_ == p.frag_count) {
+      ep.frags_seen_ = 0;
+      ep.posted_valid_ = false;
+      co_await nic.pci().burst(cfg_.event_bytes);
+      (void)ep.complete_.try_send(static_cast<std::size_t>(p.msg_bytes));
+    }
+  }
+}
+
+BipEndpoint::BipEndpoint(BipNet& net, osk::Process& proc, hw::NodeId node,
+                         std::uint32_t port)
+    : net_{net},
+      proc_{proc},
+      node_{node},
+      port_{port},
+      complete_{net.tb_.eng} {}
+
+void BipEndpoint::post_recv(const osk::UserBuffer& buf) {
+  posted_ = buf;
+  posted_valid_ = true;
+  frags_seen_ = 0;
+}
+
+sim::Task<void> BipEndpoint::send(hw::NodeId dst_node, std::uint32_t dst_port,
+                                  const osk::UserBuffer& buf,
+                                  std::size_t len) {
+  const auto& cfg = net_.cfg_;
+  auto& nic = net_.tb_.nodes[node_]->nic();
+  co_await proc_.cpu().busy(cfg.compose);
+  co_await nic.pci().pio_write(cfg.pio_desc_words);
+  const std::uint64_t msg_id = net_.next_msg_id_++;
+  const std::uint32_t frags = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (len + cfg.mtu - 1) / cfg.mtu));
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * cfg.mtu;
+    const std::size_t flen = std::min(cfg.mtu, len - off);
+    hw::Packet p;
+    p.dst_node = dst_node;
+    p.proto = BipNet::kProto;
+    p.dst_port = dst_port;
+    p.src_port = port_;
+    p.msg_id = msg_id;
+    p.frag_index = i;
+    p.frag_count = frags;
+    p.msg_bytes = len;
+    p.offset = off;
+    p.header_bytes = 16;  // BIP headers are lean
+    if (flen > 0) {
+      auto segs = proc_.translate(buf.vaddr + off, flen);
+      co_await nic.dma_gather(std::move(segs), p.payload);
+    }
+    co_await nic.lanai().use(cfg.nic_tx_proc);
+    co_await nic.transmit(std::move(p));
+  }
+}
+
+sim::Task<std::size_t> BipEndpoint::recv() {
+  const std::size_t n = co_await complete_.recv();
+  co_await proc_.cpu().busy(net_.cfg_.poll);
+  co_return n;
+}
+
+}  // namespace baseline

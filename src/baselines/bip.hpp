@@ -1,0 +1,100 @@
+// BIP baseline (Basic Interface for Parallelism, LHPC Lyon) for Table 2.
+//
+// BIP is the minimal user-level design point: very low latency, but "it
+// doesn't provide the functionality of flow control and error correction"
+// (section 5.3) — losses are the application's problem — and its smaller
+// NIC packets amortize the per-packet wire gap worse, which is why its
+// sustained bandwidth trails BCL's.  Receives must be pre-posted into a
+// contiguous registered buffer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/testbed.hpp"
+#include "hw/packet.hpp"
+#include "osk/process.hpp"
+#include "sim/queue.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace baseline {
+
+struct BipConfig {
+  std::size_t mtu = 2048;
+  sim::Time compose = sim::Time::us(0.20);
+  sim::Time nic_tx_proc = sim::Time::us(0.80);
+  sim::Time nic_rx_proc = sim::Time::us(0.50);
+  sim::Time poll = sim::Time::us(0.70);
+  int pio_desc_words = 6;
+  std::size_t event_bytes = 16;
+};
+
+class BipEndpoint;
+
+class BipNet {
+ public:
+  static constexpr std::uint16_t kProto = 4;
+
+  BipNet(Testbed& tb, const BipConfig& cfg = {});
+  ~BipNet();
+  BipNet(const BipNet&) = delete;
+  BipNet& operator=(const BipNet&) = delete;
+
+  BipEndpoint& open(hw::NodeId node);
+  const BipConfig& config() const { return cfg_; }
+
+ private:
+  friend class BipEndpoint;
+  struct NodeState {
+    std::map<std::uint32_t, BipEndpoint*> endpoints;
+    std::uint32_t next_port = 0;
+  };
+
+  sim::Task<void> nic_rx_fw(hw::NodeId node);
+
+  Testbed& tb_;
+  BipConfig cfg_;
+  std::vector<NodeState> per_node_;
+  std::vector<std::unique_ptr<BipEndpoint>> endpoints_;
+  std::uint64_t next_msg_id_ = 1;
+};
+
+class BipEndpoint {
+ public:
+  BipEndpoint(BipNet& net, osk::Process& proc, hw::NodeId node,
+              std::uint32_t port);
+
+  hw::NodeId node() const { return node_; }
+  std::uint32_t port() const { return port_; }
+  osk::Process& process() { return proc_; }
+
+  // Pre-posts the (single) receive buffer; required before a send arrives.
+  void post_recv(const osk::UserBuffer& buf);
+
+  sim::Task<void> send(hw::NodeId dst_node, std::uint32_t dst_port,
+                       const osk::UserBuffer& buf, std::size_t len);
+  // Completes when a whole message has landed in the posted buffer;
+  // returns its length.  Lost fragments mean waiting forever — BIP's
+  // contract, surfaced by the deadlock detector in tests.
+  sim::Task<std::size_t> recv();
+
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  friend class BipNet;
+
+  BipNet& net_;
+  osk::Process& proc_;
+  hw::NodeId node_;
+  std::uint32_t port_;
+  osk::UserBuffer posted_{};
+  bool posted_valid_ = false;
+  std::uint32_t frags_seen_ = 0;
+  sim::Channel<std::size_t> complete_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace baseline

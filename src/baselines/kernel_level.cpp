@@ -1,0 +1,136 @@
+#include "baselines/kernel_level.hpp"
+
+#include <algorithm>
+
+namespace baseline {
+
+KlNet::KlNet(Testbed& tb, const KlConfig& cfg) : tb_{tb}, cfg_{cfg} {
+  per_node_.resize(tb.nodes.size());
+  for (std::uint32_t n = 0; n < tb.nodes.size(); ++n) {
+    per_node_[n].ring = std::make_unique<sim::Channel<hw::Packet>>(tb.eng);
+    tb.kernels[n]->interrupts().set_handler(
+        /*irq=*/7, [this, n]() { return irq_handler(n); });
+    tb.eng.spawn_daemon(nic_rx_fw(n));
+  }
+}
+
+KlNet::~KlNet() = default;
+
+KlSocket& KlNet::open(hw::NodeId node) {
+  auto& st = per_node_.at(node);
+  auto& proc = tb_.kernels[node]->create_process();
+  sockets_.push_back(std::make_unique<KlSocket>(
+      *this, *tb_.kernels[node], proc, node, st.next_port));
+  st.sockets[st.next_port++] = sockets_.back().get();
+  return *sockets_.back();
+}
+
+std::uint64_t KlNet::interrupts(hw::NodeId node) const {
+  return tb_.kernels[node]->interrupts().total();
+}
+
+// NIC firmware: DMA each arriving packet into the kernel ring and raise an
+// interrupt — the NIC cannot reach user space in this architecture.
+sim::Task<void> KlNet::nic_rx_fw(hw::NodeId node) {
+  auto& nic = tb_.nodes[node]->nic();
+  for (;;) {
+    hw::Packet p = co_await nic.rx().recv();
+    if (p.proto != kProto) continue;
+    co_await nic.lanai().use(cfg_.nic_rx_proc);
+    co_await nic.pci().burst(p.wire_bytes());  // into the kernel ring
+    (void)per_node_[node].ring->try_send(std::move(p));
+    tb_.kernels[node]->interrupts().raise(7);
+  }
+}
+
+// Softirq half: protocol input processing on CPU 0.
+sim::Task<void> KlNet::irq_handler(hw::NodeId node) {
+  auto maybe = per_node_[node].ring->try_recv();
+  if (!maybe) co_return;  // already drained by a coalesced interrupt
+  hw::Packet p = std::move(*maybe);
+  auto& cpu0 = tb_.nodes[node]->cpu(0);
+  co_await cpu0.busy(cfg_.proto_rx_per_pkt +
+                     sim::Time::bytes_at(p.payload.size(), cfg_.checksum_bw));
+  auto& st = per_node_[node];
+  const auto it = st.sockets.find(p.dst_port);
+  if (it != st.sockets.end()) it->second->deliver_fragment(std::move(p));
+}
+
+KlSocket::KlSocket(KlNet& net, osk::Kernel& kernel, osk::Process& proc,
+                   hw::NodeId node, std::uint32_t port)
+    : net_{net},
+      kernel_{kernel},
+      proc_{proc},
+      node_{node},
+      port_{port},
+      messages_{net.tb_.eng} {}
+
+sim::Task<void> KlSocket::send(hw::NodeId dst_node, std::uint32_t dst_port,
+                               const osk::UserBuffer& buf, std::size_t len) {
+  const auto& cfg = net_.cfg_;
+  auto& nic = net_.tb_.nodes[node_]->nic();
+  co_await kernel_.trap_enter(proc_);
+  co_await proc_.cpu().busy(cfg.socket_layer);
+  // Copy user -> kernel socket buffer.
+  co_await proc_.cpu().busy(proc_.cpu().memcpy_time(std::max<std::size_t>(
+      len, 1)));
+  std::vector<std::byte> data(len);
+  if (len > 0) proc_.peek(buf, 0, data);
+
+  const std::uint64_t msg_id = net_.next_msg_id_++;
+  const std::uint32_t frags = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (len + cfg.mtu - 1) / cfg.mtu));
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * cfg.mtu;
+    const std::size_t flen = std::min(cfg.mtu, len - off);
+    co_await proc_.cpu().busy(
+        cfg.proto_tx_per_pkt +
+        sim::Time::bytes_at(flen, cfg.checksum_bw));
+    co_await nic.pci().pio_write(cfg.pio_desc_words);
+    co_await nic.lanai().use(cfg.nic_tx_proc);
+    co_await nic.pci().burst(flen + 32);  // kernel buffer -> NIC
+
+    hw::Packet p;
+    p.dst_node = dst_node;
+    p.proto = KlNet::kProto;
+    p.dst_port = dst_port;
+    p.src_port = port_;
+    p.msg_id = msg_id;
+    p.frag_index = i;
+    p.frag_count = frags;
+    p.msg_bytes = len;
+    p.offset = off;
+    p.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                     data.begin() + static_cast<std::ptrdiff_t>(off + flen));
+    co_await nic.transmit(std::move(p));
+  }
+  co_await kernel_.trap_exit(proc_);
+}
+
+void KlSocket::deliver_fragment(hw::Packet&& p) {
+  auto& [bytes, seen] = partial_[p.msg_id];
+  if (bytes.size() < p.msg_bytes) bytes.resize(p.msg_bytes);
+  std::copy(p.payload.begin(), p.payload.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(p.offset));
+  if (++seen == p.frag_count) {
+    (void)messages_.try_send(std::move(bytes));
+    partial_.erase(p.msg_id);
+  }
+}
+
+sim::Task<std::size_t> KlSocket::recv(const osk::UserBuffer& buf) {
+  const auto& cfg = net_.cfg_;
+  co_await kernel_.trap_enter(proc_);
+  co_await proc_.cpu().busy(cfg.socket_layer);
+  std::vector<std::byte> msg = co_await messages_.recv();
+  co_await proc_.cpu().busy(cfg.wakeup);  // context switch back in
+  // Copy kernel -> user.
+  co_await proc_.cpu().busy(
+      proc_.cpu().memcpy_time(std::max<std::size_t>(msg.size(), 1)));
+  const std::size_t n = std::min(msg.size(), buf.len);
+  if (n > 0) proc_.poke(buf, 0, std::span{msg.data(), n});
+  co_await kernel_.trap_exit(proc_);
+  co_return n;
+}
+
+}  // namespace baseline

@@ -1,0 +1,36 @@
+// Shared substrate for the comparison protocols: a cluster of nodes with
+// kernels and a fabric, but no BCL stack.  The kernel-level, AM-II, and BIP
+// baselines build their own firmware/driver logic on top of this so every
+// protocol in Table 2 runs on identical simulated hardware.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "hw/topology.hpp"
+#include "osk/kernel.hpp"
+#include "sim/engine.hpp"
+
+namespace baseline {
+
+struct Testbed {
+  sim::Engine eng;
+  std::vector<std::unique_ptr<hw::Node>> nodes;
+  std::vector<std::unique_ptr<osk::Kernel>> kernels;
+  std::unique_ptr<hw::Fabric> fabric;
+
+  Testbed(std::uint32_t n, const hw::NodeConfig& node_cfg,
+          const osk::KernelConfig& kernel_cfg,
+          const hw::FabricOptions& fabric_opts) {
+    fabric = hw::make_fabric(eng, n, fabric_opts);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<hw::Node>(eng, i, node_cfg));
+      kernels.push_back(
+          std::make_unique<osk::Kernel>(eng, *nodes.back(), kernel_cfg));
+      fabric->attach(i, nodes.back()->nic());
+    }
+  }
+};
+
+}  // namespace baseline

@@ -1,0 +1,124 @@
+// User-level messaging baseline (GM/VMMC/U-Net-style): the third column of
+// Table 1 and the comparison point for the paper's "+22%" claim (Fig. 7).
+//
+// The NIC is mapped into the process (mmap), so a send is: compose the
+// descriptor in user space and PIO it to the NIC — no trap, no kernel
+// checks.  The price is that virtual-to-physical translation moves to the
+// NIC: a limited translation cache on the LANai, whose misses cost dearly
+// and which degrades as the host working set grows (ablation A4, the
+// paper's section 1 motivation for in-kernel translation).
+//
+// The receive path and the wire protocol are identical to BCL's — the MCP
+// is reused as-is — so Fig. 7's comparison isolates exactly the send-side
+// architectural difference.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "bcl/bcl.hpp"
+
+namespace baseline {
+
+struct UlConfig {
+  std::size_t cache_pages = 1024;              // NIC translation cache
+  sim::Time hit_cost = sim::Time::us(0.05);   // per page, on the LANai
+  // A miss stalls the LANai on a PTE fetch from host memory (VMMC-2) or an
+  // interrupt-mediated refill (U-Net); either way it is tens of microseconds
+  // of lost NIC time per page.
+  sim::Time miss_cost = sim::Time::us(10.0);
+  sim::Time compose = sim::Time::us(0.23);     // user descriptor build
+  sim::Time doorbell = sim::Time::us(0.24);    // post-recv doorbell write
+};
+
+// LRU translation cache resident on the NIC.
+class TranslationCache {
+ public:
+  explicit TranslationCache(std::size_t capacity) : cap_{capacity} {}
+
+  // Touches [vaddr, vaddr+len) of process `pid`; returns (hits, misses)
+  // and updates LRU state.
+  std::pair<int, int> touch(std::uint32_t pid, std::uint64_t vaddr,
+                            std::size_t len);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  using Key = std::uint64_t;  // pid << 40 | vpage
+  std::size_t cap_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// User-level endpoint wrapping a BCL port: same channels, same MCP, but a
+// kernel-free submission path.
+class UlEndpoint {
+ public:
+  UlEndpoint(bcl::Endpoint& inner, bcl::Mcp& mcp, hw::PciBus& pci,
+             TranslationCache& cache, const UlConfig& cfg,
+             std::uint32_t cluster_nodes);
+
+  bcl::PortId id() const { return inner_.id(); }
+  osk::Process& process() { return inner_.process(); }
+  bcl::Port& port() { return inner_.port(); }
+
+  // Send without any kernel involvement.
+  sim::Task<bcl::Result<std::uint64_t>> send(bcl::PortId dst,
+                                             bcl::ChannelRef ch,
+                                             const osk::UserBuffer& buf,
+                                             std::size_t len);
+  sim::Task<bcl::Result<std::uint64_t>> send_system(
+      bcl::PortId dst, const osk::UserBuffer& buf, std::size_t len) {
+    return send(dst, bcl::ChannelRef{bcl::ChanKind::kSystem, 0}, buf, len);
+  }
+
+  // Post a receive buffer, also without a trap (GM-style registration).
+  sim::Task<bcl::BclErr> post_recv(std::uint16_t channel,
+                                   const osk::UserBuffer& buf);
+
+  sim::Task<bcl::RecvEvent> wait_recv() { return inner_.wait_recv(); }
+  sim::Task<bcl::SendEvent> wait_send() { return inner_.wait_send(); }
+  sim::Task<std::vector<std::byte>> copy_out_system(
+      const bcl::RecvEvent& ev) {
+    return inner_.copy_out_system(ev);
+  }
+
+ private:
+  bcl::Endpoint& inner_;
+  bcl::Mcp& mcp_;
+  hw::PciBus& pci_;
+  TranslationCache& cache_;
+  UlConfig cfg_;
+  std::uint32_t cluster_nodes_;
+  std::uint64_t next_msg_id_ = 1;
+};
+
+// A cluster whose endpoints submit user-level.  Intra-node traffic is out
+// of scope for this baseline (GM had no special SMP support — section 5.2).
+class UlCluster {
+ public:
+  explicit UlCluster(bcl::ClusterConfig cfg = {}, UlConfig ul = {});
+
+  sim::Engine& engine() { return cluster_.engine(); }
+  bcl::BclCluster& bcl() { return cluster_; }
+  TranslationCache& cache(hw::NodeId node) { return *caches_.at(node); }
+
+  UlEndpoint& open_endpoint(hw::NodeId node);
+
+  std::uint64_t traps(hw::NodeId node) {
+    return cluster_.node(node).kernel().traps();
+  }
+
+ private:
+  UlConfig ul_;
+  bcl::BclCluster cluster_;
+  std::vector<std::unique_ptr<TranslationCache>> caches_;
+  std::vector<std::unique_ptr<UlEndpoint>> endpoints_;
+};
+
+}  // namespace baseline

@@ -1,0 +1,8 @@
+// Umbrella header: the public API of the BCL semi-user-level communication
+// library.  See README.md for a quickstart and DESIGN.md for architecture.
+#pragma once
+
+#include "bcl/config.hpp"    // CostConfig, ClusterConfig
+#include "bcl/library.hpp"   // Endpoint: send/recv/RMA
+#include "bcl/stack.hpp"     // BclCluster, NodeStack
+#include "bcl/types.hpp"     // PortId, ChannelRef, events, errors

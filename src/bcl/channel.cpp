@@ -1,0 +1,31 @@
+#include "bcl/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcl {
+
+std::vector<hw::PhysSegment> OpenChannelState::slice(std::uint64_t off,
+                                                     std::size_t len) const {
+  if (!bound) throw std::logic_error("open channel not bound");
+  if (off + len > buf.len) throw std::out_of_range("rma outside window");
+  std::vector<hw::PhysSegment> out;
+  std::uint64_t skip = off;
+  std::size_t remaining = len;
+  for (const auto& seg : segs) {
+    if (remaining == 0) break;
+    if (skip >= seg.len) {
+      skip -= seg.len;
+      continue;
+    }
+    const std::size_t avail = seg.len - static_cast<std::size_t>(skip);
+    const std::size_t take = std::min(avail, remaining);
+    out.push_back({seg.addr + skip, take});
+    skip = 0;
+    remaining -= take;
+  }
+  if (remaining != 0) throw std::out_of_range("rma slice ran out of pages");
+  return out;
+}
+
+}  // namespace bcl

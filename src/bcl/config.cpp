@@ -1,0 +1,4 @@
+#include "bcl/config.hpp"
+
+// Configuration is all aggregate initialization; this TU anchors the
+// library target.

@@ -1,0 +1,204 @@
+#include "bcl/driver.hpp"
+
+namespace bcl {
+
+namespace {
+
+std::string comp_of(osk::Kernel& k) {
+  return "node" + std::to_string(k.node().id()) + ".kernel";
+}
+
+}  // namespace
+
+Driver::Driver(osk::Kernel& kernel, Mcp& mcp, const CostConfig& cfg,
+               std::uint32_t cluster_nodes, sim::Trace* trace)
+    : kernel_{kernel},
+      mcp_{mcp},
+      cfg_{cfg},
+      cluster_nodes_{cluster_nodes},
+      trace_{trace} {}
+
+BclErr Driver::validate_send(osk::Process& proc, Port& port,
+                             const SendArgs& args) {
+  // The paper (4.4): the checked parameters include the application
+  // process ID, the communication buffer pointer, and the target.
+  if (kernel_.validate_caller(proc, port.process().pid()) !=
+      osk::KernErr::kOk) {
+    return BclErr::kBadPid;
+  }
+  if (kernel_.validate_target(args.dst.node, cluster_nodes_, args.dst.port,
+                              cfg_.max_ports) != osk::KernErr::kOk) {
+    return BclErr::kBadTarget;
+  }
+  switch (args.channel.kind) {
+    case ChanKind::kSystem:
+      if (args.len > cfg_.sys_slot_bytes) return BclErr::kTooBig;
+      break;
+    case ChanKind::kNormal:
+      if (args.channel.index >= cfg_.normal_channels) {
+        return BclErr::kBadTarget;
+      }
+      break;
+    case ChanKind::kOpen:
+      if (args.channel.index >= cfg_.open_channels) {
+        return BclErr::kBadTarget;
+      }
+      break;
+  }
+  if (args.op != SendOp::kRmaRead && args.len > 0 &&
+      kernel_.validate_buffer(proc, args.vaddr, args.len) !=
+          osk::KernErr::kOk) {
+    return BclErr::kBadBuffer;
+  }
+  return BclErr::kOk;
+}
+
+sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
+                                                    Port& port,
+                                                    const SendArgs& args) {
+  const std::uint64_t msg_id = next_msg_id_++;
+  {
+    auto span = trace_ ? trace_->span(comp_of(kernel_), "trap-enter", msg_id)
+                       : sim::Trace::Span{};
+    co_await kernel_.trap_enter(proc);
+  }
+  {
+    auto span = trace_ ? trace_->span(comp_of(kernel_), "security-check", msg_id)
+                       : sim::Trace::Span{};
+    co_await kernel_.charge_check(proc);
+  }
+  if (const BclErr err = validate_send(proc, port, args);
+      err != BclErr::kOk) {
+    ++rejects_;
+    co_await kernel_.trap_exit(proc);
+    co_return Result<std::uint64_t>{0, err};
+  }
+
+  SendDescriptor d;
+  d.msg_id = msg_id;
+  d.src = port.id();
+  d.dst = args.dst;
+  d.channel = args.channel;
+  d.op = args.op;
+  d.total_len = args.len;
+  d.rma_offset = args.rma_offset;
+  d.reply_channel = args.reply_channel;
+  if (args.op != SendOp::kRmaRead && args.len > 0) {
+    auto span = trace_ ? trace_->span(comp_of(kernel_), "translate-pin", msg_id)
+                       : sim::Trace::Span{};
+    bool pin_failed = false;
+    try {
+      d.segs = co_await kernel_.pindown().translate_and_pin(proc, args.vaddr,
+                                                            args.len);
+    } catch (const std::runtime_error&) {
+      pin_failed = true;  // co_await is not allowed inside the handler
+    }
+    if (pin_failed) {
+      ++rejects_;
+      span.end();
+      co_await kernel_.trap_exit(proc);
+      co_return Result<std::uint64_t>{0, BclErr::kNoResources};
+    }
+  } else {
+    // Zero-length / RMA read: the table search still happens.
+    co_await proc.cpu().busy(kernel_.config().pindown.lookup);
+  }
+
+  {
+    // Fill the send request descriptor in NIC SRAM word by word.
+    auto span = trace_ ? trace_->span(comp_of(kernel_), "pio-fill", msg_id)
+                       : sim::Trace::Span{};
+    co_await kernel_.node().pci().pio_write(
+        d.pio_words(cfg_.desc_words_base, cfg_.desc_words_per_seg));
+  }
+  ++sends_;
+  {
+    auto span = trace_ ? trace_->span(comp_of(kernel_), "trap-exit", msg_id)
+                       : sim::Trace::Span{};
+    co_await kernel_.trap_exit(proc);
+  }
+  // The descriptor's valid bit is armed as the ioctl returns, so the MCP
+  // picks it up only now — this matches the paper's stage accounting, where
+  // the whole 4.17 us of kernel work precedes NIC processing (Fig. 7).
+  // Blocking here models a full request ring.
+  co_await mcp_.requests().send(std::move(d));
+  co_return Result<std::uint64_t>{msg_id, BclErr::kOk};
+}
+
+sim::Task<BclErr> Driver::ioctl_post_recv(osk::Process& proc, Port& port,
+                                          std::uint16_t channel,
+                                          const osk::UserBuffer& buf) {
+  co_await kernel_.trap_enter(proc);
+  co_await kernel_.charge_check(proc);
+  BclErr err = BclErr::kOk;
+  if (kernel_.validate_caller(proc, port.process().pid()) !=
+      osk::KernErr::kOk) {
+    err = BclErr::kBadPid;
+  } else if (channel >= port.normal_count()) {
+    err = BclErr::kBadTarget;
+  } else if (kernel_.validate_buffer(proc, buf.vaddr, buf.len) !=
+             osk::KernErr::kOk) {
+    err = BclErr::kBadBuffer;
+  } else {
+    auto& st = port.normal(channel);
+    if (st.posted) {
+      err = BclErr::kNoResources;  // one posted buffer at a time
+    } else {
+      st.segs = co_await kernel_.pindown().translate_and_pin(proc, buf.vaddr,
+                                                             buf.len);
+      st.buf = buf;
+      st.posted = true;
+      // Registering the channel descriptor with the NIC costs a few words.
+      co_await kernel_.node().pci().pio_write(cfg_.desc_words_base);
+    }
+  }
+  if (err != BclErr::kOk) ++rejects_;
+  co_await kernel_.trap_exit(proc);
+  co_return err;
+}
+
+sim::Task<BclErr> Driver::ioctl_bind_open(osk::Process& proc, Port& port,
+                                          std::uint16_t channel,
+                                          const osk::UserBuffer& buf) {
+  co_await kernel_.trap_enter(proc);
+  co_await kernel_.charge_check(proc);
+  BclErr err = BclErr::kOk;
+  if (kernel_.validate_caller(proc, port.process().pid()) !=
+      osk::KernErr::kOk) {
+    err = BclErr::kBadPid;
+  } else if (channel >= port.open_count()) {
+    err = BclErr::kBadTarget;
+  } else if (kernel_.validate_buffer(proc, buf.vaddr, buf.len) !=
+             osk::KernErr::kOk) {
+    err = BclErr::kBadBuffer;
+  } else {
+    auto& st = port.open(channel);
+    if (st.bound) kernel_.pindown().unpin(proc, st.buf.vaddr, st.buf.len);
+    st.segs = co_await kernel_.pindown().translate_and_pin(proc, buf.vaddr,
+                                                           buf.len);
+    st.buf = buf;
+    st.bound = true;
+    co_await kernel_.node().pci().pio_write(cfg_.desc_words_base);
+  }
+  if (err != BclErr::kOk) ++rejects_;
+  co_await kernel_.trap_exit(proc);
+  co_return err;
+}
+
+BclErr Driver::setup_system_channel(osk::Process& proc, Port& port, int slots,
+                                    std::size_t slot_bytes) {
+  auto& sys = port.system();
+  if (sys.configured()) return BclErr::kNoResources;
+  sys.slot_bytes = slot_bytes;
+  sys.pool = proc.alloc(static_cast<std::size_t>(slots) * slot_bytes);
+  sys.slots.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    sys.slots.push_back(proc.translate(
+        sys.pool.vaddr + static_cast<std::uint64_t>(i) * slot_bytes,
+        slot_bytes));
+    sys.free_slots.push_back(i);
+  }
+  return BclErr::kOk;
+}
+
+}  // namespace bcl

@@ -1,0 +1,74 @@
+// BCL kernel module.
+//
+// All NIC access goes through here (section 3): the send ioctl traps into
+// the kernel, runs the security checks, walks the pin-down page table for
+// virtual-to-physical translation, and fills the send-request descriptor
+// into NIC memory with PIO.  Channel setup ioctls pin receive buffers and
+// register them with the MCP.
+#pragma once
+
+#include <cstdint>
+
+#include "bcl/config.hpp"
+#include "bcl/mcp.hpp"
+#include "bcl/port.hpp"
+#include "bcl/types.hpp"
+#include "osk/kernel.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace bcl {
+
+struct SendArgs {
+  PortId dst{};
+  ChannelRef channel{};
+  osk::VirtAddr vaddr = 0;  // source buffer (ignored for RMA read)
+  std::size_t len = 0;
+  SendOp op = SendOp::kSend;
+  std::uint64_t rma_offset = 0;
+  std::uint16_t reply_channel = 0;
+};
+
+class Driver {
+ public:
+  Driver(osk::Kernel& kernel, Mcp& mcp, const CostConfig& cfg,
+         std::uint32_t cluster_nodes, sim::Trace* trace = nullptr);
+
+  // -- the hot path: ioctl(BCL_SEND) ------------------------------------------
+  // Trap + checks + translate/pin + PIO descriptor fill.  Returns the
+  // message id, or an error without touching the NIC.
+  sim::Task<Result<std::uint64_t>> ioctl_send(osk::Process& proc, Port& port,
+                                              const SendArgs& args);
+
+  // -- setup ioctls (trap-accounted, used on slow paths) -------------------------
+  sim::Task<BclErr> ioctl_post_recv(osk::Process& proc, Port& port,
+                                    std::uint16_t channel,
+                                    const osk::UserBuffer& buf);
+  sim::Task<BclErr> ioctl_bind_open(osk::Process& proc, Port& port,
+                                    std::uint16_t channel,
+                                    const osk::UserBuffer& buf);
+
+  // -- untimed setup (initialization is not on any measured path) ---------------
+  // Configures the system-channel pool: resolves and pins every slot.
+  BclErr setup_system_channel(osk::Process& proc, Port& port, int slots,
+                              std::size_t slot_bytes);
+
+  std::uint64_t sends_submitted() const { return sends_; }
+  std::uint64_t security_rejects() const { return rejects_; }
+
+  osk::Kernel& kernel() { return kernel_; }
+
+ private:
+  BclErr validate_send(osk::Process& proc, Port& port, const SendArgs& args);
+
+  osk::Kernel& kernel_;
+  Mcp& mcp_;
+  const CostConfig& cfg_;
+  std::uint32_t cluster_nodes_;
+  sim::Trace* trace_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t sends_ = 0;
+  std::uint64_t rejects_ = 0;
+};
+
+}  // namespace bcl

@@ -1,0 +1,95 @@
+// Intra-node communication over shared memory (section 4.2).
+//
+// Each ordered pair of ports gets a one-direction pipe: a ring of
+// fixed-size slots in a kernel-created SHM segment.  The sender memcpys
+// message chunks into ring slots; a receiver-side pump copies them out into
+// the destination channel (pool slot / posted buffer / RMA window).  With
+// more than one slot the two copies pipeline, which is the paper's
+// "pipeline message passing technique" for hiding the extra copy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "bcl/config.hpp"
+#include "bcl/port.hpp"
+#include "bcl/types.hpp"
+#include "osk/kernel.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+
+namespace bcl {
+
+class IntraNode {
+ public:
+  IntraNode(sim::Engine& eng, osk::Kernel& kernel, const CostConfig& cfg);
+
+  void register_port(Port* port);
+  void unregister_port(std::uint32_t port_no);
+
+  // User-level send; no kernel trap on this path.
+  sim::Task<Result<std::uint64_t>> send(Port& src_port, PortId dst,
+                                        ChannelRef ch, osk::VirtAddr vaddr,
+                                        std::size_t len, SendOp op = SendOp::kSend,
+                                        std::uint64_t rma_offset = 0);
+
+  // Intra-node RMA read: a direct window-to-buffer copy on the caller's CPU
+  // plus a local receive event on `reply_channel`.
+  sim::Task<Result<std::uint64_t>> rma_read(Port& src_port, PortId dst,
+                                            std::uint16_t dst_channel,
+                                            std::uint64_t offset,
+                                            std::uint16_t reply_channel,
+                                            const osk::UserBuffer& into,
+                                            std::size_t len);
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t sys_drops = 0;
+    std::uint64_t not_posted_drops = 0;
+    std::uint64_t rma_errors = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::uint64_t msg_id = 0;
+    std::uint32_t src_port = 0;
+    std::uint32_t dst_port = 0;
+    ChannelRef channel{};
+    SendOp op = SendOp::kSend;
+    std::uint64_t offset = 0;  // within the message (incl. rma offset)
+    std::uint32_t index = 0;
+    std::uint32_t count = 1;
+    std::uint64_t msg_bytes = 0;
+    int slot = 0;
+    std::size_t len = 0;
+  };
+
+  // One direction of a port pair ("each pair of processes has two queues").
+  struct Pipe {
+    osk::ShmSegment seg{};
+    std::unique_ptr<sim::Channel<int>> free_slots;
+    std::unique_ptr<sim::Channel<Chunk>> full_slots;
+    // receive-side reassembly for the system channel
+    int sys_slot = -1;
+    bool dropping = false;
+  };
+
+  Pipe& pipe_for(std::uint32_t src_port, std::uint32_t dst_port);
+  sim::Task<void> receiver(Pipe& pipe);
+  sim::Task<void> copy_in(osk::Process& proc, hw::PhysAddr dst,
+                          osk::VirtAddr src_vaddr, std::size_t len);
+  sim::Time copy_cost(std::size_t len) const;
+
+  sim::Engine& eng_;
+  osk::Kernel& kernel_;
+  const CostConfig& cfg_;
+  std::map<std::uint32_t, Port*> ports_;
+  std::map<std::uint64_t, std::unique_ptr<Pipe>> pipes_;
+  std::uint64_t next_msg_id_ = (1ull << 62);
+  Stats stats_;
+};
+
+}  // namespace bcl

@@ -1,0 +1,152 @@
+#include "bcl/library.hpp"
+
+namespace bcl {
+
+Endpoint::Endpoint(sim::Engine& eng, const CostConfig& cfg, Driver& driver,
+                   Mcp& mcp, IntraNode& intra, osk::Process& proc,
+                   std::unique_ptr<Port> port, sim::Trace* trace)
+    : eng_{eng},
+      cfg_{cfg},
+      driver_{driver},
+      mcp_{mcp},
+      intra_{intra},
+      proc_{proc},
+      port_{std::move(port)},
+      trace_{trace} {
+  mcp_.register_port(port_.get());
+  intra_.register_port(port_.get());
+}
+
+Endpoint::~Endpoint() {
+  mcp_.unregister_port(port_->id().port);
+  intra_.unregister_port(port_->id().port);
+}
+
+std::string Endpoint::comp() const {
+  return "node" + std::to_string(port_->id().node) + ".lib";
+}
+
+sim::Task<Result<std::uint64_t>> Endpoint::send(PortId dst, ChannelRef ch,
+                                                const osk::UserBuffer& buf,
+                                                std::size_t len,
+                                                std::size_t off) {
+  {
+    auto span = trace_ ? trace_->span(comp(), "user-compose", 0)
+                       : sim::Trace::Span{};
+    co_await proc_.cpu().busy(cfg_.compose_send);
+  }
+  if (off + len > buf.len) {
+    co_return Result<std::uint64_t>{0, BclErr::kBadBuffer};
+  }
+  if (local(dst)) {
+    auto r = co_await intra_.send(*port_, dst, ch, buf.vaddr + off, len);
+    co_return r;
+  }
+  SendArgs args;
+  args.dst = dst;
+  args.channel = ch;
+  args.vaddr = buf.vaddr + off;
+  args.len = len;
+  auto r = co_await driver_.ioctl_send(proc_, *port_, args);
+  if (r.ok()) ++port_->messages_sent;
+  co_return r;
+}
+
+sim::Task<SendEvent> Endpoint::wait_send() {
+  SendEvent ev = co_await port_->send_events().recv();
+  co_await proc_.cpu().busy(cfg_.send_event_poll);
+  co_return ev;
+}
+
+sim::Task<BclErr> Endpoint::post_recv(std::uint16_t channel,
+                                      const osk::UserBuffer& buf) {
+  // Intra-node sends look the posted state up directly, inter-node sends
+  // through the NIC; either way the registration traps into the kernel
+  // ("making ready for message buffer still needs switch into kernel
+  // mode", section 4.1).
+  co_return co_await driver_.ioctl_post_recv(proc_, *port_, channel, buf);
+}
+
+sim::Task<RecvEvent> Endpoint::wait_recv() {
+  RecvEvent ev = co_await port_->recv_events().recv();
+  auto span = trace_ ? trace_->span(comp(), "recv-poll", ev.msg_id)
+                     : sim::Trace::Span{};
+  co_await proc_.cpu().busy(cfg_.recv_event_poll);
+  co_return ev;
+}
+
+sim::Task<std::optional<RecvEvent>> Endpoint::try_recv() {
+  // The poll touches the user-space completion queue whether or not an
+  // event is present.
+  co_await proc_.cpu().busy(cfg_.recv_event_poll);
+  co_return port_->recv_events().try_recv();
+}
+
+sim::Task<std::vector<std::byte>> Endpoint::copy_out_system(
+    const RecvEvent& ev) {
+  auto& sys = port_->system();
+  std::vector<std::byte> out(ev.len);
+  if (ev.len > 0) {
+    co_await proc_.cpu().busy(proc_.cpu().memcpy_time(ev.len));
+    proc_.peek(sys.pool,
+               static_cast<std::size_t>(ev.sys_slot) * sys.slot_bytes,
+               out);
+  }
+  co_await proc_.cpu().busy(cfg_.slot_release);
+  sys.free_slots.push_back(ev.sys_slot);
+  co_return out;
+}
+
+sim::Task<BclErr> Endpoint::bind_open(std::uint16_t channel,
+                                      const osk::UserBuffer& buf) {
+  co_return co_await driver_.ioctl_bind_open(proc_, *port_, channel, buf);
+}
+
+sim::Task<Result<std::uint64_t>> Endpoint::rma_write(
+    PortId dst, std::uint16_t dst_channel, std::uint64_t dst_offset,
+    const osk::UserBuffer& src, std::size_t len) {
+  co_await proc_.cpu().busy(cfg_.compose_send);
+  const ChannelRef ch{ChanKind::kOpen, dst_channel};
+  if (local(dst)) {
+    auto r = co_await intra_.send(*port_, dst, ch, src.vaddr, len,
+                                  SendOp::kRmaWrite, dst_offset);
+    co_return r;
+  }
+  SendArgs args;
+  args.dst = dst;
+  args.channel = ch;
+  args.vaddr = src.vaddr;
+  args.len = len;
+  args.op = SendOp::kRmaWrite;
+  args.rma_offset = dst_offset;
+  auto r = co_await driver_.ioctl_send(proc_, *port_, args);
+  co_return r;
+}
+
+sim::Task<Result<std::uint64_t>> Endpoint::rma_read(
+    PortId dst, std::uint16_t dst_channel, std::uint64_t offset,
+    std::uint16_t reply_channel, const osk::UserBuffer& into,
+    std::size_t len) {
+  co_await proc_.cpu().busy(cfg_.compose_send);
+  if (local(dst)) {
+    auto r = co_await intra_.rma_read(*port_, dst, dst_channel, offset,
+                                      reply_channel, into, len);
+    co_return r;
+  }
+  // Arm the reply channel, then issue the read request.
+  if (const BclErr err = co_await post_recv(reply_channel, into);
+      err != BclErr::kOk) {
+    co_return Result<std::uint64_t>{0, err};
+  }
+  SendArgs args;
+  args.dst = dst;
+  args.channel = ChannelRef{ChanKind::kOpen, dst_channel};
+  args.len = len;
+  args.op = SendOp::kRmaRead;
+  args.rma_offset = offset;
+  args.reply_channel = reply_channel;
+  auto r = co_await driver_.ioctl_send(proc_, *port_, args);
+  co_return r;
+}
+
+}  // namespace bcl

@@ -1,0 +1,90 @@
+// The BCL user-level library: the public API application code links
+// against.  The APIs "are only the covers of some ioctl() syscall
+// subcommands provided by the BCL kernel module" on the send side
+// (section 4.1), while completion polling runs entirely in user space.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bcl/driver.hpp"
+#include "bcl/intranode.hpp"
+#include "bcl/port.hpp"
+#include "sim/trace.hpp"
+
+namespace bcl {
+
+class Endpoint {
+ public:
+  Endpoint(sim::Engine& eng, const CostConfig& cfg, Driver& driver,
+           Mcp& mcp, IntraNode& intra, osk::Process& proc,
+           std::unique_ptr<Port> port, sim::Trace* trace);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  PortId id() const { return port_->id(); }
+  Port& port() { return *port_; }
+  osk::Process& process() { return proc_; }
+
+  // -- send ----------------------------------------------------------------------
+  // Sends buf[off, off+len) to (dst, channel).  Same-node destinations take
+  // the shared-memory path automatically.
+  sim::Task<Result<std::uint64_t>> send(PortId dst, ChannelRef ch,
+                                        const osk::UserBuffer& buf,
+                                        std::size_t len, std::size_t off = 0);
+  // Convenience: system channel.
+  sim::Task<Result<std::uint64_t>> send_system(PortId dst,
+                                               const osk::UserBuffer& buf,
+                                               std::size_t len) {
+    return send(dst, ChannelRef{ChanKind::kSystem, 0}, buf, len);
+  }
+
+  // Blocks (polling the send event queue) until a send completes.
+  sim::Task<SendEvent> wait_send();
+
+  // -- receive -------------------------------------------------------------------
+  // Posts a buffer on a normal channel (required before the matching send).
+  sim::Task<BclErr> post_recv(std::uint16_t channel,
+                              const osk::UserBuffer& buf);
+  // Blocks (polling the receive event queue) until any message arrives.
+  sim::Task<RecvEvent> wait_recv();
+  // One non-blocking poll of the receive event queue.
+  sim::Task<std::optional<RecvEvent>> try_recv();
+  // Copies a system-channel message out of its pool slot and frees the slot.
+  sim::Task<std::vector<std::byte>> copy_out_system(const RecvEvent& ev);
+
+  // -- RMA (open channels) ----------------------------------------------------------
+  sim::Task<BclErr> bind_open(std::uint16_t channel,
+                              const osk::UserBuffer& buf);
+  sim::Task<Result<std::uint64_t>> rma_write(PortId dst,
+                                             std::uint16_t dst_channel,
+                                             std::uint64_t dst_offset,
+                                             const osk::UserBuffer& src,
+                                             std::size_t len);
+  // Reads len bytes from the target window into `into`; completion arrives
+  // as a receive event on `reply_channel` (post_recv(into) is done here).
+  sim::Task<Result<std::uint64_t>> rma_read(PortId dst,
+                                            std::uint16_t dst_channel,
+                                            std::uint64_t offset,
+                                            std::uint16_t reply_channel,
+                                            const osk::UserBuffer& into,
+                                            std::size_t len);
+
+ private:
+  bool local(PortId dst) const { return dst.node == port_->id().node; }
+  std::string comp() const;
+
+  sim::Engine& eng_;
+  const CostConfig& cfg_;
+  Driver& driver_;
+  Mcp& mcp_;
+  IntraNode& intra_;
+  osk::Process& proc_;
+  std::unique_ptr<Port> port_;
+  sim::Trace* trace_;
+};
+
+}  // namespace bcl

@@ -1,0 +1,336 @@
+#include "bcl/mcp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcl {
+
+std::vector<hw::PhysSegment> slice_segments(
+    const std::vector<hw::PhysSegment>& segs, std::uint64_t off,
+    std::size_t len) {
+  std::vector<hw::PhysSegment> out;
+  std::uint64_t skip = off;
+  std::size_t remaining = len;
+  for (const auto& seg : segs) {
+    if (remaining == 0) break;
+    if (skip >= seg.len) {
+      skip -= seg.len;
+      continue;
+    }
+    const std::size_t take =
+        std::min(seg.len - static_cast<std::size_t>(skip), remaining);
+    out.push_back({seg.addr + skip, take});
+    skip = 0;
+    remaining -= take;
+  }
+  if (remaining != 0) throw std::out_of_range("segment slice out of range");
+  return out;
+}
+
+Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
+         sim::Trace* trace)
+    : eng_{eng},
+      nic_{nic},
+      cfg_{cfg},
+      trace_{trace},
+      requests_{eng, cfg.request_queue_depth},
+      tx_mutex_{eng} {
+  eng_.spawn_daemon(tx_pump());
+  eng_.spawn_daemon(rx_pump());
+}
+
+std::string Mcp::comp() const { return nic_.name(); }
+
+void Mcp::register_port(Port* port) { ports_[port->id().port] = port; }
+
+void Mcp::unregister_port(std::uint32_t port_no) { ports_.erase(port_no); }
+
+Port* Mcp::find_port(std::uint32_t port_no) {
+  const auto it = ports_.find(port_no);
+  return it == ports_.end() ? nullptr : it->second;
+}
+
+TxSession& Mcp::tx_session(hw::NodeId dst) {
+  auto& s = tx_sessions_[dst];
+  if (!s) {
+    s = std::make_unique<TxSession>(eng_, nic_, cfg_.window, cfg_.rto);
+  }
+  return *s;
+}
+
+RxSession& Mcp::rx_session(hw::NodeId src) { return rx_sessions_[src]; }
+
+std::uint64_t Mcp::retransmissions() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, s] : tx_sessions_) n += s->retransmissions();
+  return n;
+}
+
+sim::Task<void> Mcp::tx_pump() {
+  for (;;) {
+    SendDescriptor d = co_await requests_.recv();
+    co_await send_message_locked(std::move(d));
+  }
+}
+
+sim::Task<void> Mcp::send_message_locked(SendDescriptor d) {
+  auto guard = co_await tx_mutex_.scoped();
+  co_await send_message(d);
+}
+
+sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
+  // An RMA read request is a single control packet regardless of the
+  // amount of data it asks for; the data flows in the reply.
+  const std::uint32_t frags =
+      d.op == SendOp::kRmaRead
+          ? 1
+          : static_cast<std::uint32_t>(std::max<std::uint64_t>(
+                1, (d.total_len + cfg_.mtu - 1) / cfg_.mtu));
+  if (d.extra_nic_cost > sim::Time::zero()) {
+    // User-level front ends push address translation onto the NIC.
+    co_await nic_.lanai().use(d.extra_nic_cost);
+  }
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * cfg_.mtu;
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(cfg_.mtu, d.total_len - off));
+
+    hw::Packet p;
+    p.id = next_packet_id_++;
+    p.dst_node = d.dst.node;
+    p.proto = kProto;
+    p.kind = d.op == SendOp::kRmaRead ? hw::PacketKind::kCtrl
+                                      : hw::PacketKind::kData;
+    p.dst_port = d.dst.port;
+    p.src_port = d.src.port;
+    p.channel = d.channel.encode();
+    p.op_flags = static_cast<std::uint16_t>(d.op);
+    p.reply_channel = d.reply_channel;
+    p.msg_id = d.msg_id;
+    p.frag_index = i;
+    p.frag_count = frags;
+    p.msg_bytes = d.total_len;
+    p.offset = d.rma_offset + off;
+
+    if (len > 0 && d.op != SendOp::kRmaRead) {
+      auto span = trace_ ? trace_->span(comp(), "nic-dma-host-to-nic", d.msg_id)
+                         : sim::Trace::Span{};
+      co_await nic_.dma_gather(slice_segments(d.segs, off, len), p.payload,
+                               cfg_.dma_lead_bytes);
+    }
+    {
+      auto span = trace_ ? trace_->span(comp(), "mcp-tx-proc", d.msg_id)
+                         : sim::Trace::Span{};
+      co_await nic_.lanai().use(cfg_.mcp_tx_proc);
+    }
+    if (cfg_.reliable) {
+      co_await tx_session(d.dst.node).send(std::move(p));
+    } else {
+      co_await nic_.transmit(std::move(p));
+    }
+  }
+  ++stats_.messages_sent;
+  // Local completion: the message is staged on the NIC (retransmission is
+  // the session's business); notify the sender through its event queue.
+  if (d.notify_sender) {
+    co_await deliver_send_event(find_port(d.src.port),
+                                SendEvent{d.msg_id, d.dst, true});
+  }
+}
+
+sim::Task<void> Mcp::rx_pump() {
+  for (;;) {
+    hw::Packet p = co_await nic_.rx().recv();
+    if (p.proto != kProto) continue;  // not ours
+    switch (p.kind) {
+      case hw::PacketKind::kAck:
+        co_await nic_.lanai().use(cfg_.mcp_ack_proc);
+        tx_session(p.src_node).on_ack(p.ack);
+        break;
+      case hw::PacketKind::kData:
+      case hw::PacketKind::kCtrl: {
+        ++stats_.data_packets_in;
+        {
+          auto span = trace_ ? trace_->span(comp(), "mcp-rx-proc", p.msg_id)
+                             : sim::Trace::Span{};
+          co_await nic_.lanai().use(cfg_.mcp_rx_proc);
+        }
+        if (p.corrupted) {
+          // CRC failure: drop; go-back-N recovers by timeout.
+          ++stats_.crc_drops;
+          break;
+        }
+        if (cfg_.reliable) {
+          auto& rx = rx_session(p.src_node);
+          if (!rx.accept(p.seq)) {
+            ++stats_.seq_drops;
+            // Duplicate / out-of-order: refresh the sender's view.
+            co_await send_ack(p.src_node, rx.ack_value());
+            break;
+          }
+          const hw::NodeId src = p.src_node;
+          const std::uint32_t ack = rx.ack_value();
+          const bool do_ack = (ack % static_cast<std::uint32_t>(
+                                         cfg_.ack_every)) == 0 ||
+                              p.frag_index + 1 == p.frag_count;
+          co_await handle_data(std::move(p));
+          if (do_ack) co_await send_ack(src, ack);
+        } else {
+          co_await handle_data(std::move(p));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+sim::Task<void> Mcp::handle_data(hw::Packet p) {
+  if (p.kind == hw::PacketKind::kCtrl &&
+      static_cast<SendOp>(p.op_flags) == SendOp::kRmaRead) {
+    co_await handle_rma_read(p);
+    co_return;
+  }
+  Port* port = find_port(p.dst_port);
+  if (port == nullptr) {
+    ++stats_.no_port_drops;
+    co_return;
+  }
+  const ChannelRef ch = ChannelRef::decode(p.channel);
+  const PortId src{p.src_node, p.src_port};
+  switch (ch.kind) {
+    case ChanKind::kSystem: {
+      auto& sys = port->system();
+      if (!sys.configured() || p.payload.size() > sys.slot_bytes ||
+          sys.free_slots.empty()) {
+        // Paper: "The incoming message will be discarded if there is no
+        // free buffer in the pool."
+        ++port->sys_drops;
+        co_return;
+      }
+      const int slot = sys.free_slots.front();
+      sys.free_slots.pop_front();
+      if (!p.payload.empty()) {
+        auto segs = slice_segments(
+            sys.slots[static_cast<std::size_t>(slot)], 0, p.payload.size());
+        auto span = trace_ ? trace_->span(comp(), "nic-dma-nic-to-host", p.msg_id)
+                           : sim::Trace::Span{};
+        co_await nic_.dma_scatter(p.payload, std::move(segs),
+                                  cfg_.dma_lead_bytes);
+      }
+      ++port->messages_received;
+      co_await deliver_recv_event(
+          *port, RecvEvent{p.msg_id, src, ch, p.payload.size(), slot});
+      break;
+    }
+    case ChanKind::kNormal: {
+      if (ch.index >= port->normal_count()) {
+        ++port->not_posted_drops;
+        co_return;
+      }
+      auto& st = port->normal(ch.index);
+      if (!st.posted || p.offset + p.payload.size() > st.buf.len) {
+        ++port->not_posted_drops;
+        co_return;
+      }
+      if (!p.payload.empty()) {
+        auto segs = slice_segments(st.segs, p.offset, p.payload.size());
+        auto span = trace_ ? trace_->span(comp(), "nic-dma-nic-to-host", p.msg_id)
+                           : sim::Trace::Span{};
+        co_await nic_.dma_scatter(p.payload, std::move(segs),
+                                  cfg_.dma_lead_bytes);
+      }
+      if (p.frag_index + 1 == p.frag_count) {
+        st.posted = false;  // rendezvous consumed
+        ++port->messages_received;
+        co_await deliver_recv_event(
+            *port, RecvEvent{p.msg_id, src, ch,
+                             static_cast<std::size_t>(p.msg_bytes), -1});
+      }
+      break;
+    }
+    case ChanKind::kOpen: {
+      // RMA write into the bound window.
+      co_await nic_.lanai().use(cfg_.mcp_rma_proc);
+      if (ch.index >= port->open_count()) {
+        ++port->rma_errors;
+        co_return;
+      }
+      auto& st = port->open(ch.index);
+      if (!st.bound || p.offset + p.payload.size() > st.buf.len) {
+        ++port->rma_errors;
+        co_return;
+      }
+      if (!p.payload.empty()) {
+        auto segs = slice_segments(st.segs, p.offset, p.payload.size());
+        co_await nic_.dma_scatter(p.payload, std::move(segs),
+                                  cfg_.dma_lead_bytes);
+      }
+      // RMA writes complete silently at the target.
+      break;
+    }
+  }
+}
+
+sim::Task<void> Mcp::handle_rma_read(const hw::Packet& p) {
+  co_await nic_.lanai().use(cfg_.mcp_rma_proc);
+  Port* port = find_port(p.dst_port);
+  const ChannelRef ch = ChannelRef::decode(p.channel);
+  if (port == nullptr || ch.kind != ChanKind::kOpen ||
+      ch.index >= port->open_count()) {
+    if (port) ++port->rma_errors;
+    co_return;
+  }
+  auto& st = port->open(ch.index);
+  if (!st.bound || p.offset + p.msg_bytes > st.buf.len) {
+    ++port->rma_errors;
+    co_return;
+  }
+  ++stats_.rma_reads_served;
+  // Reply: a normal-channel message back to the requester, sent through
+  // the regular tx path (serialized with local sends by the tx mutex).
+  SendDescriptor d;
+  d.msg_id = p.msg_id;
+  d.src = PortId{nic_.node(), p.dst_port};
+  d.dst = PortId{p.src_node, p.src_port};
+  d.channel = ChannelRef{ChanKind::kNormal, p.reply_channel};
+  d.op = SendOp::kSend;
+  d.segs = slice_segments(st.segs, p.offset,
+                          static_cast<std::size_t>(p.msg_bytes));
+  d.total_len = p.msg_bytes;
+  d.notify_sender = false;  // the target did not initiate a send
+  eng_.spawn_daemon(send_message_locked(std::move(d)));
+}
+
+sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack) {
+  ++stats_.acks_sent;
+  hw::Packet p;
+  p.id = next_packet_id_++;
+  p.dst_node = dst;
+  p.proto = kProto;
+  p.kind = hw::PacketKind::kAck;
+  p.ack = ack;
+  p.header_bytes = 16;
+  co_await nic_.lanai().use(cfg_.mcp_ack_proc);
+  co_await nic_.transmit(std::move(p));
+}
+
+sim::Task<void> Mcp::deliver_recv_event(Port& port, RecvEvent ev) {
+  auto span = trace_ ? trace_->span(comp(), "event-dma", ev.msg_id)
+                     : sim::Trace::Span{};
+  co_await nic_.lanai().use(cfg_.mcp_event_proc);
+  co_await eng_.sleep(cfg_.event_dma);
+  co_await port.recv_events().send(ev);
+}
+
+sim::Task<void> Mcp::deliver_send_event(Port* port, SendEvent ev) {
+  if (port == nullptr) co_return;  // RMA-read replies have no local sender
+  auto span = trace_ ? trace_->span(comp(), "event-dma-send", ev.msg_id)
+                     : sim::Trace::Span{};
+  co_await nic_.lanai().use(cfg_.mcp_event_proc);
+  co_await eng_.sleep(cfg_.event_dma);
+  co_await port->send_events().send(ev);
+}
+
+}  // namespace bcl

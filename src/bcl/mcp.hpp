@@ -1,0 +1,90 @@
+// MCP: the Message Control Program running on the NIC's LANai processor.
+//
+// Send side: polls the request queue the kernel module fills via PIO,
+// fragments messages at the MTU, gathers payload from pinned host pages by
+// DMA, and transmits through a go-back-N session per destination node.
+//
+// Receive side: verifies CRC, enforces in-order delivery, demultiplexes to
+// the destination port's channel (system pool slot / posted normal buffer /
+// open RMA window), scatters payload into user memory by DMA, and DMAs a
+// completion event into the user-space event queue — no host kernel, no
+// interrupt (the defining property of the semi-user-level architecture).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "bcl/config.hpp"
+#include "bcl/port.hpp"
+#include "bcl/reliable.hpp"
+#include "bcl/types.hpp"
+#include "hw/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+
+namespace bcl {
+
+// Slices a scatter/gather list to the physical range [off, off+len).
+std::vector<hw::PhysSegment> slice_segments(
+    const std::vector<hw::PhysSegment>& segs, std::uint64_t off,
+    std::size_t len);
+
+class Mcp {
+ public:
+  static constexpr std::uint16_t kProto = 1;
+
+  Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
+      sim::Trace* trace = nullptr);
+
+  // Port registry (NIC-resident port table).
+  void register_port(Port* port);
+  void unregister_port(std::uint32_t port_no);
+  Port* find_port(std::uint32_t port_no);
+
+  // The request queue the kernel module posts into.
+  sim::Channel<SendDescriptor>& requests() { return requests_; }
+
+  TxSession& tx_session(hw::NodeId dst);
+
+  struct Stats {
+    std::uint64_t data_packets_in = 0;
+    std::uint64_t crc_drops = 0;
+    std::uint64_t seq_drops = 0;
+    std::uint64_t no_port_drops = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t rma_reads_served = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint64_t retransmissions() const;
+
+ private:
+  sim::Task<void> tx_pump();
+  sim::Task<void> rx_pump();
+  sim::Task<void> send_message_locked(SendDescriptor d);
+  sim::Task<void> send_message(const SendDescriptor& d);
+  sim::Task<void> handle_data(hw::Packet p);
+  sim::Task<void> handle_rma_read(const hw::Packet& p);
+  sim::Task<void> send_ack(hw::NodeId dst, std::uint32_t ack);
+  sim::Task<void> deliver_recv_event(Port& port, RecvEvent ev);
+  sim::Task<void> deliver_send_event(Port* port, SendEvent ev);
+  RxSession& rx_session(hw::NodeId src);
+  std::string comp() const;
+
+  sim::Engine& eng_;
+  hw::Nic& nic_;
+  const CostConfig& cfg_;
+  sim::Trace* trace_;
+  sim::Channel<SendDescriptor> requests_;
+  sim::Mutex tx_mutex_;
+  std::map<std::uint32_t, Port*> ports_;
+  std::map<hw::NodeId, std::unique_ptr<TxSession>> tx_sessions_;
+  std::map<hw::NodeId, RxSession> rx_sessions_;
+  std::uint64_t next_packet_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace bcl

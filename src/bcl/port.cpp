@@ -1,0 +1,36 @@
+#include "bcl/port.hpp"
+
+namespace bcl {
+
+const char* to_string(BclErr e) {
+  switch (e) {
+    case BclErr::kOk:
+      return "ok";
+    case BclErr::kBadPid:
+      return "bad pid";
+    case BclErr::kBadBuffer:
+      return "bad buffer";
+    case BclErr::kBadTarget:
+      return "bad target";
+    case BclErr::kTooBig:
+      return "message too big for system channel";
+    case BclErr::kNotPosted:
+      return "no receive posted";
+    case BclErr::kNotBound:
+      return "open channel not bound";
+    case BclErr::kNoResources:
+      return "out of resources";
+  }
+  return "?";
+}
+
+Port::Port(sim::Engine& eng, PortId id, osk::Process& proc,
+           const CostConfig& cfg)
+    : id_{id},
+      proc_{proc},
+      send_events_{eng, cfg.event_queue_depth},
+      recv_events_{eng, cfg.event_queue_depth},
+      normal_(cfg.normal_channels),
+      open_(cfg.open_channels) {}
+
+}  // namespace bcl

@@ -1,0 +1,62 @@
+// A BCL port: the per-process communication endpoint state.
+//
+// Per the paper (section 2.2): each process creates exactly one port; a
+// port has a send request queue (in NIC memory), a receiving buffer pool
+// organized into channels, and send/receive event queues (in pinned user
+// memory, polled without kernel involvement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcl/channel.hpp"
+#include "bcl/config.hpp"
+#include "bcl/types.hpp"
+#include "osk/process.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+
+namespace bcl {
+
+class Port {
+ public:
+  Port(sim::Engine& eng, PortId id, osk::Process& proc,
+       const CostConfig& cfg);
+
+  PortId id() const { return id_; }
+  osk::Process& process() { return proc_; }
+
+  // Completion queues: written by the MCP via DMA, polled by the library.
+  sim::Channel<SendEvent>& send_events() { return send_events_; }
+  sim::Channel<RecvEvent>& recv_events() { return recv_events_; }
+
+  SystemChannelState& system() { return system_; }
+  NormalChannelState& normal(std::uint16_t i) {
+    return normal_.at(i);
+  }
+  OpenChannelState& open(std::uint16_t i) { return open_.at(i); }
+  std::uint16_t normal_count() const {
+    return static_cast<std::uint16_t>(normal_.size());
+  }
+  std::uint16_t open_count() const {
+    return static_cast<std::uint16_t>(open_.size());
+  }
+
+  // -- statistics ---------------------------------------------------------------
+  std::uint64_t sys_drops = 0;       // pool exhausted (paper: discard)
+  std::uint64_t not_posted_drops = 0;
+  std::uint64_t rma_errors = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t messages_sent = 0;
+
+ private:
+  PortId id_;
+  osk::Process& proc_;
+  sim::Channel<SendEvent> send_events_;
+  sim::Channel<RecvEvent> recv_events_;
+  SystemChannelState system_;
+  std::vector<NormalChannelState> normal_;
+  std::vector<OpenChannelState> open_;
+};
+
+}  // namespace bcl

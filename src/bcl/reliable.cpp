@@ -1,0 +1,51 @@
+#include "bcl/reliable.hpp"
+
+namespace bcl {
+
+sim::Task<void> TxSession::send(hw::Packet p) {
+  co_await window_.acquire();
+  p.seq = next_seq_++;
+  if (unacked_.empty()) last_progress_ = eng_.now();
+  unacked_.push_back(p);  // retransmit copy
+  arm_timer();
+  co_await nic_.transmit(std::move(p));
+}
+
+void TxSession::on_ack(std::uint32_t ack) {
+  std::int64_t released = 0;
+  while (!unacked_.empty() && unacked_.front().seq <= ack) {
+    unacked_.pop_front();
+    ++released;
+  }
+  if (released > 0) {
+    last_progress_ = eng_.now();
+    window_.release(released);
+  }
+}
+
+void TxSession::arm_timer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  eng_.spawn_daemon(timer());
+}
+
+sim::Task<void> TxSession::timer() {
+  co_await eng_.sleep(rto_);
+  timer_armed_ = false;
+  if (unacked_.empty()) co_return;  // all acked; let the engine drain
+  if (eng_.now() - last_progress_ >= rto_ && !retransmitting_) {
+    retransmitting_ = true;
+    // Go-back-N: resend the whole outstanding window in order.
+    const std::size_t n = unacked_.size();
+    for (std::size_t i = 0; i < n && i < unacked_.size(); ++i) {
+      hw::Packet copy = unacked_[i];
+      ++retransmissions_;
+      co_await nic_.transmit(std::move(copy));
+    }
+    last_progress_ = eng_.now();
+    retransmitting_ = false;
+  }
+  arm_timer();
+}
+
+}  // namespace bcl

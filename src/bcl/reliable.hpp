@@ -1,0 +1,68 @@
+// Go-back-N reliability sessions, one per ordered node pair, run by the MCP
+// on the NIC ("BCL performs data checking and guarantees reliable
+// transmission in the on-card control program", section 5.1).
+//
+// TxSession: sliding window, cumulative acks, timeout retransmission.
+// RxSession: in-order acceptance; out-of-order and corrupted packets drop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hw/nic.hpp"
+#include "hw/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace bcl {
+
+class TxSession {
+ public:
+  TxSession(sim::Engine& eng, hw::Nic& nic, int window, sim::Time rto)
+      : eng_{eng}, nic_{nic}, rto_{rto}, window_{eng, window} {}
+
+  // Stamps the next sequence number, records a retransmit copy, and
+  // transmits.  Blocks while the window is full.
+  sim::Task<void> send(hw::Packet p);
+
+  // Cumulative acknowledgement: releases everything with seq <= ack.
+  void on_ack(std::uint32_t ack);
+
+  std::size_t in_flight() const { return unacked_.size(); }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  void arm_timer();
+  sim::Task<void> timer();
+
+  sim::Engine& eng_;
+  hw::Nic& nic_;
+  sim::Time rto_;
+  sim::Semaphore window_;
+  std::deque<hw::Packet> unacked_;  // retransmit copies, seq order
+  std::uint32_t next_seq_ = 1;
+  sim::Time last_progress_ = sim::Time::zero();
+  bool timer_armed_ = false;
+  bool retransmitting_ = false;
+  std::uint64_t retransmissions_ = 0;
+};
+
+class RxSession {
+ public:
+  // True if the packet is the next expected one (accept it); false means
+  // drop (duplicate or out of order after a loss).
+  bool accept(std::uint32_t seq) {
+    if (seq != expected_) return false;
+    ++expected_;
+    return true;
+  }
+  // Highest in-order sequence received (cumulative ack value).
+  std::uint32_t ack_value() const { return expected_ - 1; }
+
+ private:
+  std::uint32_t expected_ = 1;
+};
+
+}  // namespace bcl

@@ -1,0 +1,45 @@
+#include "bcl/stack.hpp"
+
+#include <stdexcept>
+
+namespace bcl {
+
+NodeStack::NodeStack(sim::Engine& eng, hw::NodeId id,
+                     const ClusterConfig& cfg, sim::Trace* trace)
+    : eng_{eng},
+      cfg_{cfg},
+      trace_{trace},
+      node_{eng, id, cfg.node},
+      kernel_{eng, node_, cfg.kernel},
+      mcp_{eng, node_.nic(), cfg.cost, trace},
+      driver_{kernel_, mcp_, cfg.cost, cfg.nodes, trace},
+      intra_{eng, kernel_, cfg.cost} {}
+
+Endpoint& NodeStack::open_endpoint() {
+  if (next_port_ >= cfg_.cost.max_ports) {
+    throw std::runtime_error("all BCL ports on this node are in use");
+  }
+  auto& proc = kernel_.create_process();
+  const PortId pid{node_.id(), next_port_++};
+  auto port = std::make_unique<Port>(eng_, pid, proc, cfg_.cost);
+  if (driver_.setup_system_channel(proc, *port, cfg_.cost.sys_slots,
+                                   cfg_.cost.sys_slot_bytes) != BclErr::kOk) {
+    throw std::runtime_error("system channel setup failed");
+  }
+  endpoints_.push_back(std::make_unique<Endpoint>(
+      eng_, cfg_.cost, driver_, mcp_, intra_, proc, std::move(port), trace_));
+  return *endpoints_.back();
+}
+
+BclCluster::BclCluster(const ClusterConfig& cfg)
+    : cfg_{cfg}, trace_{eng_} {
+  fabric_ = hw::make_fabric(eng_, cfg_.nodes, cfg_.fabric);
+  stacks_.reserve(cfg_.nodes);
+  for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+    stacks_.push_back(
+        std::make_unique<NodeStack>(eng_, i, cfg_, &trace_));
+    fabric_->attach(i, stacks_.back()->node().nic());
+  }
+}
+
+}  // namespace bcl

@@ -1,0 +1,73 @@
+// Assembly: one NodeStack per node (hardware + kernel + MCP + driver +
+// intra-node manager), and BclCluster wiring N stacks through a fabric.
+// This is the top of the core library's public API: build a cluster, open
+// endpoints, spawn application coroutines, run the engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bcl/config.hpp"
+#include "bcl/library.hpp"
+#include "hw/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace bcl {
+
+class NodeStack {
+ public:
+  NodeStack(sim::Engine& eng, hw::NodeId id, const ClusterConfig& cfg,
+            sim::Trace* trace);
+
+  hw::Node& node() { return node_; }
+  osk::Kernel& kernel() { return kernel_; }
+  Mcp& mcp() { return mcp_; }
+  Driver& driver() { return driver_; }
+  IntraNode& intra() { return intra_; }
+
+  // Creates a process plus its (single) BCL port, with the system-channel
+  // pool configured.  Initialization is untimed (not on any measured path).
+  Endpoint& open_endpoint();
+
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+  Endpoint& endpoint(std::size_t i) { return *endpoints_.at(i); }
+
+ private:
+  sim::Engine& eng_;
+  const ClusterConfig& cfg_;
+  sim::Trace* trace_;
+  hw::Node node_;
+  osk::Kernel kernel_;
+  Mcp mcp_;
+  Driver driver_;
+  IntraNode intra_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::uint32_t next_port_ = 0;
+};
+
+class BclCluster {
+ public:
+  explicit BclCluster(const ClusterConfig& cfg = {});
+
+  sim::Engine& engine() { return eng_; }
+  sim::Trace& trace() { return trace_; }
+  const ClusterConfig& config() const { return cfg_; }
+  std::uint32_t nodes() const { return cfg_.nodes; }
+  NodeStack& node(hw::NodeId id) { return *stacks_.at(id); }
+  hw::Fabric& fabric() { return *fabric_; }
+
+  Endpoint& open_endpoint(hw::NodeId node_id) {
+    return node(node_id).open_endpoint();
+  }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Engine eng_;
+  sim::Trace trace_;
+  std::unique_ptr<hw::Fabric> fabric_;
+  std::vector<std::unique_ptr<NodeStack>> stacks_;
+};
+
+}  // namespace bcl

@@ -1,0 +1,102 @@
+// Public BCL types: port/channel identifiers, events, error codes,
+// and the send descriptor the kernel module posts to the NIC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/memory.hpp"
+#include "hw/packet.hpp"
+#include "sim/time.hpp"
+
+namespace bcl {
+
+// The pair (node, port) uniquely identifies a process (section 2.2).
+struct PortId {
+  hw::NodeId node = 0;
+  std::uint32_t port = 0;
+  auto operator<=>(const PortId&) const = default;
+};
+
+enum class ChanKind : std::uint8_t {
+  kSystem = 0,  // small messages, FIFO pool, drop on overflow
+  kNormal = 1,  // rendezvous: receiver posts a buffer first
+  kOpen = 2,    // RMA window
+};
+
+struct ChannelRef {
+  ChanKind kind = ChanKind::kSystem;
+  std::uint16_t index = 0;
+
+  std::uint32_t encode() const {
+    return (static_cast<std::uint32_t>(kind) << 16) | index;
+  }
+  static ChannelRef decode(std::uint32_t v) {
+    return {static_cast<ChanKind>((v >> 16) & 0xff),
+            static_cast<std::uint16_t>(v & 0xffff)};
+  }
+  auto operator<=>(const ChannelRef&) const = default;
+};
+
+enum class BclErr : std::uint8_t {
+  kOk = 0,
+  kBadPid,       // caller identity mismatch
+  kBadBuffer,    // unmapped / foreign buffer
+  kBadTarget,    // node, port, or channel out of range
+  kTooBig,       // message exceeds a system-channel slot
+  kNotPosted,    // normal channel has no posted receive
+  kNotBound,     // open channel has no bound window
+  kNoResources,  // queue/pin-table exhaustion
+};
+
+const char* to_string(BclErr e);
+
+// Minimal expected-like return for ioctls: value is valid iff err == kOk.
+template <typename T>
+struct Result {
+  T value{};
+  BclErr err = BclErr::kOk;
+  bool ok() const { return err == BclErr::kOk; }
+};
+
+// Completion events (DMA'd by the MCP into user-space completion queues).
+struct SendEvent {
+  std::uint64_t msg_id = 0;
+  PortId dst{};
+  bool ok = true;
+};
+
+struct RecvEvent {
+  std::uint64_t msg_id = 0;
+  PortId src{};
+  ChannelRef channel{};
+  std::size_t len = 0;
+  int sys_slot = -1;  // system-channel pool slot holding the payload
+};
+
+// Operation requested of the NIC.
+enum class SendOp : std::uint8_t { kSend = 0, kRmaWrite, kRmaRead };
+
+// What the kernel module writes (via PIO) into the NIC request queue.
+struct SendDescriptor {
+  std::uint64_t msg_id = 0;
+  PortId src{};
+  PortId dst{};
+  ChannelRef channel{};
+  SendOp op = SendOp::kSend;
+  std::vector<hw::PhysSegment> segs;  // pinned source pages (empty for reads)
+  std::uint64_t total_len = 0;
+  std::uint64_t rma_offset = 0;       // target window offset for RMA
+  std::uint16_t reply_channel = 0;    // requester's normal channel for reads
+  bool notify_sender = true;          // false for MCP-internal sends
+  // Extra LANai work attached by user-level front ends (address-translation
+  // cache lookups happen on the NIC there, in the kernel here).
+  sim::Time extra_nic_cost = sim::Time::zero();
+
+  // Descriptor size on the wire to the NIC, in 32-bit PIO words.
+  int pio_words(int base_words, int words_per_seg) const {
+    return base_words + words_per_seg * static_cast<int>(segs.size());
+  }
+};
+
+}  // namespace bcl

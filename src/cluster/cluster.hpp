@@ -1,0 +1,64 @@
+// World: the top-level convenience for applications — a BCL cluster with
+// one process per rank, an EADI device per process, and MPI/PVM handles on
+// top.  Examples and benches build a World, spawn one coroutine per rank,
+// and run the engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bcl/bcl.hpp"
+#include "eadi/eadi.hpp"
+#include "minimpi/mpi.hpp"
+#include "minipvm/pvm.hpp"
+
+namespace cluster {
+
+enum class Placement {
+  kRoundRobin,  // rank r on node r % nodes (spreads across nodes)
+  kPacked,      // fill each node's CPUs before moving on
+};
+
+struct WorldConfig {
+  bcl::ClusterConfig cluster{};
+  eadi::DeviceConfig device{};
+  minimpi::MpiConfig mpi{};
+  minipvm::PvmConfig pvm{};
+  Placement placement = Placement::kRoundRobin;
+};
+
+class World {
+ public:
+  World(const WorldConfig& cfg, int nprocs);
+
+  sim::Engine& engine() { return cluster_.engine(); }
+  bcl::BclCluster& cluster() { return cluster_; }
+  int nprocs() const { return static_cast<int>(ranks_.size()); }
+
+  bcl::Endpoint& endpoint(int rank) { return *ranks_.at(rank).ep; }
+  eadi::Device& device(int rank) { return *ranks_.at(rank).dev; }
+  minimpi::Mpi& mpi(int rank) { return *ranks_.at(rank).mpi; }
+  minipvm::Pvm& pvm(int rank);  // created on first use (big pack buffers)
+
+  hw::NodeId node_of(int rank) const { return ranks_.at(rank).node; }
+
+  // Spawns `app` once per rank and runs the engine to completion.
+  void run(std::function<sim::Task<void>(World&, int rank)> app);
+  void run_mpi(std::function<sim::Task<void>(minimpi::Mpi&)> app);
+
+ private:
+  struct Rank {
+    hw::NodeId node = 0;
+    bcl::Endpoint* ep = nullptr;
+    std::unique_ptr<eadi::Device> dev;
+    std::unique_ptr<minimpi::Mpi> mpi;
+    std::unique_ptr<minipvm::Pvm> pvm;
+  };
+
+  WorldConfig cfg_;
+  bcl::BclCluster cluster_;
+  std::vector<Rank> ranks_;
+};
+
+}  // namespace cluster

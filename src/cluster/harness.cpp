@@ -1,0 +1,386 @@
+#include "cluster/harness.hpp"
+
+#include <stdexcept>
+
+namespace harness {
+
+namespace {
+
+using bcl::BclErr;
+using bcl::ChanKind;
+using bcl::ChannelRef;
+using bcl::Endpoint;
+using bcl::PortId;
+using sim::Task;
+using sim::Time;
+
+// Sender side of the timed one-way exchange: per trial, wait for the
+// receiver's ready token, then send the payload and record the start time.
+Task<void> bcl_tx(sim::Engine& eng, Endpoint& ep, PortId dst,
+                  std::size_t bytes, bool normal, int trials,
+                  std::vector<Time>& starts) {
+  auto payload = ep.process().alloc(std::max<std::size_t>(bytes, 1));
+  ep.process().fill_pattern(payload, 1);
+  for (int t = 0; t < trials; ++t) {
+    auto ready = co_await ep.wait_recv();
+    (void)co_await ep.copy_out_system(ready);
+    starts.push_back(eng.now());
+    const ChannelRef ch = normal ? ChannelRef{ChanKind::kNormal, 0}
+                                 : ChannelRef{ChanKind::kSystem, 0};
+    auto r = co_await ep.send(dst, ch, payload, bytes);
+    if (!r.ok()) throw std::runtime_error("harness: send failed");
+    (void)co_await ep.wait_send();
+  }
+}
+
+Task<void> bcl_rx(sim::Engine& eng, Endpoint& ep, PortId back,
+                  std::size_t bytes, bool normal, int trials,
+                  std::vector<Time>& ends) {
+  auto token = ep.process().alloc(1);
+  auto rbuf = ep.process().alloc(std::max<std::size_t>(bytes, 1));
+  for (int t = 0; t < trials; ++t) {
+    if (normal) {
+      const BclErr err = co_await ep.post_recv(0, rbuf);
+      if (err != BclErr::kOk) throw std::runtime_error("harness: post failed");
+    }
+    auto r = co_await ep.send_system(back, token, 0);  // ready token
+    if (!r.ok()) throw std::runtime_error("harness: token failed");
+    (void)co_await ep.wait_send();
+    auto ev = co_await ep.wait_recv();
+    ends.push_back(eng.now());
+    if (ev.channel.kind == ChanKind::kSystem) {
+      (void)co_await ep.copy_out_system(ev);
+    }
+  }
+}
+
+double average_oneway(const std::vector<Time>& starts,
+                      const std::vector<Time>& ends, int trials) {
+  // Skip the first (cold) trial.
+  double sum = 0.0;
+  int n = 0;
+  for (int t = 1; t < trials; ++t) {
+    sum += (ends[static_cast<std::size_t>(t)] -
+            starts[static_cast<std::size_t>(t)])
+               .to_us();
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace
+
+LatencyPoint bcl_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                        bool intra, int trials) {
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(intra ? 0 : 1);
+  const bool normal = bytes > cfg.cost.sys_slot_bytes;
+  std::vector<Time> starts, ends;
+  c.engine().spawn(
+      bcl_tx(c.engine(), tx, rx.id(), bytes, normal, trials, starts));
+  c.engine().spawn(
+      bcl_rx(c.engine(), rx, tx.id(), bytes, normal, trials, ends));
+  c.engine().run();
+  return LatencyPoint{bytes, average_oneway(starts, ends, trials)};
+}
+
+namespace {
+
+Task<void> mpi_tx(sim::Engine& eng, minimpi::Mpi& me, std::size_t bytes,
+                  int trials, std::vector<Time>& starts) {
+  auto payload = me.process().alloc(std::max<std::size_t>(bytes, 1));
+  auto token = me.process().alloc(1);
+  for (int t = 0; t < trials; ++t) {
+    (void)co_await me.recv(token, 1, /*tag=*/77);  // ready token
+    starts.push_back(eng.now());
+    co_await me.send(payload, bytes, 1, /*tag=*/5);
+  }
+}
+
+Task<void> mpi_rx(sim::Engine& eng, minimpi::Mpi& me, std::size_t bytes,
+                  int trials, std::vector<Time>& ends) {
+  auto rbuf = me.process().alloc(std::max<std::size_t>(bytes, 1));
+  auto token = me.process().alloc(1);
+  for (int t = 0; t < trials; ++t) {
+    co_await me.send(token, 0, 0, /*tag=*/77);
+    (void)co_await me.recv(rbuf, 0, /*tag=*/5);
+    ends.push_back(eng.now());
+  }
+}
+
+Task<void> pvm_tx(sim::Engine& eng, minipvm::Pvm& me, std::size_t bytes,
+                  int trials, std::vector<Time>& starts) {
+  std::vector<std::byte> payload(bytes, std::byte{0x3C});
+  for (int t = 0; t < trials; ++t) {
+    (void)co_await me.recv(1, /*tag=*/77);
+    starts.push_back(eng.now());
+    me.initsend();
+    if (bytes > 0) co_await me.pkbytes(payload);
+    co_await me.send(1, /*tag=*/5);
+  }
+}
+
+Task<void> pvm_rx(sim::Engine& eng, minipvm::Pvm& me, std::size_t bytes,
+                  int trials, std::vector<Time>& ends) {
+  (void)bytes;
+  for (int t = 0; t < trials; ++t) {
+    me.initsend();
+    co_await me.send(0, /*tag=*/77);
+    (void)co_await me.recv(0, /*tag=*/5);
+    ends.push_back(eng.now());
+  }
+}
+
+}  // namespace
+
+LatencyPoint mpi_oneway(const cluster::WorldConfig& cfg, std::size_t bytes,
+                        bool intra, int trials) {
+  cluster::WorldConfig wc = cfg;
+  wc.cluster.nodes = intra ? 1 : 2;
+  cluster::World w{wc, 2};
+  std::vector<Time> starts, ends;
+  w.engine().spawn(mpi_tx(w.engine(), w.mpi(0), bytes, trials, starts));
+  w.engine().spawn(mpi_rx(w.engine(), w.mpi(1), bytes, trials, ends));
+  w.engine().run();
+  return LatencyPoint{bytes, average_oneway(starts, ends, trials)};
+}
+
+LatencyPoint pvm_oneway(const cluster::WorldConfig& cfg, std::size_t bytes,
+                        bool intra, int trials) {
+  cluster::WorldConfig wc = cfg;
+  wc.cluster.nodes = intra ? 1 : 2;
+  cluster::World w{wc, 2};
+  std::vector<Time> starts, ends;
+  w.engine().spawn(pvm_tx(w.engine(), w.pvm(0), bytes, trials, starts));
+  w.engine().spawn(pvm_rx(w.engine(), w.pvm(1), bytes, trials, ends));
+  w.engine().run();
+  return LatencyPoint{bytes, average_oneway(starts, ends, trials)};
+}
+
+}  // namespace harness
+
+// ---------------------------------------------------------------------------
+// Comparison-protocol meters (Tables 1, 2 and Fig. 7).
+// ---------------------------------------------------------------------------
+
+#include "baselines/am2.hpp"
+#include "baselines/bip.hpp"
+#include "baselines/kernel_level.hpp"
+#include "baselines/user_level.hpp"
+
+namespace harness {
+
+namespace {
+
+using sim::Task;
+using sim::Time;
+
+Task<void> ul_tx(sim::Engine& eng, baseline::UlEndpoint& ep, bcl::PortId dst,
+                 std::size_t bytes, int trials, std::vector<Time>& starts) {
+  auto payload = ep.process().alloc(std::max<std::size_t>(bytes, 1));
+  for (int t = 0; t < trials; ++t) {
+    auto ready = co_await ep.wait_recv();
+    (void)co_await ep.copy_out_system(ready);
+    starts.push_back(eng.now());
+    const bcl::ChannelRef ch =
+        bytes > ep.port().system().slot_bytes
+            ? bcl::ChannelRef{bcl::ChanKind::kNormal, 0}
+            : bcl::ChannelRef{bcl::ChanKind::kSystem, 0};
+    auto r = co_await ep.send(dst, ch, payload, bytes);
+    if (!r.ok()) throw std::runtime_error("harness: ul send failed");
+    (void)co_await ep.wait_send();
+  }
+}
+
+Task<void> ul_rx(sim::Engine& eng, baseline::UlEndpoint& ep, bcl::PortId back,
+                 std::size_t bytes, int trials, std::vector<Time>& ends) {
+  auto token = ep.process().alloc(1);
+  auto rbuf = ep.process().alloc(std::max<std::size_t>(bytes, 1));
+  const bool normal = bytes > ep.port().system().slot_bytes;
+  for (int t = 0; t < trials; ++t) {
+    if (normal) {
+      if (co_await ep.post_recv(0, rbuf) != bcl::BclErr::kOk) {
+        throw std::runtime_error("harness: ul post failed");
+      }
+    }
+    (void)co_await ep.send_system(back, token, 0);
+    (void)co_await ep.wait_send();
+    auto ev = co_await ep.wait_recv();
+    ends.push_back(eng.now());
+    if (ev.channel.kind == bcl::ChanKind::kSystem) {
+      (void)co_await ep.copy_out_system(ev);
+    }
+  }
+}
+
+}  // namespace
+
+LatencyPoint ul_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                       int trials) {
+  baseline::UlCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  std::vector<Time> starts, ends;
+  c.engine().spawn(ul_tx(c.engine(), tx, rx.id(), bytes, trials, starts));
+  c.engine().spawn(ul_rx(c.engine(), rx, tx.id(), bytes, trials, ends));
+  c.engine().run();
+  return LatencyPoint{bytes, average_oneway(starts, ends, trials)};
+}
+
+LatencyPoint kl_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                       int trials) {
+  baseline::Testbed tb{2, cfg.node, cfg.kernel, cfg.fabric};
+  baseline::KlNet net{tb};
+  auto& tx = net.open(0);
+  auto& rx = net.open(1);
+  std::vector<Time> starts, ends;
+  tb.eng.spawn([](sim::Engine& eng, baseline::KlSocket& me,
+                  baseline::KlSocket& peer, std::size_t bytes, int trials,
+                  std::vector<Time>& starts) -> Task<void> {
+    auto payload = me.process().alloc(std::max<std::size_t>(bytes, 1));
+    auto token = me.process().alloc(1);
+    for (int t = 0; t < trials; ++t) {
+      (void)co_await me.recv(token);
+      starts.push_back(eng.now());
+      co_await me.send(peer.node(), peer.port(), payload, bytes);
+    }
+  }(tb.eng, tx, rx, bytes, trials, starts));
+  tb.eng.spawn([](sim::Engine& eng, baseline::KlSocket& me,
+                  baseline::KlSocket& peer, std::size_t bytes, int trials,
+                  std::vector<Time>& ends) -> Task<void> {
+    auto rbuf = me.process().alloc(std::max<std::size_t>(bytes, 1));
+    auto token = me.process().alloc(1);
+    for (int t = 0; t < trials; ++t) {
+      co_await me.send(peer.node(), peer.port(), token, 0);
+      (void)co_await me.recv(rbuf);
+      ends.push_back(eng.now());
+    }
+  }(tb.eng, rx, tx, bytes, trials, ends));
+  tb.eng.run();
+  return LatencyPoint{bytes, average_oneway(starts, ends, trials)};
+}
+
+LatencyPoint am2_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                        int trials) {
+  baseline::Testbed tb{2, cfg.node, cfg.kernel, cfg.fabric};
+  baseline::Am2Net net{tb};
+  auto& tx = net.open(0);
+  auto& rx = net.open(1);
+  std::vector<Time> starts, ends;
+  tb.eng.spawn([](sim::Engine& eng, baseline::Am2Endpoint& me,
+                  baseline::Am2Endpoint& peer, std::size_t bytes, int trials,
+                  std::vector<Time>& starts) -> Task<void> {
+    auto payload = me.process().alloc(std::max<std::size_t>(bytes, 1));
+    for (int t = 0; t < trials; ++t) {
+      (void)co_await me.recv();
+      starts.push_back(eng.now());
+      co_await me.send(peer.node(), peer.port(), payload, bytes);
+    }
+  }(tb.eng, tx, rx, bytes, trials, starts));
+  tb.eng.spawn([](sim::Engine& eng, baseline::Am2Endpoint& me,
+                  baseline::Am2Endpoint& peer, int trials,
+                  std::vector<Time>& ends) -> Task<void> {
+    auto token = me.process().alloc(1);
+    for (int t = 0; t < trials; ++t) {
+      co_await me.send(peer.node(), peer.port(), token, 0);
+      (void)co_await me.recv();
+      ends.push_back(eng.now());
+    }
+  }(tb.eng, rx, tx, trials, ends));
+  tb.eng.run();
+  return LatencyPoint{bytes, average_oneway(starts, ends, trials)};
+}
+
+LatencyPoint bip_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                        int trials) {
+  baseline::Testbed tb{2, cfg.node, cfg.kernel, cfg.fabric};
+  baseline::BipNet net{tb};
+  auto& tx = net.open(0);
+  auto& rx = net.open(1);
+  std::vector<Time> starts, ends;
+  tb.eng.spawn([](sim::Engine& eng, baseline::BipEndpoint& me,
+                  baseline::BipEndpoint& peer, std::size_t bytes, int trials,
+                  std::vector<Time>& starts) -> Task<void> {
+    auto payload = me.process().alloc(std::max<std::size_t>(bytes, 1));
+    auto token_buf = me.process().alloc(16);
+    for (int t = 0; t < trials; ++t) {
+      me.post_recv(token_buf);
+      (void)co_await me.recv();  // ready token
+      starts.push_back(eng.now());
+      co_await me.send(peer.node(), peer.port(), payload, bytes);
+    }
+  }(tb.eng, tx, rx, bytes, trials, starts));
+  tb.eng.spawn([](sim::Engine& eng, baseline::BipEndpoint& me,
+                  baseline::BipEndpoint& peer, std::size_t bytes, int trials,
+                  std::vector<Time>& ends) -> Task<void> {
+    auto rbuf = me.process().alloc(std::max<std::size_t>(bytes, 1));
+    auto token = me.process().alloc(1);
+    for (int t = 0; t < trials; ++t) {
+      me.post_recv(rbuf);
+      co_await me.send(peer.node(), peer.port(), token, 0);
+      (void)co_await me.recv();
+      ends.push_back(eng.now());
+    }
+  }(tb.eng, rx, tx, bytes, trials, ends));
+  tb.eng.run();
+  return LatencyPoint{bytes, average_oneway(starts, ends, trials)};
+}
+
+ArchCounters bcl_arch_counters(const bcl::ClusterConfig& cfg) {
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn([](bcl::Endpoint& tx, bcl::PortId dst) -> Task<void> {
+    auto buf = tx.process().alloc(64);
+    (void)co_await tx.send_system(dst, buf, 64);
+    (void)co_await tx.wait_send();
+  }(tx, rx.id()));
+  c.engine().spawn([](bcl::Endpoint& rx) -> Task<void> {
+    auto ev = co_await rx.wait_recv();
+    (void)co_await rx.copy_out_system(ev);
+  }(rx));
+  c.engine().run();
+  return ArchCounters{c.node(0).kernel().traps(), c.node(1).kernel().traps(),
+                      c.node(1).kernel().interrupts().total()};
+}
+
+ArchCounters ul_arch_counters(const bcl::ClusterConfig& cfg) {
+  baseline::UlCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn([](baseline::UlEndpoint& tx, bcl::PortId dst)
+                       -> Task<void> {
+    auto buf = tx.process().alloc(64);
+    (void)co_await tx.send_system(dst, buf, 64);
+    (void)co_await tx.wait_send();
+  }(tx, rx.id()));
+  c.engine().spawn([](baseline::UlEndpoint& rx) -> Task<void> {
+    auto ev = co_await rx.wait_recv();
+    (void)co_await rx.copy_out_system(ev);
+  }(rx));
+  c.engine().run();
+  return ArchCounters{c.traps(0), c.traps(1),
+                      c.bcl().node(1).kernel().interrupts().total()};
+}
+
+ArchCounters kl_arch_counters(const bcl::ClusterConfig& cfg) {
+  baseline::Testbed tb{2, cfg.node, cfg.kernel, cfg.fabric};
+  baseline::KlNet net{tb};
+  auto& tx = net.open(0);
+  auto& rx = net.open(1);
+  tb.eng.spawn([](baseline::KlSocket& tx, baseline::KlSocket& rx)
+                   -> Task<void> {
+    auto buf = tx.process().alloc(64);
+    co_await tx.send(rx.node(), rx.port(), buf, 64);
+  }(tx, rx));
+  tb.eng.spawn([](baseline::KlSocket& rx) -> Task<void> {
+    auto buf = rx.process().alloc(64);
+    (void)co_await rx.recv(buf);
+  }(rx));
+  tb.eng.run();
+  return ArchCounters{tb.kernels[0]->traps(), tb.kernels[1]->traps(),
+                      tb.kernels[1]->interrupts().total()};
+}
+
+}  // namespace harness

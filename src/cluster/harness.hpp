@@ -1,0 +1,58 @@
+// Measurement harness: the ping-pong / one-way / streaming procedures every
+// bench uses, at each layer of the stack (raw BCL, MPI, PVM).
+//
+// Latency(n) is the warm one-way time of a single n-byte message (timed
+// from just before the send call to receive-event completion).  Following
+// the paper's own arithmetic ("only 4.17us is added to 898us transfer time
+// when transferring a 128KB-length message"), bandwidth(n) = n /
+// latency(n).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+
+namespace harness {
+
+struct LatencyPoint {
+  std::size_t bytes = 0;
+  double oneway_us = 0.0;
+  double bandwidth_mbps() const {
+    return oneway_us > 0.0 ? bytes / oneway_us : 0.0;
+  }
+};
+
+// -- raw BCL ---------------------------------------------------------------------
+// One-way latency between two endpoints; intra == true puts both on node 0.
+// Uses the system channel for sizes that fit a pool slot, a pre-posted
+// normal channel otherwise (the posting is off the timed path).
+LatencyPoint bcl_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                        bool intra, int trials = 4);
+
+// -- MPI / PVM over BCL ------------------------------------------------------------
+LatencyPoint mpi_oneway(const cluster::WorldConfig& cfg, std::size_t bytes,
+                        bool intra, int trials = 4);
+LatencyPoint pvm_oneway(const cluster::WorldConfig& cfg, std::size_t bytes,
+                        bool intra, int trials = 4);
+
+// -- comparison protocols (Tables 1, 2 and Fig. 7) ---------------------------------
+LatencyPoint ul_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                       int trials = 4);
+LatencyPoint kl_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                       int trials = 4);
+LatencyPoint am2_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                        int trials = 4);
+LatencyPoint bip_oneway(const bcl::ClusterConfig& cfg, std::size_t bytes,
+                        int trials = 4);
+
+// Architecture counters for Table 1: one warm send+receive, then report.
+struct ArchCounters {
+  std::uint64_t send_traps = 0;   // at the sending node
+  std::uint64_t recv_traps = 0;   // at the receiving node
+  std::uint64_t interrupts = 0;   // at the receiving node
+};
+ArchCounters bcl_arch_counters(const bcl::ClusterConfig& cfg);
+ArchCounters ul_arch_counters(const bcl::ClusterConfig& cfg);
+ArchCounters kl_arch_counters(const bcl::ClusterConfig& cfg);
+
+}  // namespace harness

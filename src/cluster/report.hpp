@@ -1,0 +1,39 @@
+// Post-run resource reporting: where did the time go?
+//
+// Collects busy-time/utilization for every modelled resource in a BCL
+// cluster (CPU cores, PCI buses, LANai processors) plus protocol counters,
+// and renders a table.  Useful when diagnosing which stage bounds a
+// workload (the paper's section 5.4 discussion in tool form).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bcl/bcl.hpp"
+
+namespace cluster {
+
+struct ResourceUsage {
+  std::string name;
+  double busy_us = 0.0;
+  double utilization = 0.0;  // busy / elapsed
+  std::uint64_t uses = 0;
+};
+
+struct ClusterReport {
+  double elapsed_us = 0.0;
+  std::vector<ResourceUsage> resources;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t packets_in = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t kernel_traps = 0;
+  std::uint64_t security_rejects = 0;
+
+  std::string to_string() const;
+};
+
+// Snapshot of `cluster` at the current simulated time.
+ClusterReport collect_report(bcl::BclCluster& cluster);
+
+}  // namespace cluster

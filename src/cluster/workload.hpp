@@ -1,0 +1,22 @@
+// Synthetic communication workloads for tests and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+
+namespace cluster::workload {
+
+// Random-shift traffic: every round each rank sends one `bytes`-byte
+// message to (rank + shift) % n and receives the matching one, with the
+// shift drawn per round from a shared seeded RNG.  Exercises concurrent
+// traffic through switches without unmatched sends.
+sim::Task<void> shift_traffic(minimpi::Mpi& me, int rounds,
+                              std::size_t bytes, std::uint64_t seed);
+
+// Bulk-synchronous compute/exchange loop: compute for `compute_us`, then
+// exchange halos with both ring neighbours, `rounds` times.
+sim::Task<void> bsp_ring(minimpi::Mpi& me, int rounds, std::size_t bytes,
+                         double compute_us);
+
+}  // namespace cluster::workload

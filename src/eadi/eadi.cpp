@@ -1,0 +1,329 @@
+#include "eadi/eadi.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace eadi {
+
+Device::Device(sim::Engine& eng, bcl::Endpoint& ep, const DeviceConfig& cfg)
+    : eng_{eng},
+      ep_{ep},
+      cfg_{cfg},
+      eager_threshold_{0},
+      staging_free_{eng, static_cast<std::size_t>(cfg.staging_buffers)},
+      free_channels_{eng, ep.port().normal_count()} {
+  const std::size_t slot = ep_.port().system().slot_bytes;
+  if (slot <= cfg_.envelope_bytes) {
+    throw std::invalid_argument("system slot smaller than the envelope");
+  }
+  eager_threshold_ = slot - cfg_.envelope_bytes;
+  for (int i = 0; i < cfg_.staging_buffers; ++i) {
+    staging_.push_back(ep_.process().alloc(slot));
+    (void)staging_free_.try_send(i);
+  }
+  for (std::uint16_t c = 0; c < ep_.port().normal_count(); ++c) {
+    (void)free_channels_.try_send(c);
+  }
+  eng_.spawn_daemon(progress());
+  eng_.spawn_daemon(drain_send_events());
+}
+
+Device::~Device() = default;
+
+void Device::encode(const Envelope& env, std::span<std::byte> out) {
+  std::memset(out.data(), 0, out.size());
+  std::memcpy(out.data() + 0, &env.kind, 1);
+  std::memcpy(out.data() + 2, &env.channel, 2);
+  std::memcpy(out.data() + 4, &env.tag, 4);
+  std::memcpy(out.data() + 8, &env.context, 4);
+  std::memcpy(out.data() + 12, &env.len, 8);
+  std::memcpy(out.data() + 20, &env.xid, 8);
+  // offset packed into the remaining 4 bytes (chunks are < 4 GiB).
+  const std::uint32_t off32 = static_cast<std::uint32_t>(env.offset);
+  std::memcpy(out.data() + 28, &off32, 4);
+}
+
+Device::Envelope Device::decode(std::span<const std::byte> in) {
+  Envelope env;
+  std::memcpy(&env.kind, in.data() + 0, 1);
+  std::memcpy(&env.channel, in.data() + 2, 2);
+  std::memcpy(&env.tag, in.data() + 4, 4);
+  std::memcpy(&env.context, in.data() + 8, 4);
+  std::memcpy(&env.len, in.data() + 12, 8);
+  std::memcpy(&env.xid, in.data() + 20, 8);
+  std::uint32_t off32 = 0;
+  std::memcpy(&off32, in.data() + 28, 4);
+  env.offset = off32;
+  return env;
+}
+
+bool Device::matches(const PostedRecv& p, const Envelope& env,
+                     bcl::PortId src) const {
+  if (p.context != env.context) return false;
+  if (p.tag != kAnyTag && p.tag != env.tag) return false;
+  if (p.src.node != kAnyNode && !(p.src == src)) return false;
+  return true;
+}
+
+sim::Task<void> Device::send_envelope(bcl::PortId dst, const Envelope& env,
+                                      std::span<const std::byte> payload) {
+  auto& proc = ep_.process();
+  const int slot = co_await staging_free_.recv();
+  const std::size_t total = cfg_.envelope_bytes + payload.size();
+  co_await proc.cpu().busy(cfg_.pack_setup +
+                           sim::Time::bytes_at(total, cfg_.pack_bw));
+  std::vector<std::byte> head(cfg_.envelope_bytes);
+  encode(env, head);
+  proc.poke(staging_[static_cast<std::size_t>(slot)], 0, head);
+  if (!payload.empty()) {
+    proc.poke(staging_[static_cast<std::size_t>(slot)], cfg_.envelope_bytes,
+              payload);
+  }
+  auto r = co_await ep_.send_system(
+      dst, staging_[static_cast<std::size_t>(slot)], total);
+  if (!r.ok()) throw std::runtime_error("eadi: system send failed");
+  staging_by_msg_[r.value] = slot;
+}
+
+sim::Task<void> Device::drain_send_events() {
+  for (;;) {
+    const bcl::SendEvent ev = co_await ep_.wait_send();
+    const auto it = staging_by_msg_.find(ev.msg_id);
+    if (it != staging_by_msg_.end()) {
+      (void)staging_free_.try_send(it->second);
+      staging_by_msg_.erase(it);
+    }
+  }
+}
+
+sim::Task<void> Device::send(bcl::PortId dst, std::int32_t context,
+                             std::int32_t tag, const osk::UserBuffer& buf,
+                             std::size_t len) {
+  auto& proc = ep_.process();
+  co_await proc.cpu().busy(cfg_.call_overhead);
+  if (len <= eager_threshold_) {
+    Envelope env;
+    env.kind = Kind::kEager;
+    env.context = context;
+    env.tag = tag;
+    env.len = len;
+    std::vector<std::byte> payload(len);
+    if (len > 0) proc.peek(buf, 0, payload);
+    co_await send_envelope(dst, env, payload);
+    co_return;
+  }
+  // Rendezvous: RTS, then one chunk per CTS grant.
+  const std::uint64_t xid = next_xid_++;
+  auto& txr = tx_rendezvous_[xid];
+  txr.cts = std::make_unique<sim::Channel<Envelope>>(eng_);
+  Envelope rts;
+  rts.kind = Kind::kRts;
+  rts.context = context;
+  rts.tag = tag;
+  rts.len = len;
+  rts.xid = xid;
+  co_await send_envelope(dst, rts, {});
+  std::size_t sent = 0;
+  while (sent < len) {
+    const Envelope cts = co_await txr.cts->recv();
+    const std::size_t chunk =
+        std::min<std::size_t>(cfg_.rendezvous_chunk, len - cts.offset);
+    auto r = co_await ep_.send(
+        dst, bcl::ChannelRef{bcl::ChanKind::kNormal, cts.channel}, buf,
+        chunk, static_cast<std::size_t>(cts.offset));
+    if (!r.ok()) throw std::runtime_error("eadi: rendezvous data send failed");
+    sent = static_cast<std::size_t>(cts.offset) + chunk;
+  }
+  tx_rendezvous_.erase(xid);
+}
+
+sim::Task<RecvResult> Device::recv(std::int32_t context, std::int32_t tag,
+                                   bcl::PortId src,
+                                   const osk::UserBuffer& buf) {
+  auto& proc = ep_.process();
+  co_await proc.cpu().busy(cfg_.call_overhead + cfg_.match_cost);
+  auto posted = std::make_unique<PostedRecv>(eng_, context, tag, src, buf);
+  PostedRecv* p = posted.get();
+
+  // Check the unexpected queue first.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(*p, it->env, it->src)) continue;
+    Unexpected u = std::move(*it);
+    unexpected_.erase(it);
+    if (u.env.kind == Kind::kEager) {
+      const std::size_t n =
+          std::min<std::size_t>(u.payload.size(), buf.len);
+      if (n > 0) {
+        co_await proc.cpu().busy(proc.cpu().memcpy_time(n));
+        proc.poke(buf, 0, std::span{u.payload.data(), n});
+      }
+      co_return RecvResult{u.src, u.env.tag,
+                           static_cast<std::size_t>(u.env.len)};
+    }
+    // Unexpected RTS: start the rendezvous now that a buffer exists.
+    p->claimed = true;
+    p->result = RecvResult{u.src, u.env.tag,
+                           static_cast<std::size_t>(u.env.len)};
+    const std::uint16_t channel = co_await free_channels_.recv();
+    auto& rr = rx_rendezvous_[channel];
+    rr.posted = p;
+    rr.src = u.src;
+    rr.xid = u.env.xid;
+    rr.total = u.env.len;
+    rr.received = 0;
+    co_await grant_chunk(rr, channel);
+    posted_.push_back(std::move(posted));  // completed via the gate
+    co_await p->done.wait();
+    const RecvResult res = p->result;
+    posted_.erase(std::find_if(posted_.begin(), posted_.end(),
+                               [p](const auto& q) { return q.get() == p; }));
+    co_return res;
+  }
+
+  posted_.push_back(std::move(posted));
+  co_await p->done.wait();
+  const RecvResult res = p->result;
+  posted_.erase(std::find_if(posted_.begin(), posted_.end(),
+                             [p](const auto& q) { return q.get() == p; }));
+  co_return res;
+}
+
+sim::Task<std::optional<RecvResult>> Device::probe(std::int32_t context,
+                                                   std::int32_t tag,
+                                                   bcl::PortId src) {
+  co_await ep_.process().cpu().busy(cfg_.match_cost);
+  PostedRecv pattern{eng_, context, tag, src, osk::UserBuffer{}};
+  for (const auto& u : unexpected_) {
+    if (matches(pattern, u.env, u.src)) {
+      co_return RecvResult{u.src, u.env.tag,
+                           static_cast<std::size_t>(u.env.len)};
+    }
+  }
+  co_return std::nullopt;
+}
+
+sim::Task<void> Device::grant_chunk(RecvRendezvous& rr,
+                                    std::uint16_t channel) {
+  const std::size_t chunk = std::min<std::size_t>(
+      cfg_.rendezvous_chunk, static_cast<std::size_t>(rr.total - rr.received));
+  if (rr.posted->buf.len < rr.total) {
+    throw std::logic_error("eadi: rendezvous receive buffer too small");
+  }
+  osk::UserBuffer slice{rr.posted->buf.vaddr + rr.received, chunk,
+                        rr.posted->buf.owner};
+  const bcl::BclErr err = co_await ep_.post_recv(channel, slice);
+  if (err != bcl::BclErr::kOk) {
+    throw std::runtime_error("eadi: post_recv failed");
+  }
+  Envelope cts;
+  cts.kind = Kind::kCts;
+  cts.context = rr.posted->context;
+  cts.tag = rr.posted->tag;
+  cts.xid = rr.xid;
+  cts.channel = channel;
+  cts.offset = rr.received;
+  cts.len = rr.total;
+  co_await send_envelope(rr.src, cts, {});
+}
+
+sim::Task<void> Device::handle_envelope(Envelope env, bcl::PortId src,
+                                        std::vector<std::byte> payload) {
+  auto& proc = ep_.process();
+  co_await proc.cpu().busy(cfg_.match_cost);
+  switch (env.kind) {
+    case Kind::kEager: {
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        PostedRecv* p = it->get();
+        if (p->claimed || !matches(*p, env, src)) continue;
+        p->claimed = true;
+        const std::size_t n =
+            std::min<std::size_t>(payload.size(), p->buf.len);
+        if (n > 0) {
+          co_await proc.cpu().busy(proc.cpu().memcpy_time(n));
+          proc.poke(p->buf, 0, std::span{payload.data(), n});
+        }
+        p->result =
+            RecvResult{src, env.tag, static_cast<std::size_t>(env.len)};
+        p->done.open();
+        co_return;
+      }
+      unexpected_.push_back(Unexpected{env, src, std::move(payload)});
+      unexpected_peak_ =
+          std::max<std::uint64_t>(unexpected_peak_, unexpected_.size());
+      break;
+    }
+    case Kind::kRts: {
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        PostedRecv* p = it->get();
+        if (p->claimed || !matches(*p, env, src)) continue;
+        p->claimed = true;
+        p->result =
+            RecvResult{src, env.tag, static_cast<std::size_t>(env.len)};
+        // Claiming a channel can block; do it off the progress loop.
+        eng_.spawn_daemon([](Device& d, PostedRecv* p, Envelope env,
+                             bcl::PortId src) -> sim::Task<void> {
+          const std::uint16_t channel = co_await d.free_channels_.recv();
+          auto& rr = d.rx_rendezvous_[channel];
+          rr.posted = p;
+          rr.src = src;
+          rr.xid = env.xid;
+          rr.total = env.len;
+          rr.received = 0;
+          co_await d.grant_chunk(rr, channel);
+        }(*this, p, env, src));
+        co_return;
+      }
+      unexpected_.push_back(Unexpected{env, src, {}});
+      unexpected_peak_ =
+          std::max<std::uint64_t>(unexpected_peak_, unexpected_.size());
+      break;
+    }
+    case Kind::kCts: {
+      const auto it = tx_rendezvous_.find(env.xid);
+      if (it == tx_rendezvous_.end()) {
+        throw std::logic_error("eadi: CTS for unknown rendezvous");
+      }
+      (void)it->second.cts->try_send(env);
+      break;
+    }
+  }
+}
+
+sim::Task<void> Device::progress() {
+  for (;;) {
+    const bcl::RecvEvent ev = co_await ep_.wait_recv();
+    if (ev.channel.kind == bcl::ChanKind::kSystem) {
+      auto bytes = co_await ep_.copy_out_system(ev);
+      if (bytes.size() < cfg_.envelope_bytes) {
+        throw std::logic_error("eadi: runt system message");
+      }
+      Envelope env = decode(bytes);
+      std::vector<std::byte> payload(
+          bytes.begin() +
+              static_cast<std::ptrdiff_t>(cfg_.envelope_bytes),
+          bytes.end());
+      co_await handle_envelope(env, ev.src, std::move(payload));
+    } else if (ev.channel.kind == bcl::ChanKind::kNormal) {
+      const auto it = rx_rendezvous_.find(ev.channel.index);
+      if (it == rx_rendezvous_.end()) {
+        throw std::logic_error("eadi: data on unknown channel");
+      }
+      auto& rr = it->second;
+      rr.received += ev.len;
+      if (rr.received >= rr.total) {
+        rr.posted->done.open();
+        const std::uint16_t channel = it->first;
+        rx_rendezvous_.erase(it);
+        (void)free_channels_.try_send(channel);
+      } else {
+        eng_.spawn_daemon([](Device& d, std::uint16_t channel)
+                              -> sim::Task<void> {
+          co_await d.grant_chunk(d.rx_rendezvous_.at(channel), channel);
+        }(*this, ev.channel.index));
+      }
+    }
+  }
+}
+
+}  // namespace eadi

@@ -1,0 +1,150 @@
+// EADI-2: the middle-level communication device layer of Fig. 1.
+//
+// ADI-2-style device built on one BCL endpoint per process.  Small messages
+// travel eagerly through the system channel with a 32-byte envelope; large
+// messages use an RTS/CTS rendezvous that moves data in chunks over
+// dynamically-assigned normal channels.  Tag/context/source matching with
+// wildcards and an unexpected-message queue support the MPI and PVM
+// implementations above it (which the paper reports in Table 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bcl/bcl.hpp"
+
+namespace eadi {
+
+inline constexpr std::int32_t kAnyTag = -1;
+inline constexpr hw::NodeId kAnyNode = 0xffffffff;
+
+struct DeviceConfig {
+  std::size_t envelope_bytes = 32;
+  // Per-call software overhead (request objects, queue management) —
+  // calibrated against Table 3's MPI/PVM deltas over raw BCL.
+  sim::Time call_overhead = sim::Time::us(1.30);
+  sim::Time match_cost = sim::Time::us(1.00);
+  std::size_t rendezvous_chunk = 64 * 1024;
+  int staging_buffers = 8;
+  double pack_bw = 850e6;  // envelope/eager packing memcpy
+  sim::Time pack_setup = sim::Time::us(0.10);
+};
+
+struct RecvResult {
+  bcl::PortId src{};
+  std::int32_t tag = 0;
+  std::size_t len = 0;  // actual message length (may exceed buffer)
+};
+
+class Device {
+ public:
+  Device(sim::Engine& eng, bcl::Endpoint& ep,
+         const DeviceConfig& cfg = {});
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  bcl::PortId id() const { return ep_.id(); }
+  osk::Process& process() { return ep_.process(); }
+  const DeviceConfig& config() const { return cfg_; }
+  std::size_t eager_threshold() const { return eager_threshold_; }
+
+  // Blocking send of buf[0, len) with (context, tag) addressing.
+  sim::Task<void> send(bcl::PortId dst, std::int32_t context,
+                       std::int32_t tag, const osk::UserBuffer& buf,
+                       std::size_t len);
+
+  // Blocking receive into `buf`; src.node == kAnyNode matches any source,
+  // tag == kAnyTag matches any tag.  Eager messages longer than the buffer
+  // are truncated (result.len reports the full length).
+  sim::Task<RecvResult> recv(std::int32_t context, std::int32_t tag,
+                             bcl::PortId src, const osk::UserBuffer& buf);
+
+  // Non-consuming, non-blocking probe of the unexpected queue: does a
+  // matching message (eager payload or rendezvous RTS) already wait here?
+  sim::Task<std::optional<RecvResult>> probe(std::int32_t context,
+                                             std::int32_t tag,
+                                             bcl::PortId src);
+
+  std::uint64_t unexpected_peak() const { return unexpected_peak_; }
+
+ private:
+  enum class Kind : std::uint8_t { kEager = 1, kRts, kCts };
+
+  struct Envelope {
+    Kind kind = Kind::kEager;
+    std::int32_t context = 0;
+    std::int32_t tag = 0;
+    std::uint64_t len = 0;
+    std::uint64_t xid = 0;      // rendezvous id
+    std::uint16_t channel = 0;  // CTS: receiver's normal channel
+    std::uint64_t offset = 0;   // CTS: chunk offset granted
+  };
+
+  struct PostedRecv {
+    std::int32_t context;
+    std::int32_t tag;
+    bcl::PortId src;
+    osk::UserBuffer buf;
+    sim::Gate done;
+    RecvResult result{};
+    bool claimed = false;  // matched to a message; skip in match scans
+    PostedRecv(sim::Engine& e, std::int32_t c, std::int32_t t, bcl::PortId s,
+               const osk::UserBuffer& b)
+        : context{c}, tag{t}, src{s}, buf{b}, done{e} {}
+  };
+
+  struct Unexpected {
+    Envelope env;
+    bcl::PortId src;
+    std::vector<std::byte> payload;  // eager only
+  };
+
+  struct SendRendezvous {
+    std::unique_ptr<sim::Channel<Envelope>> cts;
+  };
+
+  struct RecvRendezvous {
+    PostedRecv* posted = nullptr;
+    bcl::PortId src{};
+    std::uint64_t xid = 0;
+    std::uint64_t total = 0;
+    std::uint64_t received = 0;
+  };
+
+  bool matches(const PostedRecv& p, const Envelope& env,
+               bcl::PortId src) const;
+  sim::Task<void> progress();
+  sim::Task<void> drain_send_events();
+  sim::Task<void> handle_envelope(Envelope env, bcl::PortId src,
+                                  std::vector<std::byte> payload);
+  sim::Task<void> grant_chunk(RecvRendezvous& rr, std::uint16_t channel);
+  sim::Task<void> send_envelope(bcl::PortId dst, const Envelope& env,
+                                std::span<const std::byte> payload);
+
+  static void encode(const Envelope& env, std::span<std::byte> out);
+  static Envelope decode(std::span<const std::byte> in);
+
+  sim::Engine& eng_;
+  bcl::Endpoint& ep_;
+  DeviceConfig cfg_;
+  std::size_t eager_threshold_;
+
+  sim::Channel<int> staging_free_;
+  std::vector<osk::UserBuffer> staging_;
+  std::map<std::uint64_t, int> staging_by_msg_;
+
+  std::deque<std::unique_ptr<PostedRecv>> posted_;
+  std::deque<Unexpected> unexpected_;
+  std::map<std::uint64_t, SendRendezvous> tx_rendezvous_;
+  std::map<std::uint16_t, RecvRendezvous> rx_rendezvous_;  // by channel
+  sim::Channel<std::uint16_t> free_channels_;
+  std::uint64_t next_xid_ = 1;
+  std::uint64_t unexpected_peak_ = 0;
+};
+
+}  // namespace eadi

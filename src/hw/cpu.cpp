@@ -1,0 +1,3 @@
+#include "hw/cpu.hpp"
+
+// Header-only today; this TU anchors the library target.

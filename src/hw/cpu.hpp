@@ -1,0 +1,60 @@
+// Host CPU model: a core is a FIFO resource; costs are derived from the
+// clock rate and a two-regime memcpy bandwidth curve (the paper's intra-node
+// bandwidth is quoted "with the affect of cache").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace hw {
+
+struct CpuConfig {
+  double clock_hz = 375e6;  // Power3-II as in DAWNING-3000 compute nodes
+  // memcpy bandwidth: within-cache vs memory-bound regimes.
+  double memcpy_bw_cached = 850e6;    // bytes/s
+  double memcpy_bw_uncached = 425e6;  // bytes/s
+  std::size_t cache_bytes = 4u << 20;
+  sim::Time memcpy_setup = sim::Time::ns(60);
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Engine& eng, std::string name, const CpuConfig& cfg)
+      : eng_{eng}, cfg_{cfg}, core_{eng, std::move(name)} {}
+
+  const CpuConfig& config() const { return cfg_; }
+  sim::Resource& core() { return core_; }
+
+  sim::Time cycles(std::uint64_t n) const {
+    return sim::Time::sec(static_cast<double>(n) / cfg_.clock_hz);
+  }
+  sim::Time memcpy_time(std::size_t bytes) const {
+    const double bw = bytes <= cfg_.cache_bytes ? cfg_.memcpy_bw_cached
+                                                : cfg_.memcpy_bw_uncached;
+    return cfg_.memcpy_setup + sim::Time::bytes_at(bytes, bw);
+  }
+
+  // Occupies the core for `d` (FIFO with other work on this core).
+  sim::Task<void> busy(sim::Time d) { return core_.use(d); }
+
+  // Timed memcpy between physical ranges of `mem` (moves real bytes).
+  sim::Task<void> copy(HostMemory& mem, PhysAddr dst, PhysAddr src,
+                       std::size_t bytes) {
+    co_await busy(memcpy_time(bytes));
+    auto s = mem.view(src, bytes);
+    mem.write(dst, s);
+  }
+
+ private:
+  sim::Engine& eng_;
+  CpuConfig cfg_;
+  sim::Resource core_;
+};
+
+}  // namespace hw

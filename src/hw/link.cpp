@@ -1,0 +1,47 @@
+#include "hw/link.hpp"
+
+#include <utility>
+
+namespace hw {
+
+Link::Link(sim::Engine& eng, std::string name, const LinkConfig& cfg,
+           Sink sink, std::uint64_t seed)
+    : eng_{eng},
+      name_{std::move(name)},
+      cfg_{cfg},
+      sink_{std::move(sink)},
+      in_{eng, cfg.queue_depth},
+      rng_{seed} {
+  eng_.spawn_daemon(pump());
+}
+
+sim::Task<void> Link::pump() {
+  for (;;) {
+    Packet p = co_await in_.recv();
+    const auto wire =
+        cfg_.per_packet + sim::Time::bytes_at(p.wire_bytes(), cfg_.bandwidth);
+    busy_ += wire;
+    ++packets_;
+    bytes_ += p.wire_bytes();
+    if (cfg_.corrupt_prob > 0.0 && rng_.bernoulli(cfg_.corrupt_prob)) {
+      p.corrupted = true;
+      ++corrupted_;
+    }
+    // Cut-through: hand the packet downstream once the header is past;
+    // store-and-forward (NIC-terminal links): after the last byte.  Either
+    // way the link stays occupied for the full serialization time, and FIFO
+    // order is preserved because the delivery offset is constant.
+    const auto forward_after =
+        cfg_.cut_through
+            ? cfg_.per_packet +
+                  sim::Time::bytes_at(p.header_bytes, cfg_.bandwidth)
+            : wire;
+    // (shared_ptr because std::function requires a copyable callable.)
+    auto pkt = std::make_shared<Packet>(std::move(p));
+    eng_.schedule_fn(eng_.now() + forward_after + cfg_.propagation,
+                     [this, pkt] { sink_(std::move(*pkt)); });
+    co_await eng_.sleep(wire);  // serialization / occupancy
+  }
+}
+
+}  // namespace hw

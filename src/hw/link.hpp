@@ -1,0 +1,89 @@
+// Point-to-point link and the fabric abstraction.
+//
+// A Link serializes packets at its bandwidth, optionally corrupts them
+// (fault injection for the reliability tests), and delivers them to a sink
+// callback after a propagation delay.  Links have a small input queue, so
+// upstream senders feel backpressure, approximating wormhole flow control.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hw/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace hw {
+
+class Nic;
+
+// A network fabric: wires NICs together and knows how to route.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+  // Connects `nic` as node `id`; must be called exactly once per node.
+  virtual void attach(NodeId id, Nic& nic) = 0;
+  // Fills in the packet's source route (no-op for fabrics that route
+  // in-network, like the 2-D mesh).
+  virtual void stamp_route(Packet& p) const = 0;
+  virtual std::string name() const = 0;
+  // Minimum number of link hops between two nodes (for latency models).
+  virtual int hops(NodeId a, NodeId b) const = 0;
+};
+
+struct LinkConfig {
+  double bandwidth = 160e6;                   // bytes/s (1.28 Gb/s Myrinet)
+  sim::Time propagation = sim::Time::ns(50);  // cable flight time
+  // Fixed per-packet cost on the wire: inter-packet gap, route/CRC bytes,
+  // and the sending DMA engine's startup.  This is what keeps sustained
+  // payload bandwidth below the raw link rate (BCL: 146 of 160 MB/s).
+  sim::Time per_packet = sim::Time::zero();
+  // Cut-through (wormhole) forwarding: the downstream hop sees the packet
+  // after only the header has arrived, while this link stays occupied for
+  // the full serialization time (contention is still modelled).  The final
+  // link into a NIC must NOT be cut-through, so end-to-end latency pays
+  // exactly one full serialization, as in a real wormhole network.
+  bool cut_through = false;
+  double corrupt_prob = 0.0;                  // fault injection
+  std::size_t queue_depth = 4;
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(Packet&&)>;
+
+  Link(sim::Engine& eng, std::string name, const LinkConfig& cfg, Sink sink,
+       std::uint64_t seed = 1);
+
+  // Senders push packets here; send() blocks when the queue is full.
+  sim::Channel<Packet>& in() { return in_; }
+
+  const std::string& name() const { return name_; }
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  sim::Time busy_time() const { return busy_; }
+
+  void set_corrupt_prob(double p) { cfg_.corrupt_prob = p; }
+
+ private:
+  sim::Task<void> pump();
+
+  sim::Engine& eng_;
+  std::string name_;
+  LinkConfig cfg_;
+  Sink sink_;
+  sim::Channel<Packet> in_;
+  sim::Rng rng_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t corrupted_ = 0;
+  sim::Time busy_ = sim::Time::zero();
+};
+
+}  // namespace hw

@@ -1,0 +1,88 @@
+#include "hw/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace hw {
+
+HostMemory::HostMemory(std::size_t bytes)
+    : store_((bytes / kPageSize) * kPageSize) {
+  if (store_.empty()) throw std::invalid_argument("memory smaller than a page");
+  const std::size_t n = store_.size() / kPageSize;
+  for (std::size_t i = 0; i < n; ++i) free_frames_.insert(i);
+}
+
+std::optional<std::uint64_t> HostMemory::alloc_frame() {
+  if (free_frames_.empty()) return std::nullopt;
+  const auto it = free_frames_.begin();
+  const auto f = *it;
+  free_frames_.erase(it);
+  return f;
+}
+
+void HostMemory::free_frame(std::uint64_t frame) {
+  if (frame >= page_count()) throw std::out_of_range("bad frame");
+  if (!free_frames_.insert(frame).second) {
+    throw std::logic_error("double free of frame");
+  }
+}
+
+std::optional<std::uint64_t> HostMemory::alloc_contiguous(std::size_t pages) {
+  if (pages == 0) return std::nullopt;
+  std::uint64_t run_start = 0;
+  std::size_t run_len = 0;
+  std::uint64_t prev = 0;
+  for (const auto f : free_frames_) {
+    if (run_len == 0 || f != prev + 1) {
+      run_start = f;
+      run_len = 1;
+    } else {
+      ++run_len;
+    }
+    prev = f;
+    if (run_len == pages) {
+      for (std::uint64_t i = run_start; i < run_start + pages; ++i) {
+        free_frames_.erase(i);
+      }
+      return run_start;
+    }
+  }
+  return std::nullopt;
+}
+
+void HostMemory::free_contiguous(std::uint64_t first_frame,
+                                 std::size_t pages) {
+  for (std::uint64_t i = first_frame; i < first_frame + pages; ++i) {
+    free_frame(i);
+  }
+}
+
+void HostMemory::check(PhysAddr addr, std::size_t len) const {
+  if (addr + len > store_.size() || addr + len < addr) {
+    throw std::out_of_range("physical access out of bounds");
+  }
+}
+
+void HostMemory::write(PhysAddr addr, std::span<const std::byte> data) {
+  check(addr, data.size());
+  std::memcpy(store_.data() + addr, data.data(), data.size());
+}
+
+void HostMemory::read(PhysAddr addr, std::span<std::byte> out) const {
+  check(addr, out.size());
+  std::memcpy(out.data(), store_.data() + addr, out.size());
+}
+
+std::span<std::byte> HostMemory::view(PhysAddr addr, std::size_t len) {
+  check(addr, len);
+  return {store_.data() + addr, len};
+}
+
+std::span<const std::byte> HostMemory::view(PhysAddr addr,
+                                            std::size_t len) const {
+  check(addr, len);
+  return {store_.data() + addr, len};
+}
+
+}  // namespace hw

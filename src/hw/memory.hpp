@@ -1,0 +1,55 @@
+// Host physical memory: a real byte store plus a page-frame allocator.
+//
+// All message payloads ultimately live here; DMA engines and memcpy models
+// move actual bytes so the test suite can assert end-to-end integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+namespace hw {
+
+using PhysAddr = std::uint64_t;
+
+inline constexpr std::size_t kPageSize = 4096;
+
+// A contiguous physical range; scatter/gather lists are vectors of these.
+struct PhysSegment {
+  PhysAddr addr = 0;
+  std::size_t len = 0;
+};
+
+class HostMemory {
+ public:
+  explicit HostMemory(std::size_t bytes);
+
+  std::size_t size() const { return store_.size(); }
+  std::size_t page_count() const { return store_.size() / kPageSize; }
+  std::size_t free_pages() const { return free_frames_.size(); }
+
+  // Page-frame allocation (frame index, not address).
+  std::optional<std::uint64_t> alloc_frame();
+  void free_frame(std::uint64_t frame);
+  // A run of `pages` consecutive frames (for shared-memory segments).
+  std::optional<std::uint64_t> alloc_contiguous(std::size_t pages);
+  void free_contiguous(std::uint64_t first_frame, std::size_t pages);
+  static PhysAddr frame_addr(std::uint64_t frame) { return frame * kPageSize; }
+
+  // Raw bounded access.
+  void write(PhysAddr addr, std::span<const std::byte> data);
+  void read(PhysAddr addr, std::span<std::byte> out) const;
+  std::span<std::byte> view(PhysAddr addr, std::size_t len);
+  std::span<const std::byte> view(PhysAddr addr, std::size_t len) const;
+
+ private:
+  void check(PhysAddr addr, std::size_t len) const;
+
+  std::vector<std::byte> store_;
+  std::set<std::uint64_t> free_frames_;  // ordered, enables contiguity scans
+};
+
+}  // namespace hw

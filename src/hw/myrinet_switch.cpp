@@ -1,0 +1,152 @@
+#include "hw/myrinet_switch.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hw/nic.hpp"
+
+namespace hw {
+
+CrossbarSwitch::CrossbarSwitch(sim::Engine& eng, std::string name, int ports,
+                               sim::Time fall_through)
+    : eng_{eng},
+      name_{std::move(name)},
+      fall_through_{fall_through},
+      outputs_(static_cast<std::size_t>(ports), nullptr) {
+  for (int p = 0; p < ports; ++p) {
+    inputs_.push_back(std::make_unique<sim::Channel<Packet>>(eng_));
+    eng_.spawn_daemon(pump(p));
+  }
+}
+
+void CrossbarSwitch::connect_output(int port, Link& link) {
+  outputs_.at(static_cast<std::size_t>(port)) = &link;
+}
+
+Link::Sink CrossbarSwitch::input_sink(int port) {
+  auto* ch = inputs_.at(static_cast<std::size_t>(port)).get();
+  return [ch](Packet&& p) { (void)ch->try_send(std::move(p)); };
+}
+
+sim::Task<void> CrossbarSwitch::pump(int port) {
+  auto& in = *inputs_[static_cast<std::size_t>(port)];
+  for (;;) {
+    Packet p = co_await in.recv();
+    if (p.route_pos >= p.route.size()) {
+      ++route_errors_;
+      continue;  // malformed route: drop (reliability layer recovers)
+    }
+    const int out = p.route[p.route_pos++];
+    Link* link = out >= 0 && out < ports()
+                     ? outputs_[static_cast<std::size_t>(out)]
+                     : nullptr;
+    if (link == nullptr) {
+      ++route_errors_;
+      continue;
+    }
+    co_await eng_.sleep(fall_through_);
+    ++forwarded_;
+    co_await link->in().send(std::move(p));
+  }
+}
+
+MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
+                             const MyrinetConfig& cfg)
+    : eng_{eng}, n_nodes_{n_nodes}, cfg_{cfg}, attached_(n_nodes, false) {
+  host_uplinks_.resize(n_nodes, nullptr);
+  const int uplinks = kPorts - cfg_.hosts_per_leaf;
+  if (!two_level()) {
+    switches_.push_back(std::make_unique<CrossbarSwitch>(
+        eng_, "sw0", kPorts, cfg_.fall_through));
+    return;
+  }
+  const int leaves =
+      static_cast<int>((n_nodes_ + cfg_.hosts_per_leaf - 1) /
+                       static_cast<unsigned>(cfg_.hosts_per_leaf));
+  if (leaves > kPorts) {
+    throw std::invalid_argument(
+        "two-level myrinet fabric supports at most " +
+        std::to_string(kPorts * cfg_.hosts_per_leaf) + " nodes");
+  }
+  for (int l = 0; l < leaves; ++l) {
+    switches_.push_back(std::make_unique<CrossbarSwitch>(
+        eng_, "leaf" + std::to_string(l), kPorts, cfg_.fall_through));
+  }
+  for (int s = 0; s < uplinks; ++s) {
+    switches_.push_back(std::make_unique<CrossbarSwitch>(
+        eng_, "spine" + std::to_string(s), kPorts, cfg_.fall_through));
+  }
+  // Leaf l, uplink port hosts_per_leaf+s  <->  spine s, port l.
+  // Inter-switch links forward cut-through (wormhole).
+  LinkConfig trunk = cfg_.link;
+  trunk.cut_through = true;
+  for (int l = 0; l < leaves; ++l) {
+    for (int s = 0; s < uplinks; ++s) {
+      auto& leaf = *switches_[static_cast<std::size_t>(l)];
+      auto& spine = *switches_[static_cast<std::size_t>(leaves + s)];
+      links_.push_back(std::make_unique<Link>(
+          eng_, "l" + std::to_string(l) + "->s" + std::to_string(s),
+          trunk, spine.input_sink(l)));
+      leaf.connect_output(cfg_.hosts_per_leaf + s, *links_.back());
+      links_.push_back(std::make_unique<Link>(
+          eng_, "s" + std::to_string(s) + "->l" + std::to_string(l),
+          trunk, leaf.input_sink(cfg_.hosts_per_leaf + s)));
+      spine.connect_output(l, *links_.back());
+    }
+  }
+}
+
+void MyrinetFabric::attach(NodeId id, Nic& nic) {
+  if (id >= n_nodes_) throw std::out_of_range("node id out of range");
+  if (attached_[id]) throw std::logic_error("node already attached");
+  attached_[id] = true;
+  CrossbarSwitch& sw = two_level()
+                           ? *switches_[static_cast<std::size_t>(leaf_of(id))]
+                           : *switches_[0];
+  const int port = two_level() ? local_port(id) : static_cast<int>(id);
+  // nic -> switch: cut-through (flits stream into the crossbar).
+  LinkConfig up = cfg_.link;
+  up.cut_through = true;
+  links_.push_back(std::make_unique<Link>(
+      eng_, "n" + std::to_string(id) + "->sw", up,
+      sw.input_sink(port), /*seed=*/1000 + id));
+  host_uplinks_[id] = links_.back().get();
+  // switch -> nic: terminal hop, delivers after the last byte so the path
+  // pays exactly one full serialization.
+  links_.push_back(std::make_unique<Link>(
+      eng_, "sw->n" + std::to_string(id), cfg_.link,
+      [&nic](Packet&& p) { nic.deliver(std::move(p)); },
+      /*seed=*/2000 + id));
+  sw.connect_output(port, *links_.back());
+  nic.wire(this, &host_uplinks_[id]->in());
+}
+
+std::vector<std::uint8_t> MyrinetFabric::route(NodeId src, NodeId dst) const {
+  if (!two_level()) {
+    return {static_cast<std::uint8_t>(dst)};
+  }
+  if (leaf_of(src) == leaf_of(dst)) {
+    return {static_cast<std::uint8_t>(local_port(dst))};
+  }
+  const int spine = spine_for(dst);
+  return {static_cast<std::uint8_t>(cfg_.hosts_per_leaf + spine),
+          static_cast<std::uint8_t>(leaf_of(dst)),
+          static_cast<std::uint8_t>(local_port(dst))};
+}
+
+void MyrinetFabric::stamp_route(Packet& p) const {
+  p.route = route(p.src_node, p.dst_node);
+  p.route_pos = 0;
+}
+
+int MyrinetFabric::hops(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  if (!two_level() || leaf_of(a) == leaf_of(b)) return 2;  // host-sw, sw-host
+  return 4;
+}
+
+void MyrinetFabric::set_host_link_corrupt_prob(NodeId node, double p) {
+  host_uplinks_.at(node)->set_corrupt_prob(p);
+}
+
+}  // namespace hw

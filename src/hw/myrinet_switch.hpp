@@ -1,0 +1,99 @@
+// Myrinet-style source-routed crossbar switch (M2M-OCT-SW8) and the fabric
+// that wires nodes through one or two levels of such switches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/link.hpp"
+#include "hw/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace hw {
+
+// Cut-through crossbar: each input port reads the next route byte, waits the
+// fall-through latency, and forwards to the selected output link.  Output
+// contention resolves FIFO through the output link's bounded input queue.
+class CrossbarSwitch {
+ public:
+  CrossbarSwitch(sim::Engine& eng, std::string name, int ports,
+                 sim::Time fall_through);
+
+  int ports() const { return static_cast<int>(outputs_.size()); }
+  const std::string& name() const { return name_; }
+
+  // Wires output port `port` to `link` (not owned).
+  void connect_output(int port, Link& link);
+
+  // Sink callback for the link that feeds input port `port`.
+  Link::Sink input_sink(int port);
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t route_errors() const { return route_errors_; }
+
+ private:
+  sim::Task<void> pump(int port);
+
+  sim::Engine& eng_;
+  std::string name_;
+  sim::Time fall_through_;
+  std::vector<std::unique_ptr<sim::Channel<Packet>>> inputs_;
+  std::vector<Link*> outputs_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t route_errors_ = 0;
+};
+
+struct MyrinetConfig {
+  LinkConfig link;                                 // host and inter-switch links
+  sim::Time fall_through = sim::Time::ns(300);     // per-switch latency
+  int hosts_per_leaf = 4;                          // two-level layout
+};
+
+// Single-switch (n <= ports) or two-level leaf/spine topology of 8-port
+// switches, with deterministic source routing.
+class MyrinetFabric : public Fabric {
+ public:
+  static constexpr int kPorts = 8;
+
+  MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
+                const MyrinetConfig& cfg = {});
+
+  void attach(NodeId id, Nic& nic) override;
+  void stamp_route(Packet& p) const override;
+  std::string name() const override { return "myrinet"; }
+  int hops(NodeId a, NodeId b) const override;
+
+  // Route as a sequence of switch output ports.
+  std::vector<std::uint8_t> route(NodeId src, NodeId dst) const;
+
+  // Fault injection on the host->switch link of `node`.
+  void set_host_link_corrupt_prob(NodeId node, double p);
+
+  CrossbarSwitch& switch_at(std::size_t i) { return *switches_[i]; }
+  std::size_t switch_count() const { return switches_.size(); }
+
+ private:
+  bool two_level() const { return n_nodes_ > kPorts; }
+  int leaf_of(NodeId n) const { return static_cast<int>(n) / cfg_.hosts_per_leaf; }
+  int local_port(NodeId n) const {
+    return static_cast<int>(n) % cfg_.hosts_per_leaf;
+  }
+  int spine_for(NodeId dst) const {
+    return static_cast<int>(dst) % (kPorts - cfg_.hosts_per_leaf);
+  }
+
+  sim::Engine& eng_;
+  std::uint32_t n_nodes_;
+  MyrinetConfig cfg_;
+  std::vector<std::unique_ptr<CrossbarSwitch>> switches_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Link*> host_uplinks_;  // node -> nic->switch link
+  std::vector<bool> attached_;
+};
+
+}  // namespace hw

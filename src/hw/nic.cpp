@@ -1,0 +1,117 @@
+#include "hw/nic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hw {
+
+Nic::Nic(sim::Engine& eng, NodeId node, std::string name, PciBus& pci,
+         HostMemory& mem, const NicConfig& cfg)
+    : eng_{eng},
+      node_{node},
+      name_{std::move(name)},
+      pci_{pci},
+      mem_{mem},
+      cfg_{cfg},
+      lanai_{eng, name_ + ".lanai"},
+      host_dma_{eng, name_ + ".hdma"},
+      rx_{eng} {}
+
+namespace {
+
+// Occupies the PCI bus for the tail of a cut-through transfer, then frees
+// the DMA engine.
+sim::Task<void> hold_tail(sim::Resource& bus, sim::Resource& engine_res,
+                          sim::Time total) {
+  co_await bus.use(total);
+  engine_res.release();
+}
+
+}  // namespace
+
+sim::Task<void> Nic::dma_gather(std::vector<PhysSegment> segs,
+                                std::vector<std::byte>& out,
+                                std::size_t lead_bytes) {
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  co_await host_dma_.acquire();
+  // Real bytes move immediately; only timing differs between modes.
+  for (const auto& s : segs) {
+    auto v = mem_.view(s.addr, s.len);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  const auto& pcfg = pci_.config();
+  const sim::Time seg_extra =
+      segs.empty() ? sim::Time::zero()
+                   : cfg_.dma_seg_cost * static_cast<double>(segs.size() - 1);
+  if (lead_bytes == 0 || lead_bytes >= total) {
+    co_await pci_.burst(total);
+    if (seg_extra > sim::Time::zero()) co_await pci_.bus().use(seg_extra);
+    host_dma_.release();
+    co_return;
+  }
+  // Cut-through: block for the lead-in only; the bus/engine occupancy for
+  // the full transfer continues in the background.
+  const sim::Time full = pcfg.dma_setup +
+                         sim::Time::bytes_at(total, pcfg.dma_bw) + seg_extra;
+  const sim::Time lead =
+      pcfg.dma_setup + sim::Time::bytes_at(lead_bytes, pcfg.dma_bw);
+  eng_.spawn_daemon(hold_tail(pci_.bus(), host_dma_, full));
+  co_await eng_.sleep(lead);
+}
+
+sim::Task<void> Nic::dma_scatter(std::span<const std::byte> data,
+                                 std::vector<PhysSegment> segs,
+                                 std::size_t lead_bytes) {
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  if (total != data.size()) {
+    throw std::logic_error("dma_scatter: segment/data size mismatch");
+  }
+  co_await host_dma_.acquire();
+  std::size_t off = 0;
+  for (const auto& s : segs) {
+    mem_.write(s.addr, data.subspan(off, s.len));
+    off += s.len;
+  }
+  const auto& pcfg = pci_.config();
+  const sim::Time seg_extra =
+      segs.empty() ? sim::Time::zero()
+                   : cfg_.dma_seg_cost * static_cast<double>(segs.size() - 1);
+  if (lead_bytes == 0 || lead_bytes >= total) {
+    co_await pci_.burst(total);
+    if (seg_extra > sim::Time::zero()) co_await pci_.bus().use(seg_extra);
+    host_dma_.release();
+    co_return;
+  }
+  const sim::Time full = pcfg.dma_setup +
+                         sim::Time::bytes_at(total, pcfg.dma_bw) + seg_extra;
+  const sim::Time lead =
+      pcfg.dma_setup + sim::Time::bytes_at(lead_bytes, pcfg.dma_bw);
+  eng_.spawn_daemon(hold_tail(pci_.bus(), host_dma_, full));
+  co_await eng_.sleep(lead);
+}
+
+bool Nic::sram_reserve(std::size_t bytes) {
+  if (sram_used_ + bytes > cfg_.sram_bytes) return false;
+  sram_used_ += bytes;
+  return true;
+}
+
+void Nic::sram_release(std::size_t bytes) {
+  if (bytes > sram_used_) throw std::logic_error("sram over-release");
+  sram_used_ -= bytes;
+}
+
+sim::Task<void> Nic::transmit(Packet p) {
+  if (egress_ == nullptr || fabric_ == nullptr) {
+    throw std::logic_error("nic not attached to a fabric");
+  }
+  p.src_node = node_;
+  fabric_->stamp_route(p);
+  ++tx_packets_;
+  co_await egress_->send(std::move(p));
+}
+
+}  // namespace hw

@@ -1,0 +1,104 @@
+// Network interface card: an embedded processor (LANai-style), SRAM
+// capacity accounting, a host DMA engine on the PCI bus, and a link
+// interface to the fabric.
+//
+// The NIC provides mechanisms only; protocol behaviour (BCL's MCP, the
+// baselines' firmware) is implemented as coroutine programs in higher
+// layers that drive these mechanisms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/link.hpp"
+#include "hw/memory.hpp"
+#include "hw/packet.hpp"
+#include "hw/pci.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace hw {
+
+struct NicConfig {
+  std::size_t sram_bytes = 2u << 20;  // M2M-PCI64A carries 2 MB
+  // Extra per-descriptor cost for scatter/gather DMA.
+  sim::Time dma_seg_cost = sim::Time::us(0.15);
+};
+
+class Nic {
+ public:
+  Nic(sim::Engine& eng, NodeId node, std::string name, PciBus& pci,
+      HostMemory& mem, const NicConfig& cfg);
+
+  NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  const NicConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return eng_; }
+  HostMemory& host_memory() { return mem_; }
+  PciBus& pci() { return pci_; }
+
+  // Embedded processor; firmware serializes its per-packet work here.
+  sim::Resource& lanai() { return lanai_; }
+
+  // -- host DMA (moves real bytes, charges PCI bus time) ---------------------
+  // Gather: host physical segments -> `out` (appended).
+  // With lead_bytes == 0 the caller is blocked for the full transfer
+  // (store-and-forward).  With lead_bytes > 0 the DMA is cut-through: the
+  // caller resumes once the lead-in has streamed (LANai firmware pipelines
+  // the host DMA into the link), while the engine and bus stay occupied in
+  // the background for the full duration.
+  sim::Task<void> dma_gather(std::vector<PhysSegment> segs,
+                             std::vector<std::byte>& out,
+                             std::size_t lead_bytes = 0);
+  // Scatter: `data` -> host physical segments (sizes must match).
+  sim::Task<void> dma_scatter(std::span<const std::byte> data,
+                              std::vector<PhysSegment> segs,
+                              std::size_t lead_bytes = 0);
+
+  // -- SRAM accounting ---------------------------------------------------------
+  bool sram_reserve(std::size_t bytes);
+  void sram_release(std::size_t bytes);
+  std::size_t sram_free() const { return cfg_.sram_bytes - sram_used_; }
+
+  // -- fabric side ---------------------------------------------------------------
+  // Stamps the route and pushes to the egress link (blocks on backpressure).
+  sim::Task<void> transmit(Packet p);
+  // Inbound packets (pushed by the fabric).
+  sim::Channel<Packet>& rx() { return rx_; }
+
+  // Called by Fabric::attach.
+  void wire(const Fabric* fabric, sim::Channel<Packet>* egress) {
+    fabric_ = fabric;
+    egress_ = egress;
+  }
+  void deliver(Packet&& p) {
+    ++rx_packets_;
+    // Unbounded: overrun policy (drop / flow control) is protocol business.
+    (void)rx_.try_send(std::move(p));
+  }
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+
+ private:
+  sim::Engine& eng_;
+  NodeId node_;
+  std::string name_;
+  PciBus& pci_;
+  HostMemory& mem_;
+  NicConfig cfg_;
+  sim::Resource lanai_;
+  sim::Resource host_dma_;
+  sim::Channel<Packet> rx_;
+  const Fabric* fabric_ = nullptr;
+  sim::Channel<Packet>* egress_ = nullptr;
+  std::size_t sram_used_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+};
+
+}  // namespace hw

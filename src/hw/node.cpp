@@ -1,0 +1,3 @@
+#include "hw/node.hpp"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,63 @@
+// One cluster node: a 4-way SMP host (DAWNING-3000 compute node) with
+// memory, a PCI bus, and one NIC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "hw/memory.hpp"
+#include "hw/nic.hpp"
+#include "hw/pci.hpp"
+#include "sim/engine.hpp"
+
+namespace hw {
+
+struct NodeConfig {
+  int cpus = 4;
+  std::size_t mem_bytes = 64u << 20;  // scaled-down per-node memory
+  CpuConfig cpu{};
+  PciConfig pci{};
+  NicConfig nic{};
+};
+
+class Node {
+ public:
+  Node(sim::Engine& eng, NodeId id, const NodeConfig& cfg = {})
+      : eng_{eng},
+        id_{id},
+        cfg_{cfg},
+        mem_{cfg.mem_bytes},
+        pci_{eng, "node" + std::to_string(id) + ".pci", cfg.pci},
+        nic_{eng, id, "node" + std::to_string(id) + ".nic", pci_, mem_,
+             cfg.nic} {
+    cpus_.reserve(static_cast<std::size_t>(cfg.cpus));
+    for (int c = 0; c < cfg.cpus; ++c) {
+      cpus_.push_back(std::make_unique<Cpu>(
+          eng, "node" + std::to_string(id) + ".cpu" + std::to_string(c),
+          cfg.cpu));
+    }
+  }
+
+  sim::Engine& engine() { return eng_; }
+  NodeId id() const { return id_; }
+  const NodeConfig& config() const { return cfg_; }
+  HostMemory& memory() { return mem_; }
+  PciBus& pci() { return pci_; }
+  Nic& nic() { return nic_; }
+  int cpu_count() const { return static_cast<int>(cpus_.size()); }
+  Cpu& cpu(int i) { return *cpus_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  sim::Engine& eng_;
+  NodeId id_;
+  NodeConfig cfg_;
+  HostMemory mem_;
+  PciBus pci_;
+  Nic nic_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+};
+
+}  // namespace hw

@@ -1,0 +1,64 @@
+// Wire packet exchanged between NICs through a fabric.
+//
+// One struct serves every protocol in the repository; protocol stacks use
+// the header fields they need and ignore the rest.  Payload bytes are real:
+// end-to-end data integrity is asserted by the test suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hw {
+
+using NodeId = std::uint32_t;
+
+enum class PacketKind : std::uint16_t {
+  kData = 0,
+  kAck,
+  kNack,
+  kCtrl,       // protocol-specific control (RTS/CTS, RMA requests, ...)
+  kInterrupt,  // kernel-level baseline: packets that raise host IRQs
+};
+
+struct Packet {
+  std::uint64_t id = 0;  // globally unique, for tracing
+  NodeId src_node = 0;
+  NodeId dst_node = 0;
+
+  std::uint16_t proto = 0;  // owning protocol stack (bcl, gm-like, ...)
+  PacketKind kind = PacketKind::kData;
+
+  // Demultiplexing at the destination NIC.
+  std::uint32_t dst_port = 0;
+  std::uint32_t src_port = 0;
+  std::uint32_t channel = 0;
+  // Protocol-defined operation flags (e.g. BCL's SendOp for RMA).
+  std::uint16_t op_flags = 0;
+  std::uint16_t reply_channel = 0;
+
+  // Message framing.
+  std::uint64_t msg_id = 0;
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 1;
+  std::uint64_t msg_bytes = 0;
+  std::uint64_t offset = 0;
+
+  // Reliability (per src->dst session sequence).
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+
+  std::vector<std::byte> payload;
+
+  // Set by a lossy link; receivers detect it via the CRC check.
+  bool corrupted = false;
+
+  // Myrinet-style source route: one output-port byte per switch hop.
+  std::vector<std::uint8_t> route;
+  std::size_t route_pos = 0;
+
+  std::size_t header_bytes = 32;
+  std::size_t wire_bytes() const { return header_bytes + payload.size(); }
+};
+
+}  // namespace hw

@@ -1,0 +1,33 @@
+#include "hw/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hw {
+
+std::unique_ptr<Fabric> make_fabric(sim::Engine& eng, std::uint32_t n_nodes,
+                                    const FabricOptions& opts) {
+  switch (opts.kind) {
+    case FabricKind::kMyrinet:
+      return std::make_unique<MyrinetFabric>(eng, n_nodes, opts.myrinet);
+    case FabricKind::kNwrcMesh: {
+      int w = opts.mesh_width;
+      if (w <= 0) {
+        w = static_cast<int>(std::ceil(std::sqrt(n_nodes)));
+      }
+      const int h = static_cast<int>((n_nodes + static_cast<unsigned>(w) - 1) /
+                                     static_cast<unsigned>(w));
+      if (static_cast<std::uint32_t>(w * h) < n_nodes) {
+        throw std::logic_error("mesh shape too small");
+      }
+      return std::make_unique<MeshFabric>(eng, w, h, opts.mesh);
+    }
+  }
+  throw std::logic_error("unknown fabric kind");
+}
+
+void attach_all(Fabric& fabric, std::vector<std::unique_ptr<Node>>& nodes) {
+  for (auto& n : nodes) fabric.attach(n->id(), n->nic());
+}
+
+}  // namespace hw

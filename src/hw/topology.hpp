@@ -1,0 +1,34 @@
+// Fabric factory: builds the interconnect variants used across the
+// experiments and wires a set of nodes onto it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/link.hpp"
+#include "hw/mesh.hpp"
+#include "hw/myrinet_switch.hpp"
+#include "hw/node.hpp"
+#include "sim/engine.hpp"
+
+namespace hw {
+
+enum class FabricKind {
+  kMyrinet,   // crossbar switch(es), source routed
+  kNwrcMesh,  // 2-D XY wormhole mesh
+};
+
+struct FabricOptions {
+  FabricKind kind = FabricKind::kMyrinet;
+  MyrinetConfig myrinet{};
+  MeshConfig mesh{};
+  int mesh_width = 0;  // 0: pick a near-square shape automatically
+};
+
+std::unique_ptr<Fabric> make_fabric(sim::Engine& eng, std::uint32_t n_nodes,
+                                    const FabricOptions& opts = {});
+
+// Convenience: attach every node's NIC.
+void attach_all(Fabric& fabric, std::vector<std::unique_ptr<Node>>& nodes);
+
+}  // namespace hw

@@ -1,0 +1,205 @@
+// Collectives built on mini-MPI point-to-point, per the paper's layering.
+#include <algorithm>
+
+#include "minimpi/mpi.hpp"
+
+namespace minimpi {
+
+double Mpi::apply(Op op, double a, double b) {
+  switch (op) {
+    case Op::kSum:
+      return a + b;
+    case Op::kProd:
+      return a * b;
+    case Op::kMin:
+      return std::min(a, b);
+    case Op::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+// Dissemination barrier: ceil(log2 n) rounds of 0-byte exchanges.
+sim::Task<void> Mpi::barrier() {
+  const int n = size();
+  if (n == 1) co_return;
+  auto token = scratch(8);  // reused scratch; payload is 0 bytes anyway
+  for (int k = 0, dist = 1; dist < n; ++k, dist <<= 1) {
+    const int dst = (rank_ + dist) % n;
+    const int src = (rank_ - dist + n) % n;
+    Request s = isend(token, 0, dst, kBarrierBase + k);
+    (void)co_await recv(slice(token, 0, 0), src, kBarrierBase + k);
+    (void)co_await wait(s);
+  }
+}
+
+// Binomial-tree broadcast rooted at `root`.
+sim::Task<void> Mpi::bcast(const osk::UserBuffer& buf, std::size_t len,
+                           int root) {
+  const int n = size();
+  if (n == 1) co_return;
+  const int rel = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % n;
+      (void)co_await recv(buf, src, kBcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      const int dst = (rel + mask + root) % n;
+      co_await send(buf, len, dst, kBcastTag);
+    }
+    mask >>= 1;
+  }
+}
+
+// Binomial-tree reduction of `count` doubles to `root`.
+sim::Task<void> Mpi::reduce(const osk::UserBuffer& sendbuf,
+                            const osk::UserBuffer& recvbuf,
+                            std::size_t count, int root, Op op) {
+  const int n = size();
+  const std::size_t bytes = count * sizeof(double);
+  std::vector<double> accum = read_doubles(sendbuf, count);
+  auto tmp = scratch(bytes);
+  const int rel = (rank_ - root + n) % n;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rel & mask) == 0) {
+      const int peer_rel = rel | mask;
+      if (peer_rel < n) {
+        const int peer = (peer_rel + root) % n;
+        (void)co_await recv(tmp, peer, kReduceTag);
+        const auto other = read_doubles(tmp, count);
+        co_await process().cpu().busy(cfg_.reduce_per_element *
+                                      static_cast<double>(count));
+        for (std::size_t i = 0; i < count; ++i) {
+          accum[i] = apply(op, accum[i], other[i]);
+        }
+      }
+    } else {
+      const int peer = ((rel & ~mask) + root) % n;
+      write_doubles(tmp, accum);
+      co_await send(tmp, bytes, peer, kReduceTag);
+      break;
+    }
+  }
+  if (rank_ == root) write_doubles(recvbuf, accum);
+}
+
+sim::Task<void> Mpi::allreduce(const osk::UserBuffer& sendbuf,
+                               const osk::UserBuffer& recvbuf,
+                               std::size_t count, Op op) {
+  co_await reduce(sendbuf, recvbuf, count, /*root=*/0, op);
+  co_await bcast(recvbuf, count * sizeof(double), /*root=*/0);
+}
+
+// Linear-pipeline inclusive scan: rank r combines everything from r-1.
+sim::Task<void> Mpi::scan(const osk::UserBuffer& sendbuf,
+                          const osk::UserBuffer& recvbuf, std::size_t count,
+                          Op op) {
+  const std::size_t bytes = count * sizeof(double);
+  std::vector<double> accum = read_doubles(sendbuf, count);
+  if (rank_ > 0) {
+    auto tmp = scratch(bytes);
+    (void)co_await recv(tmp, rank_ - 1, kScanTag);
+    const auto prefix = read_doubles(tmp, count);
+    co_await process().cpu().busy(cfg_.reduce_per_element *
+                                  static_cast<double>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      accum[i] = apply(op, prefix[i], accum[i]);
+    }
+  }
+  write_doubles(recvbuf, accum);
+  if (rank_ + 1 < size()) {
+    co_await send(recvbuf, bytes, rank_ + 1, kScanTag);
+  }
+}
+
+// Allgather = gather at rank 0 + broadcast (simple and correct; the
+// paper's stack keeps collectives in "higher level software" anyway).
+sim::Task<void> Mpi::allgather(const osk::UserBuffer& sendbuf,
+                               std::size_t len,
+                               const osk::UserBuffer& recvbuf) {
+  co_await gather(sendbuf, len, recvbuf, /*root=*/0);
+  co_await bcast(recvbuf, len * static_cast<std::size_t>(size()),
+                 /*root=*/0);
+}
+
+// Linear gather of fixed `len`-byte blocks into recvbuf at root.
+sim::Task<void> Mpi::gather(const osk::UserBuffer& sendbuf, std::size_t len,
+                            const osk::UserBuffer& recvbuf, int root) {
+  const int n = size();
+  if (rank_ != root) {
+    co_await send(sendbuf, len, root, kGatherTag + rank_);
+    co_return;
+  }
+  // Self-contribution: a plain local copy.
+  if (len > 0) {
+    std::vector<std::byte> mine(len);
+    process().peek(sendbuf, 0, mine);
+    co_await process().cpu().busy(process().cpu().memcpy_time(len));
+    process().poke(recvbuf, static_cast<std::size_t>(rank_) * len, mine);
+  }
+  std::vector<Request> reqs;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    reqs.push_back(irecv(slice(recvbuf, static_cast<std::size_t>(r) * len,
+                               len),
+                         r, kGatherTag + r));
+  }
+  co_await waitall(std::move(reqs));
+}
+
+sim::Task<void> Mpi::scatter(const osk::UserBuffer& sendbuf, std::size_t len,
+                             const osk::UserBuffer& recvbuf, int root) {
+  const int n = size();
+  if (rank_ == root) {
+    std::vector<Request> reqs;
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      reqs.push_back(isend(
+          slice(sendbuf, static_cast<std::size_t>(r) * len, len), len, r,
+          kScatterTag + r));
+    }
+    if (len > 0) {
+      std::vector<std::byte> mine(len);
+      process().peek(sendbuf, static_cast<std::size_t>(root) * len, mine);
+      co_await process().cpu().busy(process().cpu().memcpy_time(len));
+      process().poke(recvbuf, 0, mine);
+    }
+    co_await waitall(std::move(reqs));
+  } else {
+    (void)co_await recv(recvbuf, root, kScatterTag + rank_);
+  }
+}
+
+// Pairwise-exchange all-to-all of fixed `len`-byte blocks.
+sim::Task<void> Mpi::alltoall(const osk::UserBuffer& sendbuf,
+                              std::size_t len,
+                              const osk::UserBuffer& recvbuf) {
+  const int n = size();
+  // Self block.
+  if (len > 0) {
+    std::vector<std::byte> mine(len);
+    process().peek(sendbuf, static_cast<std::size_t>(rank_) * len, mine);
+    co_await process().cpu().busy(process().cpu().memcpy_time(len));
+    process().poke(recvbuf, static_cast<std::size_t>(rank_) * len, mine);
+  }
+  for (int round = 1; round < n; ++round) {
+    const int dst = (rank_ + round) % n;
+    const int src = (rank_ - round + n) % n;
+    Request s = isend(slice(sendbuf, static_cast<std::size_t>(dst) * len,
+                            len),
+                      len, dst, kAlltoallTag + round);
+    (void)co_await recv(slice(recvbuf, static_cast<std::size_t>(src) * len,
+                              len),
+                        src, kAlltoallTag + round);
+    (void)co_await wait(s);
+  }
+}
+
+}  // namespace minimpi

@@ -1,0 +1,23 @@
+#include "osk/interrupt.hpp"
+
+#include <stdexcept>
+
+namespace osk {
+
+void InterruptController::raise(int irq) {
+  ++counts_[irq];
+  ++total_;
+  eng_.spawn_daemon(service(irq));
+}
+
+sim::Task<void> InterruptController::service(int irq) {
+  const auto it = handlers_.find(irq);
+  if (it == handlers_.end()) {
+    throw std::logic_error("spurious interrupt: no handler");
+  }
+  co_await cpu0_.busy(cfg_.dispatch);
+  co_await it->second();
+  co_await cpu0_.busy(cfg_.eoi);
+}
+
+}  // namespace osk

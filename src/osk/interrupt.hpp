@@ -1,0 +1,53 @@
+// Interrupt controller: IRQ dispatch runs the registered handler on CPU 0,
+// stealing time from whatever process runs there.  Only the kernel-level
+// baseline takes interrupts on its receive path; BCL's whole point is that
+// it never does (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "hw/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace osk {
+
+struct InterruptConfig {
+  sim::Time dispatch = sim::Time::us(2.50);  // vector + context save
+  sim::Time eoi = sim::Time::us(1.20);       // restore + return
+};
+
+class InterruptController {
+ public:
+  using Handler = std::function<sim::Task<void>()>;
+
+  InterruptController(sim::Engine& eng, hw::Cpu& cpu0,
+                      const InterruptConfig& cfg)
+      : eng_{eng}, cpu0_{cpu0}, cfg_{cfg} {}
+
+  void set_handler(int irq, Handler h) { handlers_[irq] = std::move(h); }
+
+  // Asynchronously dispatches the handler (fire and forget, like real HW).
+  void raise(int irq);
+
+  std::uint64_t count(int irq) const {
+    const auto it = counts_.find(irq);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  sim::Task<void> service(int irq);
+
+  sim::Engine& eng_;
+  hw::Cpu& cpu0_;
+  InterruptConfig cfg_;
+  std::map<int, Handler> handlers_;
+  std::map<int, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace osk

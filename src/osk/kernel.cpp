@@ -1,0 +1,63 @@
+#include "osk/kernel.hpp"
+
+namespace osk {
+
+const char* to_string(KernErr e) {
+  switch (e) {
+    case KernErr::kOk:
+      return "ok";
+    case KernErr::kBadPid:
+      return "bad pid";
+    case KernErr::kBadBuffer:
+      return "bad buffer";
+    case KernErr::kBadTarget:
+      return "bad target";
+    case KernErr::kNoResources:
+      return "no resources";
+  }
+  return "?";
+}
+
+Kernel::Kernel(sim::Engine& eng, hw::Node& node, const KernelConfig& cfg)
+    : eng_{eng},
+      node_{node},
+      cfg_{cfg},
+      pindown_{cfg.pindown},
+      shm_{node.memory()},
+      irq_{eng, node.cpu(0), cfg.interrupt} {}
+
+Process& Kernel::create_process(int cpu) {
+  if (cpu < 0) {
+    cpu = next_cpu_;
+    next_cpu_ = (next_cpu_ + 1) % node_.cpu_count();
+  }
+  const Pid pid = next_pid_++;
+  auto proc = std::make_unique<Process>(*this, pid, node_.cpu(cpu),
+                                        node_.memory());
+  auto& ref = *proc;
+  procs_[pid] = std::move(proc);
+  return ref;
+}
+
+Process* Kernel::find(Pid pid) {
+  const auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+KernErr Kernel::validate_caller(const Process& p, Pid claimed) const {
+  return p.pid() == claimed ? KernErr::kOk : KernErr::kBadPid;
+}
+
+KernErr Kernel::validate_buffer(const Process& p, VirtAddr vaddr,
+                                std::size_t len) const {
+  return p.mapped(vaddr, len) ? KernErr::kOk : KernErr::kBadBuffer;
+}
+
+KernErr Kernel::validate_target(std::uint32_t node, std::uint32_t max_nodes,
+                                std::uint32_t port,
+                                std::uint32_t max_ports) const {
+  if (node >= max_nodes || port >= max_ports) return KernErr::kBadTarget;
+  return KernErr::kOk;
+}
+
+}  // namespace osk

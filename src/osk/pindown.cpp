@@ -1,0 +1,52 @@
+#include "osk/pindown.hpp"
+
+#include <stdexcept>
+
+namespace osk {
+
+sim::Task<std::vector<hw::PhysSegment>> PinDownTable::translate_and_pin(
+    Process& proc, VirtAddr vaddr, std::size_t len) {
+  if (len == 0) len = 1;
+  const std::uint64_t first = vaddr / hw::kPageSize;
+  const std::uint64_t last = (vaddr + len - 1) / hw::kPageSize;
+  const std::size_t npages = static_cast<std::size_t>(last - first + 1);
+
+  // Validate the mapping before charging pin costs.
+  auto segs = proc.translate(vaddr, len);
+
+  std::size_t new_pins = 0;
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    auto [it, inserted] = pinned_.try_emplace(Key{proc.pid(), vp});
+    if (inserted) ++new_pins;
+    ++it->second.refs;
+  }
+  if (pinned_.size() > cfg_.max_pinned_pages) {
+    // Roll back and refuse: the caller sees a resource error.
+    unpin(proc, vaddr, len);
+    throw std::runtime_error("pin-down table full");
+  }
+  if (new_pins == 0) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+
+  const sim::Time cost =
+      cfg_.lookup + cfg_.pin_per_page * static_cast<double>(new_pins) +
+      cfg_.entry_per_page * static_cast<double>(npages);
+  co_await proc.cpu().busy(cost);
+  co_return segs;
+}
+
+void PinDownTable::unpin(Process& proc, VirtAddr vaddr, std::size_t len) {
+  if (len == 0) len = 1;
+  const std::uint64_t first = vaddr / hw::kPageSize;
+  const std::uint64_t last = (vaddr + len - 1) / hw::kPageSize;
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    auto it = pinned_.find(Key{proc.pid(), vp});
+    if (it == pinned_.end()) continue;
+    if (--it->second.refs <= 0) pinned_.erase(it);
+  }
+}
+
+}  // namespace osk

@@ -1,0 +1,60 @@
+// Pin-down buffer page table.
+//
+// The paper's semi-user-level architecture keeps virtual-to-physical
+// translation in the host kernel: on each send the kernel searches this
+// table and, on a miss, pins the pages and records the mapping (section 3).
+// Costs are charged to the calling process's CPU core.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hw/memory.hpp"
+#include "osk/process.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace osk {
+
+struct PinDownConfig {
+  sim::Time lookup = sim::Time::us(0.30);          // hash probe per request
+  sim::Time pin_per_page = sim::Time::us(0.90);    // first-time pin (miss)
+  sim::Time entry_per_page = sim::Time::us(0.04);  // building the phys list
+  std::size_t max_pinned_pages = 1u << 20;
+};
+
+class PinDownTable {
+ public:
+  explicit PinDownTable(const PinDownConfig& cfg) : cfg_{cfg} {}
+
+  // Translates [vaddr, vaddr+len) of `proc`, pinning any unpinned pages.
+  // Returns merged physical segments.  Throws std::out_of_range on an
+  // unmapped range and std::runtime_error when the pin limit is exceeded.
+  sim::Task<std::vector<hw::PhysSegment>> translate_and_pin(
+      Process& proc, VirtAddr vaddr, std::size_t len);
+
+  // Drops one pin reference per page of the range.
+  void unpin(Process& proc, VirtAddr vaddr, std::size_t len);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t pinned_pages() const { return pinned_.size(); }
+
+ private:
+  struct Key {
+    Pid pid;
+    std::uint64_t vpage;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    int refs = 0;
+  };
+
+  PinDownConfig cfg_;
+  std::map<Key, Entry> pinned_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace osk

@@ -1,0 +1,124 @@
+#include "osk/process.hpp"
+
+#include <new>
+#include <stdexcept>
+
+#include "osk/kernel.hpp"
+
+namespace osk {
+
+Process::Process(Kernel& kernel, Pid pid, hw::Cpu& cpu, hw::HostMemory& mem)
+    : kernel_{kernel}, pid_{pid}, cpu_{cpu}, mem_{mem} {}
+
+Process::~Process() {
+  for (const auto& [vpage, frame] : pages_) mem_.free_frame(frame);
+}
+
+UserBuffer Process::alloc(std::size_t len) {
+  if (len == 0) len = 1;
+  const VirtAddr base = next_vaddr_;
+  const std::uint64_t first = base / hw::kPageSize;
+  const std::uint64_t last = (base + len - 1) / hw::kPageSize;
+  std::vector<std::uint64_t> got;
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    auto frame = mem_.alloc_frame();
+    if (!frame) {
+      // Roll back both the frames and the page-table entries.
+      for (std::uint64_t undo = first; undo < vp; ++undo) {
+        pages_.erase(undo);
+      }
+      for (auto f : got) mem_.free_frame(f);
+      throw std::bad_alloc{};
+    }
+    got.push_back(*frame);
+    pages_[vp] = *frame;
+  }
+  next_vaddr_ = (last + 1) * hw::kPageSize;
+  return UserBuffer{base, len, pid_};
+}
+
+void Process::free(const UserBuffer& buf) {
+  const std::uint64_t first = buf.vaddr / hw::kPageSize;
+  const std::uint64_t last = (buf.vaddr + buf.len - 1) / hw::kPageSize;
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    auto it = pages_.find(vp);
+    if (it == pages_.end()) continue;
+    mem_.free_frame(it->second);
+    pages_.erase(it);
+  }
+}
+
+std::vector<hw::PhysSegment> Process::translate(VirtAddr vaddr,
+                                                std::size_t len) const {
+  std::vector<hw::PhysSegment> segs;
+  std::size_t remaining = len;
+  VirtAddr v = vaddr;
+  while (remaining > 0) {
+    const auto it = pages_.find(v / hw::kPageSize);
+    if (it == pages_.end()) {
+      throw std::out_of_range("unmapped virtual address");
+    }
+    const std::size_t in_page = hw::kPageSize - v % hw::kPageSize;
+    const std::size_t take = std::min(in_page, remaining);
+    const hw::PhysAddr pa =
+        it->second * hw::kPageSize + v % hw::kPageSize;
+    // Merge physically-adjacent pages into one segment.
+    if (!segs.empty() && segs.back().addr + segs.back().len == pa) {
+      segs.back().len += take;
+    } else {
+      segs.push_back({pa, take});
+    }
+    v += take;
+    remaining -= take;
+  }
+  return segs;
+}
+
+bool Process::mapped(VirtAddr vaddr, std::size_t len) const {
+  if (len == 0) len = 1;
+  const std::uint64_t first = vaddr / hw::kPageSize;
+  const std::uint64_t last = (vaddr + len - 1) / hw::kPageSize;
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    if (!pages_.contains(vp)) return false;
+  }
+  return true;
+}
+
+void Process::poke(const UserBuffer& buf, std::size_t off,
+                   std::span<const std::byte> data) {
+  if (off + data.size() > buf.len) throw std::out_of_range("poke past buffer");
+  for (const auto& seg : translate(buf.vaddr + off, data.size())) {
+    mem_.write(seg.addr, data.subspan(0, seg.len));
+    data = data.subspan(seg.len);
+  }
+}
+
+void Process::peek(const UserBuffer& buf, std::size_t off,
+                   std::span<std::byte> out) const {
+  if (off + out.size() > buf.len) throw std::out_of_range("peek past buffer");
+  for (const auto& seg : translate(buf.vaddr + off, out.size())) {
+    mem_.read(seg.addr, out.subspan(0, seg.len));
+    out = out.subspan(seg.len);
+  }
+}
+
+void Process::fill_pattern(const UserBuffer& buf, unsigned seed) {
+  std::vector<std::byte> data(buf.len);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 197 + seed * 31 + 7) & 0xff);
+  }
+  poke(buf, 0, data);
+}
+
+bool Process::check_pattern(const UserBuffer& buf, unsigned seed) const {
+  std::vector<std::byte> data(buf.len);
+  peek(buf, 0, data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != static_cast<std::byte>((i * 197 + seed * 31 + 7) & 0xff)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace osk

@@ -1,0 +1,74 @@
+// A user process: an address space (virtual page -> physical frame), a core
+// binding, and typed access helpers into its buffers.
+//
+// Processes never see physical addresses; translation is the kernel's job
+// (osk::PinDownTable), which is the crux of the semi-user-level design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "hw/memory.hpp"
+
+namespace osk {
+
+using Pid = std::uint32_t;
+using VirtAddr = std::uint64_t;
+
+// A virtually-contiguous user buffer owned by one process.
+struct UserBuffer {
+  VirtAddr vaddr = 0;
+  std::size_t len = 0;
+  Pid owner = 0;
+};
+
+class Kernel;
+
+class Process {
+ public:
+  Process(Kernel& kernel, Pid pid, hw::Cpu& cpu, hw::HostMemory& mem);
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  Pid pid() const { return pid_; }
+  Kernel& kernel() { return kernel_; }
+  hw::Cpu& cpu() { return cpu_; }
+
+  // -- address space -----------------------------------------------------------
+  // Allocates `len` bytes of virtual memory backed by (possibly scattered)
+  // physical frames.  Throws std::bad_alloc when the node is out of frames.
+  UserBuffer alloc(std::size_t len);
+  void free(const UserBuffer& buf);
+
+  // Kernel-side translation: physical segments covering [vaddr, vaddr+len).
+  // Throws std::out_of_range for unmapped ranges.
+  std::vector<hw::PhysSegment> translate(VirtAddr vaddr,
+                                         std::size_t len) const;
+  bool mapped(VirtAddr vaddr, std::size_t len) const;
+
+  // -- data access (simulation-side, no timing) ---------------------------------
+  void poke(const UserBuffer& buf, std::size_t off,
+            std::span<const std::byte> data);
+  void peek(const UserBuffer& buf, std::size_t off,
+            std::span<std::byte> out) const;
+  // Fills a buffer with a deterministic pattern / verifies it (test aid).
+  void fill_pattern(const UserBuffer& buf, unsigned seed);
+  bool check_pattern(const UserBuffer& buf, unsigned seed) const;
+
+  std::size_t mapped_pages() const { return pages_.size(); }
+
+ private:
+  Kernel& kernel_;
+  Pid pid_;
+  hw::Cpu& cpu_;
+  hw::HostMemory& mem_;
+  std::map<std::uint64_t, std::uint64_t> pages_;  // vpage -> frame
+  VirtAddr next_vaddr_ = 0x1000'0000;
+};
+
+}  // namespace osk

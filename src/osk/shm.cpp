@@ -1,0 +1,35 @@
+#include "osk/shm.hpp"
+
+#include <new>
+
+namespace osk {
+
+ShmManager::~ShmManager() {
+  for (const auto& [id, seg] : segs_) {
+    mem_.free_contiguous(seg.base / hw::kPageSize, seg.len / hw::kPageSize);
+  }
+}
+
+ShmSegment ShmManager::create(std::size_t bytes) {
+  const std::size_t pages = (bytes + hw::kPageSize - 1) / hw::kPageSize;
+  const auto first = mem_.alloc_contiguous(pages);
+  if (!first) throw std::bad_alloc{};
+  ShmSegment seg{next_id_++, *first * hw::kPageSize, pages * hw::kPageSize};
+  segs_[seg.id] = seg;
+  return seg;
+}
+
+void ShmManager::destroy(std::uint32_t id) {
+  const auto it = segs_.find(id);
+  if (it == segs_.end()) throw std::out_of_range("no such shm segment");
+  mem_.free_contiguous(it->second.base / hw::kPageSize,
+                       it->second.len / hw::kPageSize);
+  segs_.erase(it);
+}
+
+const ShmSegment* ShmManager::find(std::uint32_t id) const {
+  const auto it = segs_.find(id);
+  return it == segs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace osk

@@ -1,0 +1,42 @@
+// Shared-memory segments for intra-node communication (section 4.2).
+//
+// A segment is physically contiguous and mapped by every process on the
+// node; BCL builds its per-process-pair queue pairs on top.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+
+#include "hw/memory.hpp"
+
+namespace osk {
+
+struct ShmSegment {
+  std::uint32_t id = 0;
+  hw::PhysAddr base = 0;
+  std::size_t len = 0;
+};
+
+class ShmManager {
+ public:
+  explicit ShmManager(hw::HostMemory& mem) : mem_{mem} {}
+  ~ShmManager();
+  ShmManager(const ShmManager&) = delete;
+  ShmManager& operator=(const ShmManager&) = delete;
+
+  // Throws std::bad_alloc when no contiguous run is available.
+  ShmSegment create(std::size_t bytes);
+  void destroy(std::uint32_t id);
+  const ShmSegment* find(std::uint32_t id) const;
+
+  hw::HostMemory& memory() { return mem_; }
+  std::size_t segment_count() const { return segs_.size(); }
+
+ private:
+  hw::HostMemory& mem_;
+  std::map<std::uint32_t, ShmSegment> segs_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace osk

@@ -1,0 +1,65 @@
+// Timed shared resource (a bus, a DMA engine, a CPU core...).
+//
+// `use(d)` occupies one unit of the resource for `d` of simulated time with
+// FIFO arbitration, and records utilization statistics.  For irregular hold
+// patterns use acquire()/release() directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sim {
+
+class Resource {
+ public:
+  Resource(Engine& eng, std::string name, std::int64_t units = 1)
+      : eng_{eng}, name_{std::move(name)}, units_{units}, sem_{eng, units} {}
+
+  Task<void> use(Time d) {
+    co_await sem_.acquire();
+    busy_time_ += d;
+    ++uses_;
+    co_await eng_.sleep(d);
+    sem_.release();
+  }
+
+  auto acquire() {
+    ++uses_;
+    return sem_.acquire();
+  }
+  void release() { sem_.release(); }
+  bool try_acquire() {
+    if (sem_.try_acquire()) {
+      ++uses_;
+      return true;
+    }
+    return false;
+  }
+  // Account `d` of busy time for a manually-held unit.
+  void note_busy(Time d) { busy_time_ += d; }
+
+  const std::string& name() const { return name_; }
+  std::int64_t units() const { return units_; }
+  std::int64_t in_use() const { return units_ - sem_.available(); }
+  std::size_t queue_length() const { return sem_.waiting(); }
+  std::uint64_t uses() const { return uses_; }
+  Time busy_time() const { return busy_time_; }
+  double utilization(Time elapsed) const {
+    if (elapsed <= Time::zero()) return 0.0;
+    return busy_time_ / elapsed / static_cast<double>(units_);
+  }
+
+ private:
+  Engine& eng_;
+  std::string name_;
+  std::int64_t units_;
+  Semaphore sem_;
+  Time busy_time_ = Time::zero();
+  std::uint64_t uses_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,53 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sim {
+
+int Histogram::bin_of(double x) {
+  if (x <= 0.0) return 0;
+  const int e = static_cast<int>(std::floor(std::log2(x)));
+  const int b = e + 16;
+  return std::clamp(b, 0, kBins - 1);
+}
+
+double Histogram::bin_low(int b) { return std::ldexp(1.0, b - 16); }
+
+void Histogram::add(double x) {
+  ++bins_[bin_of(x)];
+  ++total_;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBins; ++b) {
+    cum += bins_[b];
+    if (static_cast<double>(cum) >= target) return bin_low(b + 1);
+  }
+  return bin_low(kBins);
+}
+
+std::string Histogram::ascii(int width) const {
+  std::string out;
+  std::uint64_t peak = 0;
+  for (auto v : bins_) peak = std::max(peak, v);
+  if (peak == 0) return "(empty)\n";
+  char line[160];
+  for (int b = 0; b < kBins; ++b) {
+    if (bins_[b] == 0) continue;
+    const int bar = static_cast<int>(
+        static_cast<double>(bins_[b]) / static_cast<double>(peak) * width);
+    std::snprintf(line, sizeof line, "%10.4g..%-10.4g %8llu |", bin_low(b),
+                  bin_low(b + 1),
+                  static_cast<unsigned long long>(bins_[b]));
+    out += line;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sim

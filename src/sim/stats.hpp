@@ -1,0 +1,62 @@
+// Lightweight measurement helpers: counters, running summaries, and
+// log-binned histograms for latency distributions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sim {
+
+// Running scalar summary (count / mean / min / max / variance).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  void add(Time t) { add(t.to_us()); }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over log2-spaced bins; good enough for latency spreads that
+// span several orders of magnitude.
+class Histogram {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  double percentile(double p) const;  // p in [0, 100]
+  std::string ascii(int width = 40) const;
+
+ private:
+  static constexpr int kBins = 96;  // 2^-16 .. 2^80
+  static int bin_of(double x);
+  static double bin_low(int b);
+
+  std::uint64_t bins_[kBins]{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,47 @@
+#include "sim/sync.hpp"
+
+namespace sim {
+
+void Semaphore::release(std::int64_t n) {
+  while (n > 0 && !waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    eng_.schedule(eng_.now(), h);
+    --n;
+  }
+  count_ += n;
+}
+
+Task<void> CondVar::wait(Mutex& m) {
+  struct Enqueue {
+    CondVar& cv;
+    Mutex& m;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      cv.waiters_.push_back(h);
+      m.unlock();
+    }
+    void await_resume() const noexcept {}
+  };
+  co_await Enqueue{*this, m};
+  co_await m.lock();
+}
+
+void CondVar::notify_one() {
+  if (waiters_.empty()) return;
+  eng_.schedule(eng_.now(), waiters_.front());
+  waiters_.pop_front();
+}
+
+void CondVar::notify_all() {
+  for (auto h : waiters_) eng_.schedule(eng_.now(), h);
+  waiters_.clear();
+}
+
+void Gate::open() {
+  open_ = true;
+  for (auto h : waiters_) eng_.schedule(eng_.now(), h);
+  waiters_.clear();
+}
+
+}  // namespace sim

@@ -1,0 +1,120 @@
+// Lazy coroutine task type used by every simulated activity.
+//
+// A Task<T> is a coroutine that starts suspended and runs when awaited;
+// on completion it resumes its awaiter via symmetric transfer.  Exceptions
+// thrown inside a task propagate to the awaiter from `co_await`.
+//
+// Root activities (NIC firmware loops, application processes, ...) are
+// started with Engine::spawn / Engine::spawn_daemon (see engine.hpp), which
+// wrap the Task in a self-destroying detached frame.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value{};
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task(Task&& o) noexcept : handle_{std::exchange(o.handle_, nullptr)} {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  // -- awaiter interface ------------------------------------------------------
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    if constexpr (!std::is_void_v<T>) return std::move(*p.value);
+  }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+
+ private:
+  friend struct detail::TaskPromise<T>;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_{h} {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<TaskPromise<T>>::from_promise(*this)};
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>{
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace sim

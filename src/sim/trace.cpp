@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace sim {
+
+Time Trace::stage_total(const std::string& stage, std::uint64_t tag) const {
+  Time total = Time::zero();
+  for (const auto& e : events_) {
+    if (e.tag == tag && e.stage == stage) total += e.end - e.start;
+  }
+  return total;
+}
+
+std::string Trace::to_chrome_json() const {
+  std::map<std::string, int> tids;
+  std::string out = "[\n";
+  char line[256];
+  bool first = true;
+  for (const auto& e : events_) {
+    const auto [it, inserted] =
+        tids.try_emplace(e.component, static_cast<int>(tids.size()) + 1);
+    std::snprintf(line, sizeof line,
+                  "%s {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"msg\":%llu}}",
+                  first ? "" : ",\n", e.stage.c_str(), e.component.c_str(),
+                  e.start.to_us(), (e.end - e.start).to_us(), it->second,
+                  (unsigned long long)e.tag);
+    out += line;
+    first = false;
+  }
+  // Track names.
+  for (const auto& [comp, tid] : tids) {
+    std::snprintf(line, sizeof line,
+                  "%s {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",\n", tid, comp.c_str());
+    out += line;
+    first = false;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::vector<TraceEvent> Trace::timeline(std::uint64_t tag) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.tag == tag) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start < b.start;
+                   });
+  return out;
+}
+
+}  // namespace sim

@@ -1,0 +1,101 @@
+// Stage-tagged timeline recording.
+//
+// Protocol code brackets each pipeline stage with begin()/end(); the
+// recorder keeps (t0, t1, component, stage, tag) tuples.  The Fig. 5-7
+// benchmarks replay one message with tracing enabled and print the per-stage
+// breakdown exactly the way the paper's timeline figures do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+struct TraceEvent {
+  Time start;
+  Time end;
+  std::string component;  // e.g. "host0", "nic1"
+  std::string stage;      // e.g. "kernel-trap", "pio-fill"
+  std::uint64_t tag;      // message id
+};
+
+class Trace {
+ public:
+  explicit Trace(Engine& eng) : eng_{eng} {}
+
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void clear() { events_.clear(); }
+
+  // RAII span; records on end().  No-op when tracing is disabled.
+  class Span {
+   public:
+    Span() = default;
+    Span(Trace* tr, std::string component, std::string stage,
+         std::uint64_t tag)
+        : tr_{tr},
+          start_{tr->eng_.now()},
+          component_{std::move(component)},
+          stage_{std::move(stage)},
+          tag_{tag} {}
+    Span(Span&& o) noexcept { *this = std::move(o); }
+    Span& operator=(Span&& o) noexcept {
+      tr_ = o.tr_;
+      start_ = o.start_;
+      component_ = std::move(o.component_);
+      stage_ = std::move(o.stage_);
+      tag_ = o.tag_;
+      o.tr_ = nullptr;
+      return *this;
+    }
+    ~Span() { end(); }
+
+    void end() {
+      if (!tr_) return;
+      tr_->events_.push_back(TraceEvent{start_, tr_->eng_.now(), component_,
+                                        stage_, tag_});
+      tr_ = nullptr;
+    }
+
+   private:
+    Trace* tr_ = nullptr;
+    Time start_;
+    std::string component_;
+    std::string stage_;
+    std::uint64_t tag_ = 0;
+  };
+
+  Span span(std::string component, std::string stage, std::uint64_t tag = 0) {
+    if (!enabled_) return Span{};
+    return Span{this, std::move(component), std::move(stage), tag};
+  }
+
+  // Instantaneous marker.
+  void mark(std::string component, std::string stage, std::uint64_t tag = 0) {
+    if (!enabled_) return;
+    events_.push_back(
+        TraceEvent{eng_.now(), eng_.now(), std::move(component),
+                   std::move(stage), tag});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Total duration spent in `stage` for message `tag` (summed over spans).
+  Time stage_total(const std::string& stage, std::uint64_t tag) const;
+  // All events for one message ordered by start time.
+  std::vector<TraceEvent> timeline(std::uint64_t tag) const;
+  // Chrome trace-event JSON (load in chrome://tracing or Perfetto); each
+  // component becomes a track.
+  std::string to_chrome_json() const;
+
+ private:
+  Engine& eng_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sim

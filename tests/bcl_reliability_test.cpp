@@ -1,0 +1,210 @@
+// Fault-injection tests of the go-back-N reliability protocol the MCP runs
+// on the NIC: corrupted links must not lose, duplicate, or reorder data.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bcl/bcl.hpp"
+#include "hw/myrinet_switch.hpp"
+
+namespace {
+
+using bcl::BclCluster;
+using bcl::BclErr;
+using bcl::ClusterConfig;
+using bcl::Endpoint;
+using bcl::PortId;
+using bcl::RecvEvent;
+using sim::Task;
+using sim::Time;
+
+ClusterConfig lossy_cluster(double corrupt_prob, bool reliable = true) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.mem_bytes = 8u << 20;
+  cfg.cost.reliable = reliable;
+  cfg.cost.rto = Time::us(80);  // recover quickly in tests
+  cfg.fabric.myrinet.link.corrupt_prob = 0.0;  // set per-link below
+  (void)corrupt_prob;
+  return cfg;
+}
+
+hw::MyrinetFabric& myrinet(BclCluster& c) {
+  return dynamic_cast<hw::MyrinetFabric&>(c.fabric());
+}
+
+TEST(BclReliability, LossyLinkDeliversExactlyOnceInOrder) {
+  BclCluster c{lossy_cluster(0.05)};
+  myrinet(c).set_host_link_corrupt_prob(0, 0.05);
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  constexpr int kMsgs = 60;
+  std::vector<unsigned> order;
+  c.engine().spawn([](Endpoint& tx, PortId dst) -> Task<void> {
+    auto buf = tx.process().alloc(256);
+    for (unsigned i = 0; i < kMsgs; ++i) {
+      const std::byte b[1] = {std::byte{static_cast<unsigned char>(i)}};
+      tx.process().poke(buf, 0, b);
+      auto r = co_await tx.send_system(dst, buf, 256);
+      EXPECT_EQ(r.err, BclErr::kOk);
+      (void)co_await tx.wait_send();
+    }
+  }(tx, rx.id()));
+  c.engine().spawn([](Endpoint& rx, std::vector<unsigned>& ord) -> Task<void> {
+    for (int i = 0; i < kMsgs; ++i) {
+      RecvEvent ev = co_await rx.wait_recv();
+      auto data = co_await rx.copy_out_system(ev);
+      ord.push_back(static_cast<unsigned>(data.at(0)));
+    }
+  }(rx, order));
+  c.engine().run();
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(kMsgs));
+  for (unsigned i = 0; i < kMsgs; ++i) EXPECT_EQ(order[i], i);
+  // Some packets must actually have been corrupted and recovered.
+  EXPECT_GT(c.node(1).mcp().stats().crc_drops, 0u);
+  EXPECT_GT(c.node(0).mcp().retransmissions(), 0u);
+}
+
+TEST(BclReliability, LargeMessageSurvivesCorruption) {
+  BclCluster c{lossy_cluster(0.08)};
+  myrinet(c).set_host_link_corrupt_prob(0, 0.08);
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  const std::size_t kLen = 64 * 1024;
+  bool verified = false;
+  c.engine().spawn([](Endpoint& rx, Endpoint& tx, std::size_t len,
+                      bool& ok) -> Task<void> {
+    auto rbuf = rx.process().alloc(len);
+    EXPECT_EQ(co_await rx.post_recv(0, rbuf), BclErr::kOk);
+    auto go = rx.process().alloc(1);
+    (void)co_await rx.send_system(tx.id(), go, 1);
+    RecvEvent ev = co_await rx.wait_recv();
+    EXPECT_EQ(ev.len, len);
+    ok = rx.process().check_pattern(rbuf, 13);
+  }(rx, tx, kLen, verified));
+  c.engine().spawn([](Endpoint& tx, PortId dst, std::size_t len)
+                       -> Task<void> {
+    RecvEvent go = co_await tx.wait_recv();
+    (void)co_await tx.copy_out_system(go);
+    auto sbuf = tx.process().alloc(len);
+    tx.process().fill_pattern(sbuf, 13);
+    auto r = co_await tx.send(dst, bcl::ChannelRef{bcl::ChanKind::kNormal, 0},
+                              sbuf, len);
+    EXPECT_EQ(r.err, BclErr::kOk);
+  }(tx, rx.id(), kLen));
+  c.engine().run();
+  EXPECT_TRUE(verified);
+  EXPECT_GT(c.node(0).mcp().retransmissions(), 0u);
+}
+
+TEST(BclReliability, UnreliableModeLosesOnCorruption) {
+  BclCluster c{lossy_cluster(0.2, /*reliable=*/false)};
+  myrinet(c).set_host_link_corrupt_prob(0, 0.2);
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn([](Endpoint& tx, PortId dst) -> Task<void> {
+    auto buf = tx.process().alloc(128);
+    for (int i = 0; i < 50; ++i) {
+      auto r = co_await tx.send_system(dst, buf, 128);
+      EXPECT_EQ(r.err, BclErr::kOk);
+      (void)co_await tx.wait_send();
+    }
+  }(tx, rx.id()));
+  c.engine().run();  // no receiver: just count deliveries at the port
+  const auto& st = c.node(1).mcp().stats();
+  EXPECT_GT(st.crc_drops, 0u);
+  EXPECT_LT(rx.port().messages_received, 50u);  // losses visible
+  EXPECT_EQ(c.node(0).mcp().retransmissions(), 0u);
+}
+
+TEST(BclReliability, CleanLinkNeverRetransmits) {
+  BclCluster c{lossy_cluster(0.0)};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn([](Endpoint& tx, PortId dst) -> Task<void> {
+    auto buf = tx.process().alloc(4096);
+    for (int i = 0; i < 30; ++i) {
+      auto r = co_await tx.send_system(dst, buf, 4096);
+      EXPECT_EQ(r.err, BclErr::kOk);
+      (void)co_await tx.wait_send();
+    }
+  }(tx, rx.id()));
+  c.engine().spawn([](Endpoint& rx) -> Task<void> {
+    for (int i = 0; i < 30; ++i) {
+      RecvEvent ev = co_await rx.wait_recv();
+      (void)co_await rx.copy_out_system(ev);
+    }
+  }(rx));
+  c.engine().run();
+  EXPECT_EQ(c.node(0).mcp().retransmissions(), 0u);
+  EXPECT_EQ(c.node(1).mcp().stats().seq_drops, 0u);
+  EXPECT_GT(c.node(1).mcp().stats().acks_sent, 0u);
+}
+
+TEST(BclReliability, WindowBackpressureStallsNotLoses) {
+  // Tiny window: the sender must stall on in-flight packets, and still
+  // deliver everything in order.
+  ClusterConfig cfg = lossy_cluster(0.0);
+  cfg.cost.window = 2;
+  BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  const std::size_t kLen = 48 * 1024;  // 12 fragments >> window
+  bool verified = false;
+  c.engine().spawn([](Endpoint& rx, Endpoint& tx, std::size_t len,
+                      bool& ok) -> Task<void> {
+    auto rbuf = rx.process().alloc(len);
+    EXPECT_EQ(co_await rx.post_recv(0, rbuf), BclErr::kOk);
+    auto go = rx.process().alloc(1);
+    (void)co_await rx.send_system(tx.id(), go, 1);
+    (void)co_await rx.wait_recv();
+    ok = rx.process().check_pattern(rbuf, 3);
+  }(rx, tx, kLen, verified));
+  c.engine().spawn([](Endpoint& tx, PortId dst, std::size_t len)
+                       -> Task<void> {
+    RecvEvent go = co_await tx.wait_recv();
+    (void)co_await tx.copy_out_system(go);
+    auto sbuf = tx.process().alloc(len);
+    tx.process().fill_pattern(sbuf, 3);
+    auto r = co_await tx.send(dst, bcl::ChannelRef{bcl::ChanKind::kNormal, 0},
+                              sbuf, len);
+    EXPECT_EQ(r.err, BclErr::kOk);
+  }(tx, rx.id(), kLen));
+  c.engine().run();
+  EXPECT_TRUE(verified);
+}
+
+TEST(BclReliability, BothDirectionsLossySimultaneously) {
+  BclCluster c{lossy_cluster(0.05)};
+  myrinet(c).set_host_link_corrupt_prob(0, 0.06);
+  myrinet(c).set_host_link_corrupt_prob(1, 0.06);
+  auto& a = c.open_endpoint(0);
+  auto& b = c.open_endpoint(1);
+  int got_a = 0, got_b = 0;
+  auto pingpong = [](Endpoint& me, PortId peer, int rounds, bool starter,
+                     int& got) -> Task<void> {
+    auto buf = me.process().alloc(64);
+    for (int i = 0; i < rounds; ++i) {
+      if (starter) {
+        auto r = co_await me.send_system(peer, buf, 64);
+        EXPECT_EQ(r.err, BclErr::kOk);
+        RecvEvent ev = co_await me.wait_recv();
+        (void)co_await me.copy_out_system(ev);
+        ++got;
+      } else {
+        RecvEvent ev = co_await me.wait_recv();
+        (void)co_await me.copy_out_system(ev);
+        ++got;
+        auto r = co_await me.send_system(peer, buf, 64);
+        EXPECT_EQ(r.err, BclErr::kOk);
+      }
+    }
+  };
+  c.engine().spawn(pingpong(a, b.id(), 25, true, got_a));
+  c.engine().spawn(pingpong(b, a.id(), 25, false, got_b));
+  c.engine().run();
+  EXPECT_EQ(got_a, 25);
+  EXPECT_EQ(got_b, 25);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Stress tests of EADI-2 internals: normal-channel exhaustion under many
+// concurrent rendezvous, staging-buffer recycling, bidirectional bulk, and
+// probe semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using cluster::World;
+using cluster::WorldConfig;
+using eadi::Device;
+using eadi::kAnyNode;
+using sim::Task;
+using sim::Time;
+
+WorldConfig cfg_with_channels(std::uint16_t normal_channels) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = 2;
+  cfg.cluster.node.mem_bytes = 32u << 20;
+  cfg.cluster.cost.normal_channels = normal_channels;
+  return cfg;
+}
+
+// More concurrent large messages than there are normal channels: the
+// device must recycle channels, not deadlock or corrupt.
+constexpr int kConcMsgs = 8;
+constexpr std::size_t kConcLen = 40'000;
+
+Task<void> conc_send_one(Device& d, bcl::PortId dst, int i,
+                         osk::UserBuffer buf,
+                         std::shared_ptr<sim::Gate> done) {
+  co_await d.send(dst, 0, 100 + i, buf, kConcLen);
+  done->open();
+}
+
+Task<void> conc_recv_one(Device& d, int i, std::shared_ptr<sim::Gate> done,
+                         int& verified) {
+  auto buf = d.process().alloc(kConcLen);
+  auto r = co_await d.recv(0, 100 + i, bcl::PortId{kAnyNode, 0}, buf);
+  EXPECT_EQ(r.len, kConcLen);
+  if (d.process().check_pattern(buf, static_cast<unsigned>(i))) ++verified;
+  done->open();
+}
+
+TEST(EadiStress, MoreRendezvousThanChannels) {
+  World w{cfg_with_channels(/*normal_channels=*/3), 2};
+  int verified = 0;
+  std::vector<std::shared_ptr<sim::Gate>> gates;
+  // All 8 sends and all 8 receives in flight at once, fighting over 3
+  // normal channels.
+  for (int i = 0; i < kConcMsgs; ++i) {
+    auto sbuf = w.device(0).process().alloc(kConcLen);
+    w.device(0).process().fill_pattern(sbuf, static_cast<unsigned>(i));
+    gates.push_back(std::make_shared<sim::Gate>(w.engine()));
+    w.engine().spawn_daemon(
+        conc_send_one(w.device(0), w.device(1).id(), i, sbuf, gates.back()));
+    gates.push_back(std::make_shared<sim::Gate>(w.engine()));
+    w.engine().spawn_daemon(
+        conc_recv_one(w.device(1), i, gates.back(), verified));
+  }
+  w.engine().spawn([](std::vector<std::shared_ptr<sim::Gate>> gates)
+                       -> Task<void> {
+    for (auto& g : gates) co_await g->wait();
+  }(gates));
+  w.engine().run();
+  EXPECT_EQ(verified, kConcMsgs);
+}
+
+// Hammer the eager path with far more messages than staging buffers;
+// recycling through send events must keep up.
+TEST(EadiStress, StagingBuffersRecycle) {
+  WorldConfig cfg = cfg_with_channels(8);
+  cfg.device.staging_buffers = 2;
+  World w{cfg, 2};
+  constexpr int kMsgs = 64;
+  int got = 0;
+  w.engine().spawn([](Device& d, bcl::PortId dst) -> Task<void> {
+    auto buf = d.process().alloc(512);
+    for (int i = 0; i < kMsgs; ++i) {
+      co_await d.send(dst, 0, 7, buf, 512);
+    }
+  }(w.device(0), w.device(1).id()));
+  w.engine().spawn([](Device& d, int& got) -> Task<void> {
+    auto buf = d.process().alloc(512);
+    for (int i = 0; i < kMsgs; ++i) {
+      auto r = co_await d.recv(0, 7, bcl::PortId{kAnyNode, 0}, buf);
+      EXPECT_EQ(r.len, 512u);
+      ++got;
+    }
+  }(w.device(1), got));
+  w.engine().run();
+  EXPECT_EQ(got, kMsgs);
+}
+
+// Simultaneous large transfers in both directions (rendezvous both ways
+// through the same pair of NICs).
+//
+// A blocking rendezvous send cannot complete until the peer posts a
+// receive, so a naive send-then-recv on both sides would deadlock; run
+// each send in a background task and join it through a gate.
+constexpr std::size_t kBidirLen = 150'000;
+
+Task<void> bidir_send_bg(Device& me, bcl::PortId other, unsigned seed,
+                         osk::UserBuffer sbuf,
+                         std::shared_ptr<sim::Gate> done) {
+  co_await me.send(other, 0, static_cast<std::int32_t>(seed), sbuf,
+                   kBidirLen);
+  done->open();
+}
+
+Task<void> bidir_peer(sim::Engine& eng, Device& me, bcl::PortId other,
+                      unsigned seed, int& verified) {
+  auto sbuf = me.process().alloc(kBidirLen);
+  auto rbuf = me.process().alloc(kBidirLen);
+  me.process().fill_pattern(sbuf, seed);
+  auto done = std::make_shared<sim::Gate>(eng);
+  eng.spawn_daemon(bidir_send_bg(me, other, seed, sbuf, done));
+  auto r = co_await me.recv(0, eadi::kAnyTag, bcl::PortId{kAnyNode, 0},
+                            rbuf);
+  EXPECT_EQ(r.len, kBidirLen);
+  co_await done->wait();
+  if (me.process().check_pattern(rbuf, seed == 1 ? 2u : 1u)) ++verified;
+}
+
+TEST(EadiStress, BidirectionalBulk) {
+  World w{cfg_with_channels(8), 2};
+  int verified = 0;
+  w.engine().spawn(
+      bidir_peer(w.engine(), w.device(0), w.device(1).id(), 1, verified));
+  w.engine().spawn(
+      bidir_peer(w.engine(), w.device(1), w.device(0).id(), 2, verified));
+  w.engine().run();
+  EXPECT_EQ(verified, 2);
+}
+
+// Probe never consumes and reports rendezvous lengths too.
+TEST(EadiStress, ProbeSeesRtsBeforeBufferExists) {
+  World w{cfg_with_channels(8), 2};
+  w.engine().spawn([](Device& d, bcl::PortId dst) -> Task<void> {
+    auto buf = d.process().alloc(100'000);
+    co_await d.send(dst, 0, 3, buf, 100'000);
+  }(w.device(0), w.device(1).id()));
+  w.engine().spawn([](sim::Engine& e, Device& d) -> Task<void> {
+    co_await e.sleep(Time::us(300));  // let the RTS land unexpected
+    auto p = co_await d.probe(0, 3, bcl::PortId{kAnyNode, 0});
+    EXPECT_TRUE(p.has_value());
+    EXPECT_EQ(p->len, 100'000u);
+    // Now actually receive it.
+    auto buf = d.process().alloc(100'000);
+    auto r = co_await d.recv(0, 3, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_EQ(r.len, 100'000u);
+  }(w.engine(), w.device(1)));
+  w.engine().run();
+}
+
+}  // namespace

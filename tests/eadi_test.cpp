@@ -1,0 +1,222 @@
+// Tests for the EADI-2 device layer: eager/rendezvous selection, matching
+// with wildcards, unexpected messages, truncation, many-message streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using cluster::World;
+using cluster::WorldConfig;
+using eadi::Device;
+using eadi::kAnyNode;
+using eadi::kAnyTag;
+using osk::UserBuffer;
+using sim::Task;
+using sim::Time;
+
+WorldConfig two_rank_cfg(bool same_node = false) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = same_node ? 1 : 2;
+  cfg.cluster.node.mem_bytes = 16u << 20;
+  return cfg;
+}
+
+TEST(Eadi, EagerMessageDelivered) {
+  World w{two_rank_cfg(), 2};
+  bool ok = false;
+  w.engine().spawn([](Device& d, bcl::PortId dst) -> Task<void> {
+    auto buf = d.process().alloc(512);
+    d.process().fill_pattern(buf, 3);
+    co_await d.send(dst, 0, /*tag=*/42, buf, 512);
+  }(w.device(0), w.device(1).id()));
+  w.engine().spawn([](Device& d, bool& ok) -> Task<void> {
+    auto buf = d.process().alloc(512);
+    auto r = co_await d.recv(0, 42, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_EQ(r.tag, 42);
+    EXPECT_EQ(r.len, 512u);
+    ok = d.process().check_pattern(buf, 3);
+  }(w.device(1), ok));
+  w.engine().run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Eadi, RendezvousLargeMessage) {
+  World w{two_rank_cfg(), 2};
+  const std::size_t kLen = 300'000;  // several rendezvous chunks
+  bool ok = false;
+  w.engine().spawn([](Device& d, bcl::PortId dst, std::size_t len)
+                       -> Task<void> {
+    auto buf = d.process().alloc(len);
+    d.process().fill_pattern(buf, 9);
+    co_await d.send(dst, 0, 7, buf, len);
+  }(w.device(0), w.device(1).id(), kLen));
+  w.engine().spawn([](Device& d, std::size_t len, bool& ok) -> Task<void> {
+    auto buf = d.process().alloc(len);
+    auto r = co_await d.recv(0, 7, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_EQ(r.len, len);
+    ok = d.process().check_pattern(buf, 9);
+  }(w.device(1), kLen, ok));
+  w.engine().run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Eadi, UnexpectedEagerBuffered) {
+  World w{two_rank_cfg(), 2};
+  bool ok = false;
+  w.engine().spawn([](Device& d, bcl::PortId dst) -> Task<void> {
+    auto buf = d.process().alloc(100);
+    d.process().fill_pattern(buf, 4);
+    co_await d.send(dst, 0, 1, buf, 100);
+  }(w.device(0), w.device(1).id()));
+  w.engine().spawn([](sim::Engine& e, Device& d, bool& ok) -> Task<void> {
+    co_await e.sleep(Time::us(500));  // message arrives before the recv
+    auto buf = d.process().alloc(100);
+    auto r = co_await d.recv(0, 1, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_EQ(r.len, 100u);
+    ok = d.process().check_pattern(buf, 4);
+  }(w.engine(), w.device(1), ok));
+  w.engine().run();
+  EXPECT_TRUE(ok);
+  EXPECT_GE(w.device(1).unexpected_peak(), 1u);
+}
+
+TEST(Eadi, UnexpectedRendezvousWaitsForBuffer) {
+  World w{two_rank_cfg(), 2};
+  const std::size_t kLen = 100'000;
+  bool ok = false;
+  w.engine().spawn([](Device& d, bcl::PortId dst, std::size_t len)
+                       -> Task<void> {
+    auto buf = d.process().alloc(len);
+    d.process().fill_pattern(buf, 5);
+    co_await d.send(dst, 0, 2, buf, len);
+  }(w.device(0), w.device(1).id(), kLen));
+  w.engine().spawn([](sim::Engine& e, Device& d, std::size_t len,
+                      bool& ok) -> Task<void> {
+    co_await e.sleep(Time::us(300));  // RTS queues as unexpected
+    auto buf = d.process().alloc(len);
+    auto r = co_await d.recv(0, 2, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_EQ(r.len, len);
+    ok = d.process().check_pattern(buf, 5);
+  }(w.engine(), w.device(1), kLen, ok));
+  w.engine().run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Eadi, TagSelectsAmongPending) {
+  World w{two_rank_cfg(), 2};
+  int got_tag9 = -1;
+  w.engine().spawn([](Device& d, bcl::PortId dst) -> Task<void> {
+    auto a = d.process().alloc(8);
+    auto b = d.process().alloc(8);
+    d.process().fill_pattern(a, 1);
+    d.process().fill_pattern(b, 2);
+    co_await d.send(dst, 0, 8, a, 8);
+    co_await d.send(dst, 0, 9, b, 8);
+  }(w.device(0), w.device(1).id()));
+  w.engine().spawn([](sim::Engine& e, Device& d, int& got) -> Task<void> {
+    co_await e.sleep(Time::us(400));  // both queued as unexpected
+    auto buf = d.process().alloc(8);
+    // Ask for tag 9 first, even though tag 8 arrived first.
+    auto r = co_await d.recv(0, 9, bcl::PortId{kAnyNode, 0}, buf);
+    got = r.tag;
+    EXPECT_TRUE(d.process().check_pattern(buf, 2));
+    r = co_await d.recv(0, 8, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_EQ(r.tag, 8);
+    EXPECT_TRUE(d.process().check_pattern(buf, 1));
+  }(w.engine(), w.device(1), got_tag9));
+  w.engine().run();
+  EXPECT_EQ(got_tag9, 9);
+}
+
+TEST(Eadi, SourceFilteringWithTwoSenders) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = 3;
+  cfg.cluster.node.mem_bytes = 16u << 20;
+  World w{cfg, 3};
+  int first_from = -1;
+  for (int s = 0; s < 2; ++s) {
+    w.engine().spawn([](Device& d, bcl::PortId dst, unsigned seed)
+                         -> Task<void> {
+      auto buf = d.process().alloc(64);
+      d.process().fill_pattern(buf, seed);
+      co_await d.send(dst, 0, 3, buf, 64);
+    }(w.device(s), w.device(2).id(), static_cast<unsigned>(s + 10)));
+  }
+  w.engine().spawn([](sim::Engine& e, Device& d, bcl::PortId want,
+                      int& from) -> Task<void> {
+    co_await e.sleep(Time::us(400));
+    auto buf = d.process().alloc(64);
+    // Specifically receive the message from rank 1 first.
+    auto r = co_await d.recv(0, 3, want, buf);
+    from = static_cast<int>(r.src.node);
+    EXPECT_TRUE(d.process().check_pattern(buf, 11));
+    r = co_await d.recv(0, 3, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_TRUE(d.process().check_pattern(buf, 10));
+  }(w.engine(), w.device(2), w.device(1).id(), first_from));
+  w.engine().run();
+  EXPECT_EQ(first_from, 1);
+}
+
+TEST(Eadi, EagerTruncationReportsFullLength) {
+  World w{two_rank_cfg(), 2};
+  w.engine().spawn([](Device& d, bcl::PortId dst) -> Task<void> {
+    auto buf = d.process().alloc(1000);
+    co_await d.send(dst, 0, 4, buf, 1000);
+  }(w.device(0), w.device(1).id()));
+  w.engine().spawn([](Device& d) -> Task<void> {
+    auto buf = d.process().alloc(100);  // too small
+    auto r = co_await d.recv(0, 4, bcl::PortId{kAnyNode, 0}, buf);
+    EXPECT_EQ(r.len, 1000u);  // actual length still reported
+  }(w.device(1)));
+  w.engine().run();
+}
+
+TEST(Eadi, ManyMessagesBothDirections) {
+  World w{two_rank_cfg(), 2};
+  constexpr int kMsgs = 40;
+  int done = 0;
+  auto peer = [](Device& me, bcl::PortId other, int base_tag,
+                 int& done) -> Task<void> {
+    auto sbuf = me.process().alloc(256);
+    auto rbuf = me.process().alloc(256);
+    for (int i = 0; i < kMsgs; ++i) {
+      co_await me.send(other, 0, base_tag + i, sbuf, 256);
+      (void)co_await me.recv(0, eadi::kAnyTag, bcl::PortId{kAnyNode, 0},
+                             rbuf);
+    }
+    ++done;
+  };
+  w.engine().spawn(peer(w.device(0), w.device(1).id(), 100, done));
+  w.engine().spawn(peer(w.device(1), w.device(0).id(), 200, done));
+  w.engine().run();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(Eadi, IntraNodeEagerAndRendezvous) {
+  World w{two_rank_cfg(/*same_node=*/true), 2};
+  bool small_ok = false, big_ok = false;
+  w.engine().spawn([](Device& d, bcl::PortId dst) -> Task<void> {
+    auto s = d.process().alloc(100);
+    d.process().fill_pattern(s, 1);
+    co_await d.send(dst, 0, 1, s, 100);
+    auto b = d.process().alloc(100'000);
+    d.process().fill_pattern(b, 2);
+    co_await d.send(dst, 0, 2, b, 100'000);
+  }(w.device(0), w.device(1).id()));
+  w.engine().spawn([](Device& d, bool& small_ok, bool& big_ok) -> Task<void> {
+    auto s = d.process().alloc(100);
+    (void)co_await d.recv(0, 1, bcl::PortId{kAnyNode, 0}, s);
+    small_ok = d.process().check_pattern(s, 1);
+    auto b = d.process().alloc(100'000);
+    (void)co_await d.recv(0, 2, bcl::PortId{kAnyNode, 0}, b);
+    big_ok = d.process().check_pattern(b, 2);
+  }(w.device(1), small_ok, big_ok));
+  w.engine().run();
+  EXPECT_TRUE(small_ok);
+  EXPECT_TRUE(big_ok);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Lifecycle and allocator edge cases: contiguous frame allocation, double
+// frees, buffer free/reuse, process teardown returning memory.
+#include <gtest/gtest.h>
+
+#include "hw/memory.hpp"
+#include "hw/node.hpp"
+#include "osk/kernel.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using hw::HostMemory;
+using hw::kPageSize;
+
+TEST(ContiguousAlloc, FindsARunAndRemovesIt) {
+  HostMemory mem{16 * kPageSize};
+  const auto run = mem.alloc_contiguous(4);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(mem.free_pages(), 12u);
+  // The run must really be gone: single allocations never return one of
+  // its frames until it is freed.
+  for (int i = 0; i < 12; ++i) {
+    const auto f = mem.alloc_frame();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(*f < *run || *f >= *run + 4);
+  }
+  EXPECT_FALSE(mem.alloc_frame().has_value());
+  mem.free_contiguous(*run, 4);
+  EXPECT_EQ(mem.free_pages(), 4u);
+}
+
+TEST(ContiguousAlloc, FragmentationBlocksLargeRuns) {
+  HostMemory mem{8 * kPageSize};
+  // Take every other frame to fragment the space.
+  std::vector<std::uint64_t> held;
+  for (int i = 0; i < 8; ++i) {
+    auto f = mem.alloc_frame();
+    ASSERT_TRUE(f.has_value());
+    if (i % 2 == 0) {
+      held.push_back(*f);
+    }
+  }
+  for (int i = 7; i >= 0; --i) {
+    if (i % 2 == 1) mem.free_frame(static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(mem.free_pages(), 4u);
+  EXPECT_FALSE(mem.alloc_contiguous(2).has_value());  // only singletons left
+  EXPECT_TRUE(mem.alloc_contiguous(1).has_value());
+}
+
+TEST(ContiguousAlloc, ZeroPagesIsNull) {
+  HostMemory mem{4 * kPageSize};
+  EXPECT_FALSE(mem.alloc_contiguous(0).has_value());
+}
+
+TEST(FrameAlloc, DoubleFreeThrows) {
+  HostMemory mem{4 * kPageSize};
+  const auto f = mem.alloc_frame();
+  ASSERT_TRUE(f.has_value());
+  mem.free_frame(*f);
+  EXPECT_THROW(mem.free_frame(*f), std::logic_error);
+  EXPECT_THROW(mem.free_frame(999), std::out_of_range);
+}
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  sim::Engine eng;
+  hw::Node node{eng, 0, small()};
+  osk::Kernel kernel{eng, node};
+
+  static hw::NodeConfig small() {
+    hw::NodeConfig cfg;
+    cfg.mem_bytes = 64 * kPageSize;
+    return cfg;
+  }
+};
+
+TEST_F(LifecycleTest, BufferFreeReturnsFrames) {
+  auto& p = kernel.create_process();
+  const auto before = node.memory().free_pages();
+  auto buf = p.alloc(10 * kPageSize);
+  EXPECT_EQ(node.memory().free_pages(), before - 10);
+  p.free(buf);
+  EXPECT_EQ(node.memory().free_pages(), before);
+  // The address range is gone from the page table.
+  EXPECT_FALSE(p.mapped(buf.vaddr, buf.len));
+}
+
+TEST_F(LifecycleTest, AllocAfterFreeReusesMemoryCleanly) {
+  auto& p = kernel.create_process();
+  for (int round = 0; round < 20; ++round) {
+    auto buf = p.alloc(8 * kPageSize);
+    p.fill_pattern(buf, static_cast<unsigned>(round));
+    EXPECT_TRUE(p.check_pattern(buf, static_cast<unsigned>(round)));
+    p.free(buf);
+  }
+  // Twenty rounds of 8 pages each worked within a 64-page node: reuse.
+  SUCCEED();
+}
+
+TEST_F(LifecycleTest, ExhaustionThrowsBadAlloc) {
+  auto& p = kernel.create_process();
+  EXPECT_THROW(p.alloc(1000 * kPageSize), std::bad_alloc);
+  // Partial allocations must have been rolled back.
+  auto ok = p.alloc(4 * kPageSize);
+  EXPECT_TRUE(p.mapped(ok.vaddr, ok.len));
+}
+
+TEST_F(LifecycleTest, ShmSegmentsComeBackAfterDestroy) {
+  const auto before = node.memory().free_pages();
+  auto seg = kernel.shm().create(8 * kPageSize);
+  EXPECT_EQ(node.memory().free_pages(), before - 8);
+  kernel.shm().destroy(seg.id);
+  EXPECT_EQ(node.memory().free_pages(), before);
+}
+
+TEST_F(LifecycleTest, PinUnpinBalanceAcrossManySends) {
+  auto& p = kernel.create_process();
+  auto buf = p.alloc(4 * kPageSize);
+  eng.spawn([](osk::Kernel& k, osk::Process& p,
+               const osk::UserBuffer& buf) -> sim::Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      (void)co_await k.pindown().translate_and_pin(p, buf.vaddr, buf.len);
+      k.pindown().unpin(p, buf.vaddr, buf.len);
+    }
+  }(kernel, p, buf));
+  eng.run();
+  EXPECT_EQ(kernel.pindown().pinned_pages(), 0u);
+  EXPECT_EQ(kernel.pindown().hits() + kernel.pindown().misses(), 50u);
+}
+
+}  // namespace

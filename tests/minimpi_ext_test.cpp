@@ -1,0 +1,261 @@
+// Tests for the extended mini-MPI surface: sendrecv, iprobe, reduction
+// operators, scan, allgather.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using cluster::World;
+using cluster::WorldConfig;
+using minimpi::Mpi;
+using sim::Task;
+using sim::Time;
+
+WorldConfig cfg_nodes(std::uint32_t nodes) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.node.mem_bytes = 16u << 20;
+  return cfg;
+}
+
+TEST(MpiExt, SendrecvRingRotatesWithoutDeadlock) {
+  World w{cfg_nodes(3), 6};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    const int n = me.size();
+    auto sbuf = me.process().alloc(1024);
+    auto rbuf = me.process().alloc(1024);
+    me.process().fill_pattern(sbuf, static_cast<unsigned>(rank));
+    // Everyone sends right, receives from left — classic deadlock bait
+    // for naive blocking send/recv; sendrecv must cope.
+    const auto st = co_await me.sendrecv(sbuf, 1024, (rank + 1) % n, 4,
+                                         rbuf, (rank + n - 1) % n, 4);
+    EXPECT_EQ(st.source, (rank + n - 1) % n);
+    EXPECT_TRUE(me.process().check_pattern(
+        rbuf, static_cast<unsigned>((rank + n - 1) % n)));
+  });
+}
+
+TEST(MpiExt, IprobeSeesPendingMessageWithoutConsuming) {
+  World w{cfg_nodes(2), 2};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    if (rank == 0) {
+      auto buf = me.process().alloc(256);
+      co_await me.send(buf, 256, 1, /*tag=*/9);
+    } else {
+      // Nothing has been sent with tag 5.
+      co_await world.engine().sleep(Time::us(200));
+      auto none = co_await me.iprobe(minimpi::kAnySource, 5);
+      EXPECT_FALSE(none.has_value());
+      // Tag 9 is waiting.
+      auto some = co_await me.iprobe(0, 9);
+      EXPECT_TRUE(some.has_value());
+      EXPECT_EQ(some->len, 256u);
+      EXPECT_EQ(some->source, 0);
+      // Probe does not consume: probing again still sees it...
+      auto again = co_await me.iprobe(0, 9);
+      EXPECT_TRUE(again.has_value());
+      // ...and the actual receive still works.
+      auto buf = me.process().alloc(256);
+      const auto st = co_await me.recv(buf, 0, 9);
+      EXPECT_EQ(st.len, 256u);
+      // Now it is gone.
+      auto gone = co_await me.iprobe(0, 9);
+      EXPECT_FALSE(gone.has_value());
+    }
+  });
+}
+
+TEST(MpiExt, ReduceMinAndMax) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto sbuf = me.process().alloc(2 * sizeof(double));
+    auto rbuf = me.process().alloc(2 * sizeof(double));
+    me.write_doubles(sbuf, std::vector<double>{rank * 1.5, -rank * 2.0});
+    co_await me.reduce(sbuf, rbuf, 2, /*root=*/0, Mpi::Op::kMin);
+    if (rank == 0) {
+      const auto v = me.read_doubles(rbuf, 2);
+      EXPECT_DOUBLE_EQ(v[0], 0.0);   // min over {0,1.5,3,4.5}
+      EXPECT_DOUBLE_EQ(v[1], -6.0);  // min over {0,-2,-4,-6}
+    }
+    co_await me.reduce(sbuf, rbuf, 2, /*root=*/0, Mpi::Op::kMax);
+    if (rank == 0) {
+      const auto v = me.read_doubles(rbuf, 2);
+      EXPECT_DOUBLE_EQ(v[0], 4.5);
+      EXPECT_DOUBLE_EQ(v[1], 0.0);
+    }
+  });
+}
+
+TEST(MpiExt, AllreduceProd) {
+  World w{cfg_nodes(2), 3};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto sbuf = me.process().alloc(sizeof(double));
+    auto rbuf = me.process().alloc(sizeof(double));
+    me.write_doubles(sbuf, std::vector<double>{rank + 2.0});  // 2,3,4
+    co_await me.allreduce(sbuf, rbuf, 1, Mpi::Op::kProd);
+    EXPECT_DOUBLE_EQ(me.read_doubles(rbuf, 1)[0], 24.0);
+  });
+}
+
+TEST(MpiExt, InclusiveScan) {
+  World w{cfg_nodes(3), 5};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto sbuf = me.process().alloc(sizeof(double));
+    auto rbuf = me.process().alloc(sizeof(double));
+    me.write_doubles(sbuf, std::vector<double>{rank + 1.0});
+    co_await me.scan(sbuf, rbuf, 1);
+    // Inclusive prefix sum of 1..(rank+1).
+    const double want = (rank + 1) * (rank + 2) / 2.0;
+    EXPECT_DOUBLE_EQ(me.read_doubles(rbuf, 1)[0], want);
+  });
+}
+
+TEST(MpiExt, AllgatherEveryRankHasEveryBlock) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kBlock = 200;
+    const int n = me.size();
+    auto sbuf = me.process().alloc(kBlock);
+    auto rbuf = me.process().alloc(kBlock * n);
+    me.process().fill_pattern(sbuf, 40u + static_cast<unsigned>(rank));
+    co_await me.allgather(sbuf, kBlock, rbuf);
+    for (int r = 0; r < n; ++r) {
+      osk::UserBuffer slice{rbuf.vaddr + static_cast<std::size_t>(r) * kBlock,
+                            kBlock, rbuf.owner};
+      EXPECT_TRUE(me.process().check_pattern(
+          slice, 40u + static_cast<unsigned>(r)))
+          << "rank " << rank << " block " << r;
+    }
+  });
+}
+
+TEST(MpiExt, ScanMatchesManualPrefixOnVectors) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kCount = 64;
+    auto sbuf = me.process().alloc(kCount * sizeof(double));
+    auto rbuf = me.process().alloc(kCount * sizeof(double));
+    std::vector<double> mine(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      mine[i] = rank + i * 0.25;
+    }
+    me.write_doubles(sbuf, mine);
+    co_await me.scan(sbuf, rbuf, kCount, Mpi::Op::kMax);
+    const auto got = me.read_doubles(rbuf, kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      // Max over ranks 0..rank of (r + i*0.25) = rank + i*0.25.
+      EXPECT_DOUBLE_EQ(got[i], rank + i * 0.25);
+    }
+  });
+}
+
+
+TEST(MpiComm, SplitIntoEvenAndOddGroups) {
+  World w{cfg_nodes(3), 6};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto sub = co_await me.split(rank % 2, /*key=*/rank);
+    EXPECT_NE(sub, nullptr);
+    if (!sub) co_return;
+    EXPECT_EQ(sub->size(), 3);
+    EXPECT_EQ(sub->rank(), rank / 2);
+    // Collectives inside the sub-communicator only see its members.
+    auto sbuf = me.process().alloc(sizeof(double));
+    auto rbuf = me.process().alloc(sizeof(double));
+    sub->write_doubles(sbuf, std::vector<double>{static_cast<double>(rank)});
+    co_await sub->allreduce(sbuf, rbuf, 1);
+    // Even group: 0+2+4 = 6; odd group: 1+3+5 = 9.
+    const double want = rank % 2 == 0 ? 6.0 : 9.0;
+    EXPECT_DOUBLE_EQ(sub->read_doubles(rbuf, 1)[0], want);
+  });
+}
+
+TEST(MpiComm, KeyControlsNewRankOrder) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    // Reverse the ordering via the key.
+    auto sub = co_await me.split(0, /*key=*/-rank);
+    EXPECT_NE(sub, nullptr);
+    if (!sub) co_return;
+    EXPECT_EQ(sub->rank(), me.size() - 1 - rank);
+  });
+}
+
+TEST(MpiComm, NegativeColorOptsOut) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto sub = co_await me.split(rank == 0 ? -1 : 1, rank);
+    if (rank == 0) {
+      EXPECT_EQ(sub, nullptr);
+    } else {
+      EXPECT_NE(sub, nullptr);
+    if (!sub) co_return;
+      EXPECT_EQ(sub->size(), 3);
+    }
+  });
+}
+
+TEST(MpiComm, DupIsolatesTagSpaces) {
+  World w{cfg_nodes(2), 2};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto copy = co_await me.dup();
+    EXPECT_NE(copy, nullptr);
+    if (!copy) co_return;
+    EXPECT_EQ(copy->rank(), me.rank());
+    EXPECT_EQ(copy->size(), me.size());
+    EXPECT_NE(copy->context(), me.context());
+    auto buf = me.process().alloc(64);
+    if (rank == 0) {
+      // Same tag on both communicators: each recv must get its own.
+      me.process().fill_pattern(buf, 1);
+      co_await me.send(buf, 64, 1, /*tag=*/5);
+      me.process().fill_pattern(buf, 2);
+      co_await copy->send(buf, 64, 1, /*tag=*/5);
+    } else {
+      // Receive from the dup FIRST even though the world message arrived
+      // first: context separation must route correctly.
+      (void)co_await copy->recv(buf, 0, 5);
+      EXPECT_TRUE(me.process().check_pattern(buf, 2));
+      (void)co_await me.recv(buf, 0, 5);
+      EXPECT_TRUE(me.process().check_pattern(buf, 1));
+    }
+  });
+}
+
+TEST(MpiComm, NestedSplits) {
+  World w{cfg_nodes(4), 8};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto half = co_await me.split(rank / 4, rank);   // two groups of 4
+    EXPECT_NE(half, nullptr);
+    if (!half) co_return;
+    auto quarter = co_await half->split(half->rank() / 2, half->rank());
+    EXPECT_NE(quarter, nullptr);
+    if (!quarter) co_return;
+    EXPECT_EQ(quarter->size(), 2);
+    // A barrier inside the innermost communicator must still work.
+    co_await quarter->barrier();
+    auto sbuf = me.process().alloc(sizeof(double));
+    auto rbuf = me.process().alloc(sizeof(double));
+    quarter->write_doubles(sbuf, std::vector<double>{1.0});
+    co_await quarter->allreduce(sbuf, rbuf, 1);
+    EXPECT_DOUBLE_EQ(quarter->read_doubles(rbuf, 1)[0], 2.0);
+  });
+}
+
+}  // namespace
+

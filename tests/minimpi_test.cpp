@@ -1,0 +1,234 @@
+// Tests for mini-MPI: p2p with wildcards, nonblocking ops, and all the
+// collectives, on multi-node worlds (including multi-rank-per-node).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using cluster::World;
+using cluster::WorldConfig;
+using minimpi::kAnySource;
+using minimpi::kAnyTag;
+using minimpi::Mpi;
+using sim::Task;
+
+WorldConfig cfg_nodes(std::uint32_t nodes) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.node.mem_bytes = 16u << 20;
+  return cfg;
+}
+
+TEST(MiniMpi, SendRecvWithStatus) {
+  World w{cfg_nodes(2), 2};
+  w.run_mpi([](Mpi& me) -> Task<void> {
+    if (me.rank() == 0) {
+      auto buf = me.process().alloc(64);
+      me.process().fill_pattern(buf, 1);
+      co_await me.send(buf, 64, 1, /*tag=*/5);
+    } else {
+      auto buf = me.process().alloc(64);
+      const auto st = co_await me.recv(buf, kAnySource, kAnyTag);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.len, 64u);
+      EXPECT_TRUE(me.process().check_pattern(buf, 1));
+    }
+  });
+}
+
+TEST(MiniMpi, NonblockingOverlap) {
+  World w{cfg_nodes(2), 2};
+  w.run_mpi([](Mpi& me) -> Task<void> {
+    auto sbuf = me.process().alloc(1024);
+    auto rbuf = me.process().alloc(1024);
+    const int peer = 1 - me.rank();
+    me.process().fill_pattern(sbuf, 7u + static_cast<unsigned>(me.rank()));
+    auto sreq = me.isend(sbuf, 1024, peer, 3);
+    auto rreq = me.irecv(rbuf, peer, 3);
+    (void)co_await me.wait(sreq);
+    const auto st = co_await me.wait(rreq);
+    EXPECT_EQ(st.len, 1024u);
+    EXPECT_TRUE(me.process().check_pattern(
+        rbuf, 7u + static_cast<unsigned>(peer)));
+  });
+}
+
+TEST(MiniMpi, BarrierSynchronizes) {
+  World w{cfg_nodes(3), 6};  // two ranks per node
+  std::vector<sim::Time> after(6);
+  w.run([&after](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    // Stagger arrivals; everybody must leave after the last arrival.
+    co_await me.process().cpu().busy(sim::Time::us(10.0 * (rank + 1)));
+    co_await me.barrier();
+    after[static_cast<std::size_t>(rank)] = world.engine().now();
+  });
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_GE(after[static_cast<std::size_t>(r)], sim::Time::us(60.0));
+  }
+}
+
+TEST(MiniMpi, BcastFromEveryRoot) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto buf = me.process().alloc(2048);
+    for (int root = 0; root < me.size(); ++root) {
+      if (me.rank() == root) {
+        me.process().fill_pattern(buf, 50u + static_cast<unsigned>(root));
+      }
+      co_await me.bcast(buf, 2048, root);
+      EXPECT_TRUE(me.process().check_pattern(
+          buf, 50u + static_cast<unsigned>(root)))
+          << "root " << root << " rank " << me.rank();
+    }
+  });
+}
+
+TEST(MiniMpi, ReduceSumsDoubles) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kCount = 100;
+    auto sbuf = me.process().alloc(kCount * sizeof(double));
+    auto rbuf = me.process().alloc(kCount * sizeof(double));
+    std::vector<double> mine(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      mine[i] = static_cast<double>(i) + me.rank() * 1000.0;
+    }
+    me.write_doubles(sbuf, mine);
+    co_await me.reduce(sbuf, rbuf, kCount, /*root=*/2);
+    if (me.rank() == 2) {
+      const auto sum = me.read_doubles(rbuf, kCount);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        // Sum over 4 ranks: 4*i + (0+1+2+3)*1000.
+        EXPECT_DOUBLE_EQ(sum[i], 4.0 * i + 6000.0) << "elem " << i;
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, AllreduceMatchesOnAllRanks) {
+  World w{cfg_nodes(3), 5};  // non-power-of-two
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kCount = 17;
+    auto sbuf = me.process().alloc(kCount * sizeof(double));
+    auto rbuf = me.process().alloc(kCount * sizeof(double));
+    std::vector<double> mine(kCount, static_cast<double>(me.rank() + 1));
+    me.write_doubles(sbuf, mine);
+    co_await me.allreduce(sbuf, rbuf, kCount);
+    const auto sum = me.read_doubles(rbuf, kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_DOUBLE_EQ(sum[i], 15.0);  // 1+2+3+4+5
+    }
+  });
+}
+
+TEST(MiniMpi, GatherCollectsBlocks) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kBlock = 256;
+    auto sbuf = me.process().alloc(kBlock);
+    auto rbuf = me.process().alloc(kBlock * 4);
+    me.process().fill_pattern(sbuf, 30u + static_cast<unsigned>(me.rank()));
+    co_await me.gather(sbuf, kBlock, rbuf, /*root=*/1);
+    if (me.rank() == 1) {
+      for (int r = 0; r < 4; ++r) {
+        std::vector<std::byte> block(kBlock);
+        me.process().peek(rbuf, static_cast<std::size_t>(r) * kBlock, block);
+        for (std::size_t i = 0; i < kBlock; ++i) {
+          EXPECT_EQ(block[i],
+                    static_cast<std::byte>(
+                        (i * 197 + (30u + static_cast<unsigned>(r)) * 31 + 7) &
+                        0xff));
+        }
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, ScatterDistributesBlocks) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kBlock = 512;
+    auto rbuf = me.process().alloc(kBlock);
+    osk::UserBuffer sbuf{};
+    if (me.rank() == 0) {
+      sbuf = me.process().alloc(kBlock * 4);
+      for (int r = 0; r < 4; ++r) {
+        osk::UserBuffer slice{sbuf.vaddr + static_cast<std::size_t>(r) * kBlock,
+                              kBlock, sbuf.owner};
+        me.process().fill_pattern(slice, 60u + static_cast<unsigned>(r));
+      }
+    }
+    co_await me.scatter(sbuf, kBlock, rbuf, /*root=*/0);
+    EXPECT_TRUE(me.process().check_pattern(
+        rbuf, 60u + static_cast<unsigned>(me.rank())));
+  });
+}
+
+TEST(MiniMpi, AlltoallExchangesAllBlocks) {
+  World w{cfg_nodes(2), 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kBlock = 128;
+    const int n = me.size();
+    auto sbuf = me.process().alloc(kBlock * n);
+    auto rbuf = me.process().alloc(kBlock * n);
+    for (int r = 0; r < n; ++r) {
+      osk::UserBuffer slice{sbuf.vaddr + static_cast<std::size_t>(r) * kBlock,
+                            kBlock, sbuf.owner};
+      me.process().fill_pattern(
+          slice, static_cast<unsigned>(me.rank() * 10 + r));
+    }
+    co_await me.alltoall(sbuf, kBlock, rbuf);
+    for (int r = 0; r < n; ++r) {
+      osk::UserBuffer slice{rbuf.vaddr + static_cast<std::size_t>(r) * kBlock,
+                            kBlock, rbuf.owner};
+      EXPECT_TRUE(me.process().check_pattern(
+          slice, static_cast<unsigned>(r * 10 + me.rank())))
+          << "rank " << me.rank() << " block " << r;
+    }
+  });
+}
+
+TEST(MiniMpi, LargeMessageRendezvousThroughMpi) {
+  World w{cfg_nodes(2), 2};
+  w.run_mpi([](Mpi& me) -> Task<void> {
+    const std::size_t kLen = 256 * 1024;
+    if (me.rank() == 0) {
+      auto buf = me.process().alloc(kLen);
+      me.process().fill_pattern(buf, 88);
+      co_await me.send(buf, kLen, 1, 0);
+    } else {
+      auto buf = me.process().alloc(kLen);
+      const auto st = co_await me.recv(buf, 0, 0);
+      EXPECT_EQ(st.len, kLen);
+      EXPECT_TRUE(me.process().check_pattern(buf, 88));
+    }
+  });
+}
+
+TEST(MiniMpi, WorksOnMeshFabric) {
+  WorldConfig cfg = cfg_nodes(4);
+  cfg.cluster.fabric.kind = hw::FabricKind::kNwrcMesh;
+  World w{cfg, 4};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto buf = me.process().alloc(sizeof(double));
+    auto out = me.process().alloc(sizeof(double));
+    me.write_doubles(buf, std::vector<double>{1.0});
+    co_await me.allreduce(buf, out, 1);
+    EXPECT_DOUBLE_EQ(me.read_doubles(out, 1)[0], 4.0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for extended mini-PVM: float/string packing, in-place bulk path,
+// and pvm_mcast.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using cluster::World;
+using cluster::WorldConfig;
+using minipvm::kAnyTid;
+using minipvm::Pvm;
+using sim::Task;
+
+WorldConfig pvm_cfg(std::uint32_t nodes) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.node.mem_bytes = 32u << 20;
+  return cfg;
+}
+
+TEST(PvmExt, FloatAndStringRoundTrip) {
+  World w{pvm_cfg(2), 2};
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    me.initsend();
+    const std::vector<float> f{1.5f, -2.25f, 1e9f};
+    co_await me.pkfloat(f);
+    co_await me.pkstr("hello dawning-3000");
+    co_await me.pkstr("");  // empty strings must survive too
+    co_await me.send(1, 3);
+  }(w.pvm(0)));
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    (void)co_await me.recv(0, 3);
+    std::vector<float> f(3);
+    co_await me.upkfloat(f);
+    EXPECT_EQ(f, (std::vector<float>{1.5f, -2.25f, 1e9f}));
+    EXPECT_EQ(co_await me.upkstr(), "hello dawning-3000");
+    EXPECT_EQ(co_await me.upkstr(), "");
+  }(w.pvm(1)));
+  w.engine().run();
+}
+
+TEST(PvmExt, MixedTypesUnpackInPackOrder) {
+  World w{pvm_cfg(2), 2};
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    me.initsend();
+    const std::vector<std::int32_t> i{7};
+    const std::vector<double> d{2.5};
+    co_await me.pkint(i);
+    co_await me.pkstr("mid");
+    co_await me.pkdouble(d);
+    co_await me.send(1, 1);
+  }(w.pvm(0)));
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    (void)co_await me.recv(kAnyTid, 1);
+    std::vector<std::int32_t> i(1);
+    co_await me.upkint(i);
+    EXPECT_EQ(i[0], 7);
+    EXPECT_EQ(co_await me.upkstr(), "mid");
+    std::vector<double> d(1);
+    co_await me.upkdouble(d);
+    EXPECT_DOUBLE_EQ(d[0], 2.5);
+  }(w.pvm(1)));
+  w.engine().run();
+}
+
+TEST(PvmExt, McastReachesAllButSender) {
+  World w{pvm_cfg(2), 4};
+  int received = 0;
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    me.initsend();
+    const std::vector<std::int32_t> v{1234};
+    co_await me.pkint(v);
+    const std::vector<int> tids{0, 1, 2, 3};  // includes self: skipped
+    co_await me.mcast(tids, 8);
+  }(w.pvm(0)));
+  for (int t = 1; t < 4; ++t) {
+    w.engine().spawn([](Pvm& me, int& received) -> Task<void> {
+      (void)co_await me.recv(0, 8);
+      std::vector<std::int32_t> v(1);
+      co_await me.upkint(v);
+      EXPECT_EQ(v[0], 1234);
+      ++received;
+    }(w.pvm(t), received));
+  }
+  w.engine().run();
+  EXPECT_EQ(received, 3);
+}
+
+TEST(PvmExt, LargeBlockUsesInPlacePath) {
+  // Packing a large block must cost far less than an encode pass over it
+  // (PvmDataInPlace); verify by timing the pack call itself.
+  World w{pvm_cfg(1), 2};
+  sim::Time pack_time;
+  w.engine().spawn([](sim::Engine& e, Pvm& me, sim::Time& t) -> Task<void> {
+    std::vector<std::byte> big(512 * 1024, std::byte{9});
+    me.initsend();
+    const sim::Time t0 = e.now();
+    co_await me.pkbytes(big);
+    t = e.now() - t0;
+    co_await me.send(1, 2);
+  }(w.engine(), w.pvm(0), pack_time));
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    (void)co_await me.recv(0, 2);
+  }(w.pvm(1)));
+  w.engine().run();
+  // An encode pass at 700 MB/s would cost ~750us; in-place is ~constant.
+  EXPECT_LT(pack_time.to_us(), 5.0);
+}
+
+TEST(TraceExport, ChromeJsonContainsStagesAndTracks) {
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  bcl::BclCluster c{cfg};
+  c.trace().enable();
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn([](bcl::Endpoint& tx, bcl::PortId dst) -> Task<void> {
+    auto buf = tx.process().alloc(128);
+    (void)co_await tx.send_system(dst, buf, 128);
+    (void)co_await tx.wait_send();
+  }(tx, rx.id()));
+  c.engine().spawn([](bcl::Endpoint& rx) -> Task<void> {
+    auto ev = co_await rx.wait_recv();
+    (void)co_await rx.copy_out_system(ev);
+  }(rx));
+  c.engine().run();
+  const auto json = c.trace().to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("pio-fill"), std::string::npos);
+  EXPECT_NE(json.find("mcp-tx-proc"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("node0.kernel"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests for mini-PVM: pack/unpack fidelity, tagged sends, wildcard recv.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using cluster::World;
+using cluster::WorldConfig;
+using minipvm::kAnyTag;
+using minipvm::kAnyTid;
+using minipvm::Pvm;
+using sim::Task;
+
+WorldConfig pvm_cfg(std::uint32_t nodes) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.node.mem_bytes = 32u << 20;  // two 1MB pack buffers per task
+  return cfg;
+}
+
+TEST(MiniPvm, PackSendUnpackRoundTrip) {
+  World w{pvm_cfg(2), 2};
+  bool ok = false;
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    const std::vector<std::int32_t> ints{1, -2, 3, 2'000'000'000};
+    const std::vector<double> dbls{3.14, -2.71, 0.0};
+    me.initsend();
+    co_await me.pkint(ints);
+    co_await me.pkdouble(dbls);
+    co_await me.send(1, /*tag=*/10);
+  }(w.pvm(0)));
+  w.engine().spawn([](Pvm& me, bool& ok) -> Task<void> {
+    const int from = co_await me.recv(kAnyTid, 10);
+    EXPECT_EQ(from, 0);
+    std::vector<std::int32_t> ints(4);
+    std::vector<double> dbls(3);
+    co_await me.upkint(ints);
+    co_await me.upkdouble(dbls);
+    ok = ints == std::vector<std::int32_t>{1, -2, 3, 2'000'000'000} &&
+         dbls == std::vector<double>{3.14, -2.71, 0.0};
+  }(w.pvm(1), ok));
+  w.engine().run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(MiniPvm, BytesRoundTripLargeMessage) {
+  World w{pvm_cfg(2), 2};
+  const std::size_t kLen = 200'000;
+  bool ok = false;
+  w.engine().spawn([](Pvm& me, std::size_t len) -> Task<void> {
+    std::vector<std::byte> data(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      data[i] = static_cast<std::byte>((i * 13 + 5) & 0xff);
+    }
+    me.initsend();
+    co_await me.pkbytes(data);
+    co_await me.send(1, 4);
+  }(w.pvm(0), kLen));
+  w.engine().spawn([](Pvm& me, std::size_t len, bool& ok) -> Task<void> {
+    (void)co_await me.recv(0, 4);
+    EXPECT_EQ(me.recv_len(), len);
+    std::vector<std::byte> data(len);
+    co_await me.upkbytes(data);
+    ok = true;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (data[i] != static_cast<std::byte>((i * 13 + 5) & 0xff)) {
+        ok = false;
+        break;
+      }
+    }
+  }(w.pvm(1), kLen, ok));
+  w.engine().run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(MiniPvm, TagFilteringAcrossSenders) {
+  World w{pvm_cfg(3), 3};
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    const std::vector<std::int32_t> v{111};
+    me.initsend();
+    co_await me.pkint(v);
+    co_await me.send(2, /*tag=*/1);
+  }(w.pvm(0)));
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    const std::vector<std::int32_t> v{222};
+    me.initsend();
+    co_await me.pkint(v);
+    co_await me.send(2, /*tag=*/2);
+  }(w.pvm(1)));
+  w.engine().spawn([](sim::Engine& e, Pvm& me) -> Task<void> {
+    co_await e.sleep(sim::Time::us(500));
+    std::vector<std::int32_t> v(1);
+    const int from2 = co_await me.recv(kAnyTid, /*tag=*/2);
+    co_await me.upkint(v);
+    EXPECT_EQ(from2, 1);
+    EXPECT_EQ(v[0], 222);
+    const int from1 = co_await me.recv(kAnyTid, /*tag=*/1);
+    co_await me.upkint(v);
+    EXPECT_EQ(from1, 0);
+    EXPECT_EQ(v[0], 111);
+  }(w.engine(), w.pvm(2)));
+  w.engine().run();
+}
+
+TEST(MiniPvm, UnpackPastEndThrows) {
+  World w{pvm_cfg(2), 2};
+  w.engine().spawn([](Pvm& me) -> Task<void> {
+    const std::vector<std::int32_t> v{1, 2};
+    me.initsend();
+    co_await me.pkint(v);
+    co_await me.send(1, 6);
+  }(w.pvm(0)));
+  bool threw = false;
+  w.engine().spawn([](Pvm& me, bool& threw) -> Task<void> {
+    (void)co_await me.recv(0, 6);
+    std::vector<std::int32_t> too_many(3);
+    try {
+      co_await me.upkint(too_many);
+    } catch (const std::length_error&) {
+      threw = true;
+    }
+  }(w.pvm(1), threw));
+  w.engine().run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(MiniPvm, MasterWorkerExchange) {
+  World w{pvm_cfg(2), 4};
+  int results = 0;
+  // Master farms squares out to 3 workers and sums the replies.
+  w.engine().spawn([](Pvm& me, int& results) -> Task<void> {
+    for (int t = 1; t <= 3; ++t) {
+      const std::vector<std::int32_t> job{t * 10};
+      me.initsend();
+      co_await me.pkint(job);
+      co_await me.send(t, /*tag=*/1);
+    }
+    for (int t = 1; t <= 3; ++t) {
+      (void)co_await me.recv(kAnyTid, /*tag=*/2);
+      std::vector<std::int32_t> v(1);
+      co_await me.upkint(v);
+      results += v[0];
+    }
+  }(w.pvm(0), results));
+  for (int t = 1; t <= 3; ++t) {
+    w.engine().spawn([](Pvm& me) -> Task<void> {
+      (void)co_await me.recv(0, 1);
+      std::vector<std::int32_t> v(1);
+      co_await me.upkint(v);
+      me.initsend();
+      const std::vector<std::int32_t> sq{v[0] * v[0]};
+      co_await me.pkint(sq);
+      co_await me.send(0, 2);
+    }(w.pvm(t)));
+  }
+  w.engine().run();
+  EXPECT_EQ(results, 100 + 400 + 900);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Tests for the OS layer: processes/address spaces, pin-down table,
+// security validation, SHM segments, interrupts, trap accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/node.hpp"
+#include "osk/kernel.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using osk::Kernel;
+using osk::KernErr;
+using osk::Process;
+using osk::UserBuffer;
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+class OskTest : public ::testing::Test {
+ protected:
+  Engine eng;
+  hw::Node node{eng, 0, small_node()};
+  Kernel kernel{eng, node};
+
+  static hw::NodeConfig small_node() {
+    hw::NodeConfig cfg;
+    cfg.mem_bytes = 4u << 20;
+    return cfg;
+  }
+};
+
+TEST_F(OskTest, ProcessesGetDistinctPidsAndCores) {
+  auto& p1 = kernel.create_process();
+  auto& p2 = kernel.create_process();
+  EXPECT_NE(p1.pid(), p2.pid());
+  EXPECT_NE(&p1.cpu(), &p2.cpu());
+  EXPECT_EQ(kernel.find(p1.pid()), &p1);
+  EXPECT_EQ(kernel.find(9999), nullptr);
+}
+
+TEST_F(OskTest, AllocMapsPages) {
+  auto& p = kernel.create_process();
+  const auto buf = p.alloc(10000);
+  EXPECT_EQ(buf.len, 10000u);
+  EXPECT_TRUE(p.mapped(buf.vaddr, buf.len));
+  EXPECT_GE(p.mapped_pages(), 3u);
+  p.free(buf);
+  EXPECT_FALSE(p.mapped(buf.vaddr, buf.len));
+}
+
+TEST_F(OskTest, PokePeekRoundTrip) {
+  auto& p = kernel.create_process();
+  const auto buf = p.alloc(8192);
+  p.fill_pattern(buf, 5);
+  EXPECT_TRUE(p.check_pattern(buf, 5));
+  EXPECT_FALSE(p.check_pattern(buf, 6));
+  std::vector<std::byte> probe(16, std::byte{0x5A});
+  p.poke(buf, 4090, probe);  // crosses a page boundary
+  std::vector<std::byte> out(16);
+  p.peek(buf, 4090, out);
+  EXPECT_EQ(out, probe);
+}
+
+TEST_F(OskTest, TranslateCoversRangeWithSegments) {
+  auto& p = kernel.create_process();
+  const auto buf = p.alloc(3 * hw::kPageSize);
+  const auto segs = p.translate(buf.vaddr + 100, 2 * hw::kPageSize);
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  EXPECT_EQ(total, 2 * hw::kPageSize);
+}
+
+TEST_F(OskTest, TranslateUnmappedThrows) {
+  auto& p = kernel.create_process();
+  EXPECT_THROW(p.translate(0xdeadbeef, 10), std::out_of_range);
+}
+
+TEST_F(OskTest, PinDownHitFasterThanMiss) {
+  auto& p = kernel.create_process();
+  const auto buf = p.alloc(4 * hw::kPageSize);
+  Time miss_cost, hit_cost;
+  eng.spawn([](Engine& e, Kernel& k, Process& p, const UserBuffer& buf,
+               Time& miss, Time& hit) -> Task<void> {
+    const Time t0 = e.now();
+    auto segs = co_await k.pindown().translate_and_pin(p, buf.vaddr, buf.len);
+    miss = e.now() - t0;
+    EXPECT_FALSE(segs.empty());
+    const Time t1 = e.now();
+    segs = co_await k.pindown().translate_and_pin(p, buf.vaddr, buf.len);
+    hit = e.now() - t1;
+  }(eng, kernel, p, buf, miss_cost, hit_cost));
+  eng.run();
+  EXPECT_GT(miss_cost, hit_cost * 2.0);
+  EXPECT_EQ(kernel.pindown().hits(), 1u);
+  EXPECT_EQ(kernel.pindown().misses(), 1u);
+}
+
+TEST_F(OskTest, PinDownRefcountsAcrossUnpin) {
+  auto& p = kernel.create_process();
+  const auto buf = p.alloc(hw::kPageSize);
+  eng.spawn([](Kernel& k, Process& p, const UserBuffer& buf) -> Task<void> {
+    (void)co_await k.pindown().translate_and_pin(p, buf.vaddr, buf.len);
+    (void)co_await k.pindown().translate_and_pin(p, buf.vaddr, buf.len);
+    EXPECT_EQ(k.pindown().pinned_pages(), 1u);
+    k.pindown().unpin(p, buf.vaddr, buf.len);
+    EXPECT_EQ(k.pindown().pinned_pages(), 1u);  // still one ref
+    k.pindown().unpin(p, buf.vaddr, buf.len);
+    EXPECT_EQ(k.pindown().pinned_pages(), 0u);
+  }(kernel, p, buf));
+  eng.run();
+}
+
+TEST_F(OskTest, PinLimitEnforced) {
+  osk::KernelConfig cfg;
+  cfg.pindown.max_pinned_pages = 2;
+  Kernel strict{eng, node, cfg};
+  auto& p = strict.create_process();
+  const auto buf = p.alloc(4 * hw::kPageSize);
+  bool threw = false;
+  eng.spawn([](Kernel& k, Process& p, const UserBuffer& buf,
+               bool& t) -> Task<void> {
+    try {
+      (void)co_await k.pindown().translate_and_pin(p, buf.vaddr, buf.len);
+    } catch (const std::runtime_error&) {
+      t = true;
+    }
+  }(strict, p, buf, threw));
+  eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(strict.pindown().pinned_pages(), 0u);  // rolled back
+}
+
+TEST_F(OskTest, SecurityValidation) {
+  auto& p = kernel.create_process();
+  const auto buf = p.alloc(100);
+  EXPECT_EQ(kernel.validate_caller(p, p.pid()), KernErr::kOk);
+  EXPECT_EQ(kernel.validate_caller(p, p.pid() + 1), KernErr::kBadPid);
+  EXPECT_EQ(kernel.validate_buffer(p, buf.vaddr, buf.len), KernErr::kOk);
+  EXPECT_EQ(kernel.validate_buffer(p, 0xbad0000, 8), KernErr::kBadBuffer);
+  EXPECT_EQ(kernel.validate_target(3, 8, 0, 4), KernErr::kOk);
+  EXPECT_EQ(kernel.validate_target(8, 8, 0, 4), KernErr::kBadTarget);
+  EXPECT_EQ(kernel.validate_target(0, 8, 4, 4), KernErr::kBadTarget);
+}
+
+TEST_F(OskTest, TrapCostsAndCounting) {
+  auto& p = kernel.create_process();
+  eng.spawn([](Kernel& k, Process& p) -> Task<void> {
+    co_await k.trap_enter(p);
+    co_await k.charge_check(p);
+    co_await k.trap_exit(p);
+  }(kernel, p));
+  eng.run();
+  const auto& cfg = kernel.config();
+  EXPECT_EQ(eng.now(),
+            cfg.trap_enter + cfg.security_check + cfg.trap_exit);
+  EXPECT_EQ(kernel.traps(), 1u);
+}
+
+TEST_F(OskTest, ShmSegmentsDistinctAndContiguous) {
+  auto seg1 = kernel.shm().create(3 * hw::kPageSize);
+  auto seg2 = kernel.shm().create(hw::kPageSize);
+  EXPECT_NE(seg1.id, seg2.id);
+  EXPECT_EQ(seg1.len, 3 * hw::kPageSize);
+  // Disjoint ranges.
+  EXPECT_TRUE(seg1.base + seg1.len <= seg2.base ||
+              seg2.base + seg2.len <= seg1.base);
+  ASSERT_NE(kernel.shm().find(seg1.id), nullptr);
+  kernel.shm().destroy(seg1.id);
+  EXPECT_EQ(kernel.shm().find(seg1.id), nullptr);
+  EXPECT_THROW(kernel.shm().destroy(seg1.id), std::out_of_range);
+}
+
+TEST_F(OskTest, ShmVisibleThroughMemory) {
+  auto seg = kernel.shm().create(hw::kPageSize);
+  std::vector<std::byte> data(64, std::byte{0x7E});
+  node.memory().write(seg.base, data);
+  std::vector<std::byte> out(64);
+  node.memory().read(seg.base, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(OskTest, InterruptRunsHandlerOnCpu0) {
+  int fired = 0;
+  kernel.interrupts().set_handler(5, [&]() -> Task<void> {
+    ++fired;
+    co_return;
+  });
+  kernel.interrupts().raise(5);
+  kernel.interrupts().raise(5);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(kernel.interrupts().count(5), 2u);
+  EXPECT_EQ(kernel.interrupts().total(), 2u);
+  // Dispatch + EOI time was charged on cpu0.
+  EXPECT_GT(node.cpu(0).core().busy_time(), Time::zero());
+}
+
+TEST_F(OskTest, InterruptStealsCpuFromProcess) {
+  auto& p = kernel.create_process(0);  // bound to cpu0
+  kernel.interrupts().set_handler(1, []() -> Task<void> { co_return; });
+  Time done;
+  eng.spawn([](Engine& e, Process& p, Time& d) -> Task<void> {
+    co_await p.cpu().busy(Time::us(10.0));
+    co_await e.sleep(Time::us(0.1));
+    co_await p.cpu().busy(Time::us(10.0));
+    d = e.now();
+  }(eng, p, done));
+  eng.schedule_fn(Time::us(10.05), [this] { kernel.interrupts().raise(1); });
+  eng.run();
+  // The IRQ dispatch (2.5 us) delayed the second compute slice; the EOI
+  // queues FIFO behind the process so it does not add to `done`.
+  EXPECT_NEAR(done.to_us(), 20.1 + 2.45, 0.2);
+}
+
+TEST_F(OskTest, SpuriousInterruptIsAnError) {
+  kernel.interrupts().raise(42);
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Parameterized sweeps of every mini-MPI collective over rank counts
+// (including non-powers-of-two and multi-rank-per-node placements), roots,
+// and element counts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using cluster::World;
+using cluster::WorldConfig;
+using minimpi::Mpi;
+using sim::Task;
+
+WorldConfig world_cfg(std::uint32_t nodes) {
+  WorldConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.node.mem_bytes = 16u << 20;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- broadcast
+
+class BcastSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(BcastSweep, AllRanksReceiveRootData) {
+  const auto [nprocs, root, bytes] = GetParam();
+  World w{world_cfg((nprocs + 1) / 2), nprocs};
+  w.run([root = root, bytes = bytes](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto buf = me.process().alloc(bytes);
+    if (me.rank() == root) me.process().fill_pattern(buf, 99);
+    co_await me.bcast(buf, bytes, root);
+    EXPECT_TRUE(me.process().check_pattern(buf, 99)) << "rank " << rank;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BcastSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(0, 1),
+                       ::testing::Values(std::size_t{16},
+                                         std::size_t{20000})),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "root" +
+             std::to_string(std::get<1>(info.param)) + "b" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ------------------------------------------------------------------ reduce
+
+class ReduceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(ReduceSweep, RootHoldsTheSum) {
+  const auto [nprocs, root, count] = GetParam();
+  World w{world_cfg((nprocs + 1) / 2), nprocs};
+  w.run([=](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto sbuf = me.process().alloc(count * sizeof(double));
+    auto rbuf = me.process().alloc(count * sizeof(double));
+    std::vector<double> mine(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      mine[i] = static_cast<double>(i) * (rank + 1);
+    }
+    me.write_doubles(sbuf, mine);
+    co_await me.reduce(sbuf, rbuf, count, root);
+    if (rank == root) {
+      const int n = me.size();
+      const double rank_sum = n * (n + 1) / 2.0;  // sum of (rank+1)
+      const auto got = me.read_doubles(rbuf, count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_DOUBLE_EQ(got[i], static_cast<double>(i) * rank_sum);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReduceSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7),
+                       ::testing::Values(0, 2),
+                       ::testing::Values(std::size_t{1}, std::size_t{333})),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "root" +
+             std::to_string(std::get<1>(info.param)) + "c" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --------------------------------------------------------------- allreduce
+
+class AllreduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceSweep, EveryRankHoldsTheSum) {
+  const int nprocs = GetParam();
+  World w{world_cfg((nprocs + 1) / 2), nprocs};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kCount = 50;
+    auto sbuf = me.process().alloc(kCount * sizeof(double));
+    auto rbuf = me.process().alloc(kCount * sizeof(double));
+    me.write_doubles(sbuf,
+                     std::vector<double>(kCount, rank + 0.5));
+    co_await me.allreduce(sbuf, rbuf, kCount);
+    const int n = me.size();
+    const double want = n * (n - 1) / 2.0 + 0.5 * n;
+    for (const double v : me.read_doubles(rbuf, kCount)) {
+      EXPECT_DOUBLE_EQ(v, want);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllreduceSweep,
+                         ::testing::Values(2, 3, 5, 6, 8),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------------ gather/scatter
+
+class GatherScatterSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GatherScatterSweep, ScatterThenGatherIsIdentity) {
+  const auto [nprocs, root] = GetParam();
+  World w{world_cfg((nprocs + 1) / 2), nprocs};
+  w.run([=](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    constexpr std::size_t kBlock = 300;
+    const int n = me.size();
+    osk::UserBuffer all_in{}, all_out{};
+    if (rank == root) {
+      all_in = me.process().alloc(kBlock * n);
+      all_out = me.process().alloc(kBlock * n);
+      me.process().fill_pattern(all_in, 7);
+    }
+    auto block = me.process().alloc(kBlock);
+    co_await me.scatter(all_in, kBlock, block, root);
+    co_await me.gather(block, kBlock, all_out, root);
+    if (rank == root) {
+      std::vector<std::byte> in(kBlock * n), out(kBlock * n);
+      me.process().peek(all_in, 0, in);
+      me.process().peek(all_out, 0, out);
+      EXPECT_EQ(in, out);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GatherScatterSweep,
+    ::testing::Combine(::testing::Values(2, 4, 6), ::testing::Values(0, 1)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "root" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ----------------------------------------------------------------- alltoall
+
+class AlltoallSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlltoallSweep, IsATranspose) {
+  const int nprocs = GetParam();
+  World w{world_cfg((nprocs + 1) / 2), nprocs};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    const int n = me.size();
+    constexpr std::size_t kBlock = sizeof(double);
+    auto sbuf = me.process().alloc(kBlock * n);
+    auto rbuf = me.process().alloc(kBlock * n);
+    std::vector<double> mine(n);
+    for (int r = 0; r < n; ++r) mine[r] = rank * 100.0 + r;
+    me.write_doubles(sbuf, mine);
+    co_await me.alltoall(sbuf, kBlock, rbuf);
+    const auto got = me.read_doubles(rbuf, n);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_DOUBLE_EQ(got[r], r * 100.0 + rank);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlltoallSweep, ::testing::Values(2, 3, 5, 8),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------------------ barrier
+
+class BarrierSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierSweep, NobodyLeavesBeforeTheLastArrives) {
+  const int nprocs = GetParam();
+  World w{world_cfg((nprocs + 1) / 2), nprocs};
+  std::vector<sim::Time> leave(nprocs);
+  const double last_arrival_us = 7.0 * nprocs;
+  w.run([&leave, nprocs](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    co_await me.process().cpu().busy(sim::Time::us(7.0 * (rank + 1)));
+    co_await me.barrier();
+    leave[static_cast<std::size_t>(rank)] = world.engine().now();
+    (void)nprocs;
+  });
+  for (int r = 0; r < nprocs; ++r) {
+    EXPECT_GE(leave[static_cast<std::size_t>(r)],
+              sim::Time::us(last_arrival_us))
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BarrierSweep, ::testing::Values(2, 3, 5, 8),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace

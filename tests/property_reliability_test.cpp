@@ -1,0 +1,185 @@
+// Property tests of the reliability layer under parameter sweeps:
+// exactly-once in-order delivery must survive any corruption rate and any
+// window size; retransmissions appear iff the link is lossy.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "bcl/bcl.hpp"
+#include "hw/myrinet_switch.hpp"
+
+namespace {
+
+using bcl::BclCluster;
+using bcl::BclErr;
+using bcl::ClusterConfig;
+using bcl::Endpoint;
+using bcl::PortId;
+using bcl::RecvEvent;
+using sim::Task;
+using sim::Time;
+
+struct LossCase {
+  double corrupt_prob;
+  int window;
+  std::size_t msg_bytes;
+};
+
+class LossSweep : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(LossSweep, ExactlyOnceInOrder) {
+  const auto& c = GetParam();
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.mem_bytes = 16u << 20;
+  cfg.cost.window = c.window;
+  cfg.cost.rto = Time::us(80);
+  BclCluster cluster{cfg};
+  dynamic_cast<hw::MyrinetFabric&>(cluster.fabric())
+      .set_host_link_corrupt_prob(0, c.corrupt_prob);
+  auto& tx = cluster.open_endpoint(0);
+  auto& rx = cluster.open_endpoint(1);
+
+  constexpr int kMsgs = 30;
+  std::vector<unsigned> order;
+  cluster.engine().spawn([](Endpoint& tx, PortId dst,
+                            std::size_t bytes) -> Task<void> {
+    auto buf = tx.process().alloc(bytes);
+    for (unsigned i = 0; i < kMsgs; ++i) {
+      const std::byte b[1] = {std::byte{static_cast<unsigned char>(i)}};
+      tx.process().poke(buf, 0, b);
+      auto r = co_await tx.send_system(dst, buf, bytes);
+      EXPECT_EQ(r.err, BclErr::kOk);
+      (void)co_await tx.wait_send();
+    }
+  }(tx, rx.id(), c.msg_bytes));
+  cluster.engine().spawn([](Endpoint& rx,
+                            std::vector<unsigned>& ord) -> Task<void> {
+    for (int i = 0; i < kMsgs; ++i) {
+      RecvEvent ev = co_await rx.wait_recv();
+      auto data = co_await rx.copy_out_system(ev);
+      ord.push_back(static_cast<unsigned>(data.at(0)));
+    }
+  }(rx, order));
+  cluster.engine().run();
+
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(kMsgs));
+  for (unsigned i = 0; i < kMsgs; ++i) EXPECT_EQ(order[i], i);
+  const auto retrans = cluster.node(0).mcp().retransmissions();
+  if (c.corrupt_prob == 0.0) {
+    EXPECT_EQ(retrans, 0u);
+  } else if (c.corrupt_prob >= 0.05) {
+    EXPECT_GT(retrans, 0u);
+  }
+}
+
+std::vector<LossCase> loss_cases() {
+  std::vector<LossCase> out;
+  for (const double p : {0.0, 0.02, 0.08, 0.2}) {
+    for (const int w : {2, 8, 16}) {
+      out.push_back({p, w, 256});
+    }
+  }
+  out.push_back({0.1, 4, 2048});
+  out.push_back({0.05, 16, 4096});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, LossSweep, ::testing::ValuesIn(loss_cases()),
+    [](const ::testing::TestParamInfo<LossCase>& info) {
+      const auto& c = info.param;
+      return "p" + std::to_string(static_cast<int>(c.corrupt_prob * 100)) +
+             "w" + std::to_string(c.window) + "b" +
+             std::to_string(c.msg_bytes);
+    });
+
+// ---------------------------------------------------------------------------
+// Large-message survival across corruption rates.
+// ---------------------------------------------------------------------------
+
+class BulkLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BulkLossSweep, LargeMessageIntact) {
+  const double p = GetParam();
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.mem_bytes = 16u << 20;
+  cfg.cost.rto = Time::us(80);
+  BclCluster cluster{cfg};
+  dynamic_cast<hw::MyrinetFabric&>(cluster.fabric())
+      .set_host_link_corrupt_prob(0, p);
+  auto& tx = cluster.open_endpoint(0);
+  auto& rx = cluster.open_endpoint(1);
+  const std::size_t kLen = 96 * 1024;
+  bool verified = false;
+  cluster.engine().spawn([](Endpoint& rx, Endpoint& tx, std::size_t len,
+                            bool& ok) -> Task<void> {
+    auto rbuf = rx.process().alloc(len);
+    EXPECT_EQ(co_await rx.post_recv(0, rbuf), BclErr::kOk);
+    auto go = rx.process().alloc(1);
+    (void)co_await rx.send_system(tx.id(), go, 0);
+    (void)co_await rx.wait_recv();
+    ok = rx.process().check_pattern(rbuf, 31);
+  }(rx, tx, kLen, verified));
+  cluster.engine().spawn([](Endpoint& tx, PortId dst,
+                            std::size_t len) -> Task<void> {
+    (void)co_await tx.wait_recv();
+    auto sbuf = tx.process().alloc(len);
+    tx.process().fill_pattern(sbuf, 31);
+    auto r = co_await tx.send(dst, bcl::ChannelRef{bcl::ChanKind::kNormal, 0},
+                              sbuf, len);
+    EXPECT_EQ(r.err, BclErr::kOk);
+  }(tx, rx.id(), kLen));
+  cluster.engine().run();
+  EXPECT_TRUE(verified) << "corrupt_prob=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BulkLossSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.12),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+// ---------------------------------------------------------------------------
+// RMA under loss: reads and writes must also be exactly-once.
+// ---------------------------------------------------------------------------
+
+TEST(RmaUnderLoss, ReadSurvivesCorruption) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.mem_bytes = 16u << 20;
+  cfg.cost.rto = Time::us(80);
+  BclCluster cluster{cfg};
+  dynamic_cast<hw::MyrinetFabric&>(cluster.fabric())
+      .set_host_link_corrupt_prob(1, 0.25);  // the reply path is lossy
+  auto& reader = cluster.open_endpoint(0);
+  auto& owner = cluster.open_endpoint(1);
+  cluster.engine().spawn([](Endpoint& owner, Endpoint& rd) -> Task<void> {
+    auto window = owner.process().alloc(65536);
+    owner.process().fill_pattern(window, 12);
+    EXPECT_EQ(co_await owner.bind_open(0, window), BclErr::kOk);
+    auto go = owner.process().alloc(1);
+    (void)co_await owner.send_system(rd.id(), go, 0);
+  }(owner, reader));
+  cluster.engine().spawn([](Endpoint& rd, PortId dst) -> Task<void> {
+    (void)co_await rd.wait_recv();
+    auto into = rd.process().alloc(60000);
+    auto r = co_await rd.rma_read(dst, 0, 0, 1, into, 60000);
+    EXPECT_EQ(r.err, BclErr::kOk);
+    RecvEvent ev = co_await rd.wait_recv();
+    EXPECT_EQ(ev.len, 60000u);
+    std::vector<std::byte> got(60000);
+    rd.process().peek(into, 0, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i],
+                static_cast<std::byte>((i * 197 + 12 * 31 + 7) & 0xff));
+    }
+  }(reader, owner.id()));
+  cluster.engine().run();
+  EXPECT_GT(cluster.node(1).mcp().retransmissions(), 0u);
+}
+
+}  // namespace

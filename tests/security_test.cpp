@@ -1,0 +1,194 @@
+// Multi-tenant security tests (paper section 4.4): "BCL forces the
+// communication request from applications to pass some necessary security
+// checks in kernel module and control program layers... With this
+// safeguard mechanism BCL assures all processes using it will safely send
+// and receive messages, never destroy kernel data structures."
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bcl/bcl.hpp"
+
+namespace {
+
+using bcl::BclCluster;
+using bcl::BclErr;
+using bcl::ChanKind;
+using bcl::ChannelRef;
+using bcl::ClusterConfig;
+using bcl::Endpoint;
+using bcl::PortId;
+using bcl::RecvEvent;
+using osk::UserBuffer;
+using sim::Task;
+using sim::Time;
+
+ClusterConfig two_nodes() {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.mem_bytes = 16u << 20;
+  return cfg;
+}
+
+TEST(Security, ForgedBufferOfAnotherProcessRejected) {
+  BclCluster c{two_nodes()};
+  auto& victim = c.open_endpoint(0);
+  auto& attacker = c.open_endpoint(0);
+  // The victim allocates a buffer; the attacker forges a UserBuffer with
+  // the victim's virtual address.  The attacker's own address space has no
+  // mapping there, so the kernel check must reject the send.
+  auto secret = victim.process().alloc(4096);
+  victim.process().fill_pattern(secret, 1);
+  c.engine().spawn([](Endpoint& attacker, UserBuffer forged) -> Task<void> {
+    auto r = co_await attacker.send_system(PortId{1, 0}, forged, 4096);
+    EXPECT_EQ(r.err, BclErr::kBadBuffer);
+  }(attacker, UserBuffer{secret.vaddr, secret.len,
+                         attacker.process().pid()}));
+  c.engine().run();
+  EXPECT_GE(c.node(0).driver().security_rejects(), 1u);
+}
+
+TEST(Security, MisbehavingTenantDoesNotDisturbOthers) {
+  BclCluster c{two_nodes()};
+  auto& good_tx = c.open_endpoint(0);
+  auto& bad = c.open_endpoint(0);   // same node, different process
+  auto& good_rx = c.open_endpoint(1);
+  // The attacker hammers the kernel with invalid requests while a
+  // well-behaved pair exchanges messages; every good message must arrive
+  // intact.
+  c.engine().spawn_daemon([](Endpoint& bad) -> Task<void> {
+    auto buf = bad.process().alloc(64);
+    for (;;) {
+      (void)co_await bad.send_system(PortId{77, 0}, buf, 64);     // bad node
+      (void)co_await bad.send_system(PortId{1, 99}, buf, 64);     // bad port
+      (void)co_await bad.send(PortId{1, 0},
+                              ChannelRef{ChanKind::kNormal, 999}, buf, 64);
+      UserBuffer forged{0xbad000, 64, bad.process().pid()};
+      (void)co_await bad.send_system(PortId{1, 0}, forged, 64);
+    }
+  }(bad));
+  int delivered = 0;
+  c.engine().spawn([](Endpoint& tx, PortId dst) -> Task<void> {
+    auto buf = tx.process().alloc(512);
+    tx.process().fill_pattern(buf, 3);
+    for (int i = 0; i < 20; ++i) {
+      auto r = co_await tx.send_system(dst, buf, 512);
+      EXPECT_EQ(r.err, BclErr::kOk);
+      (void)co_await tx.wait_send();
+    }
+  }(good_tx, good_rx.id()));
+  c.engine().spawn([](Endpoint& rx, int& delivered) -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      RecvEvent ev = co_await rx.wait_recv();
+      auto data = co_await rx.copy_out_system(ev);
+      EXPECT_EQ(data.size(), 512u);
+      ++delivered;
+    }
+  }(good_rx, delivered));
+  c.engine().run_until(Time::ms(10));
+  EXPECT_EQ(delivered, 20);
+  EXPECT_GT(c.node(0).driver().security_rejects(), 50u);
+}
+
+TEST(Security, RmaCannotEscapeTheBoundWindow) {
+  BclCluster c{two_nodes()};
+  auto& attacker = c.open_endpoint(0);
+  auto& victim = c.open_endpoint(1);
+  // The victim binds a 4KB window; memory around it must stay untouched
+  // no matter what offsets the attacker requests.
+  auto before = victim.process().alloc(4096);
+  auto window = victim.process().alloc(4096);
+  auto after = victim.process().alloc(4096);
+  victim.process().fill_pattern(before, 10);
+  victim.process().fill_pattern(after, 11);
+  c.engine().spawn([](Endpoint& victim, const UserBuffer& window)
+                       -> Task<void> {
+    EXPECT_EQ(co_await victim.bind_open(0, window), BclErr::kOk);
+  }(victim, window));
+  c.engine().spawn([](sim::Engine& e, Endpoint& attacker, PortId dst)
+                       -> Task<void> {
+    co_await e.sleep(Time::us(50));
+    auto payload = attacker.process().alloc(8192);
+    // Overruns, straddles, and absurd offsets.
+    (void)co_await attacker.rma_write(dst, 0, 0, payload, 8192);
+    (void)co_await attacker.rma_write(dst, 0, 4000, payload, 4096);
+    (void)co_await attacker.rma_write(dst, 0, 1u << 30, payload, 64);
+    // An unbound channel entirely.
+    (void)co_await attacker.rma_write(dst, 3, 0, payload, 64);
+  }(c.engine(), attacker, victim.id()));
+  c.engine().run();
+  EXPECT_TRUE(victim.process().check_pattern(before, 10));
+  EXPECT_TRUE(victim.process().check_pattern(after, 11));
+  EXPECT_GE(victim.port().rma_errors, 4u);
+}
+
+TEST(Security, RmaReadCannotLeakOutsideWindow) {
+  BclCluster c{two_nodes()};
+  auto& attacker = c.open_endpoint(0);
+  auto& victim = c.open_endpoint(1);
+  c.engine().spawn([](Endpoint& victim, Endpoint& attacker) -> Task<void> {
+    auto window = victim.process().alloc(4096);
+    EXPECT_EQ(co_await victim.bind_open(0, window), BclErr::kOk);
+    auto go = victim.process().alloc(1);
+    (void)co_await victim.send_system(attacker.id(), go, 0);
+  }(victim, attacker));
+  c.engine().spawn([](sim::Engine& e, Endpoint& attacker, PortId dst)
+                       -> Task<void> {
+    (void)co_await attacker.wait_recv();
+    auto into = attacker.process().alloc(8192);
+    // Ask for more than the window holds: the target MCP must refuse, and
+    // the reader simply never gets a reply (counted at the target).
+    auto r = co_await attacker.rma_read(dst, 0, 0, 1, into, 8192);
+    EXPECT_EQ(r.err, BclErr::kOk);  // locally well-formed
+    co_await e.sleep(Time::ms(1));
+  }(c.engine(), attacker, victim.id()));
+  c.engine().run_until(Time::ms(5));
+  EXPECT_GE(victim.port().rma_errors, 1u);
+  EXPECT_EQ(c.node(1).mcp().stats().rma_reads_served, 0u);
+}
+
+TEST(Security, IntraNodeBadBufferRejectedAtUserLevel) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.mem_bytes = 8u << 20;
+  BclCluster c{cfg};
+  auto& a = c.open_endpoint(0);
+  auto& b = c.open_endpoint(0);
+  c.engine().spawn([](Endpoint& a, PortId dst) -> Task<void> {
+    UserBuffer forged{0xdead0000, 256, a.process().pid()};
+    auto r = co_await a.send_system(dst, forged, 256);
+    EXPECT_EQ(r.err, BclErr::kBadBuffer);
+  }(a, b.id()));
+  c.engine().run();
+  EXPECT_EQ(b.port().messages_received, 0u);
+}
+
+TEST(Security, TryRecvPollsWithoutBlocking) {
+  BclCluster c{two_nodes()};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn([](sim::Engine& e, Endpoint& rx, Endpoint& tx)
+                       -> Task<void> {
+    // Nothing yet.
+    auto none = co_await rx.try_recv();
+    EXPECT_FALSE(none.has_value());
+    // Ask for a message, then poll until it shows up.
+    auto go = rx.process().alloc(1);
+    (void)co_await rx.send_system(tx.id(), go, 0);
+    std::optional<bcl::RecvEvent> ev;
+    while (!ev) {
+      co_await e.sleep(Time::us(5));
+      ev = co_await rx.try_recv();
+    }
+    auto data = co_await rx.copy_out_system(*ev);
+    EXPECT_EQ(data.size(), 128u);
+  }(c.engine(), rx, tx));
+  c.engine().spawn([](Endpoint& tx, PortId dst) -> Task<void> {
+    (void)co_await tx.wait_recv();
+    auto buf = tx.process().alloc(128);
+    (void)co_await tx.send_system(dst, buf, 128);
+  }(tx, rx.id()));
+  c.engine().run();
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Unit tests for the discrete-event engine: time ordering, determinism,
+// task lifecycle, exception propagation, deadlock detection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+TEST(Time, ConstructorsAndAccessors) {
+  EXPECT_EQ(Time::ps(1500).picos(), 1500);
+  EXPECT_DOUBLE_EQ(Time::us(2.5).to_us(), 2.5);
+  EXPECT_DOUBLE_EQ(Time::ns(750.0).to_us(), 0.75);
+  EXPECT_DOUBLE_EQ(Time::ms(1.0).to_us(), 1000.0);
+  EXPECT_DOUBLE_EQ(Time::sec(1.0).to_ms(), 1000.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::us(3.0);
+  const Time b = Time::us(1.5);
+  EXPECT_EQ((a + b).picos(), Time::us(4.5).picos());
+  EXPECT_EQ((a - b).picos(), Time::us(1.5).picos());
+  EXPECT_EQ((a * 2).picos(), Time::us(6.0).picos());
+  EXPECT_EQ((a / 3).picos(), Time::us(1.0).picos());
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, Time::ns(3000.0));
+}
+
+TEST(Time, BytesAtBandwidth) {
+  // 160 MB/s: 4096 bytes should take 25.6 us.
+  const Time t = Time::bytes_at(4096, 160e6);
+  EXPECT_NEAR(t.to_us(), 25.6, 1e-9);
+}
+
+TEST(Time, StrFormatting) {
+  EXPECT_EQ(Time::us(18.3).str(), "18.30us");
+  EXPECT_EQ(Time::ns(500.0).str(), "500.0ns");
+}
+
+TEST(Engine, StartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), Time::zero());
+  eng.run();  // empty run is fine
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(Engine, SleepAdvancesTime) {
+  Engine eng;
+  Time observed = Time::zero();
+  eng.spawn([](Engine& e, Time& obs) -> Task<void> {
+    co_await e.sleep(Time::us(5.0));
+    obs = e.now();
+  }(eng, observed));
+  eng.run();
+  EXPECT_EQ(observed, Time::us(5.0));
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  auto sleeper = [](Engine& e, std::vector<int>& ord, Time d,
+                    int id) -> Task<void> {
+    co_await e.sleep(d);
+    ord.push_back(id);
+  };
+  eng.spawn(sleeper(eng, order, Time::us(3.0), 3));
+  eng.spawn(sleeper(eng, order, Time::us(1.0), 1));
+  eng.spawn(sleeper(eng, order, Time::us(2.0), 2));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EqualTimesFireInInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule_fn(Time::us(1.0), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Engine, YieldRequeuesBehindCurrentEvents) {
+  Engine eng;
+  std::vector<int> order;
+  // spawn() runs the task body eagerly up to its first suspension, so the
+  // yield below enqueues behind anything scheduled before the spawn.
+  eng.schedule_fn(Time::zero(), [&order] { order.push_back(2); });
+  eng.spawn([](Engine& e, std::vector<int>& ord) -> Task<void> {
+    ord.push_back(1);
+    co_await e.yield();
+    ord.push_back(3);
+  }(eng, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, NestedTasksPropagateValues) {
+  Engine eng;
+  int result = 0;
+  auto inner = [](Engine& e) -> Task<int> {
+    co_await e.sleep(Time::us(1.0));
+    co_return 42;
+  };
+  eng.spawn([](Engine& e, auto inner_fn, int& out) -> Task<void> {
+    out = co_await inner_fn(e);
+  }(eng, inner, result));
+  eng.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Engine, TaskExceptionPropagatesFromRun) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<void> {
+    co_await e.sleep(Time::us(1.0));
+    throw std::runtime_error("boom");
+  }(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, NestedTaskExceptionReachesParentCatch) {
+  Engine eng;
+  bool caught = false;
+  auto inner = [](Engine& e) -> Task<void> {
+    co_await e.sleep(Time::us(1.0));
+    throw std::logic_error("inner");
+  };
+  eng.spawn([](Engine& e, auto fn, bool& c) -> Task<void> {
+    try {
+      co_await fn(e);
+    } catch (const std::logic_error&) {
+      c = true;
+    }
+  }(eng, inner, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int steps = 0;
+  eng.spawn_daemon([](Engine& e, int& s) -> Task<void> {
+    for (;;) {
+      co_await e.sleep(Time::us(1.0));
+      ++s;
+    }
+  }(eng, steps));
+  const bool drained = eng.run_until(Time::us(10.5));
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(steps, 10);
+  EXPECT_EQ(eng.now(), Time::us(10.5));
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine eng;
+  // A task that waits forever on an event nobody posts.
+  struct Never {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) {}
+    void await_resume() const noexcept {}
+  };
+  eng.spawn([](Engine& e) -> Task<void> {
+    co_await e.sleep(Time::us(1.0));
+    co_await Never{};
+  }(eng));
+  EXPECT_THROW(eng.run(), sim::DeadlockError);
+}
+
+TEST(Engine, DaemonBlockedIsNotADeadlock) {
+  Engine eng;
+  struct Never {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) {}
+    void await_resume() const noexcept {}
+  };
+  eng.spawn_daemon([](Engine&) -> Task<void> { co_await Never{}; }(eng));
+  eng.spawn([](Engine& e) -> Task<void> {
+    co_await e.sleep(Time::us(1.0));
+  }(eng));
+  EXPECT_NO_THROW(eng.run());
+  EXPECT_EQ(eng.now(), Time::us(1.0));
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<std::pair<std::int64_t, int>> log;
+    for (int i = 0; i < 5; ++i) {
+      eng.spawn([](Engine& e, std::vector<std::pair<std::int64_t, int>>& lg,
+                   int id) -> Task<void> {
+        for (int k = 0; k < 3; ++k) {
+          co_await e.sleep(Time::us(1.0 + id * 0.1));
+          lg.emplace_back(e.now().picos(), id);
+        }
+      }(eng, log, i));
+    }
+    eng.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, StopEndsRunEarly) {
+  Engine eng;
+  int count = 0;
+  eng.spawn_daemon([](Engine& e, int& c) -> Task<void> {
+    for (;;) {
+      co_await e.sleep(Time::us(1.0));
+      if (++c == 5) e.stop();
+    }
+  }(eng, count));
+  eng.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Engine, ManyEventsScale) {
+  Engine eng;
+  long total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    eng.spawn([](Engine& e, long& t) -> Task<void> {
+      for (int k = 0; k < 50; ++k) {
+        co_await e.sleep(Time::ns(10));
+        ++t;
+      }
+    }(eng, total));
+  }
+  eng.run();
+  EXPECT_EQ(total, 50'000);
+  EXPECT_GE(eng.events_processed(), 50'000u);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Tests for Channel<T>: FIFO delivery, bounded backpressure, close().
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+
+namespace {
+
+using sim::Channel;
+using sim::ChannelClosed;
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+TEST(Channel, FifoDelivery) {
+  Engine eng;
+  Channel<int> ch{eng};
+  std::vector<int> got;
+  eng.spawn([](Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 5; ++i) co_await c.send(i);
+  }(ch));
+  eng.spawn([](Channel<int>& c, std::vector<int>& g) -> Task<void> {
+    for (int i = 0; i < 5; ++i) g.push_back(co_await c.recv());
+  }(ch, got));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, ReceiverBlocksUntilSend) {
+  Engine eng;
+  Channel<std::string> ch{eng};
+  Time got_at = Time::zero();
+  eng.spawn([](Engine& e, Channel<std::string>& c, Time& at) -> Task<void> {
+    auto s = co_await c.recv();
+    EXPECT_EQ(s, "hello");
+    at = e.now();
+  }(eng, ch, got_at));
+  eng.spawn([](Engine& e, Channel<std::string>& c) -> Task<void> {
+    co_await e.sleep(Time::us(4.0));
+    co_await c.send("hello");
+  }(eng, ch));
+  eng.run();
+  EXPECT_EQ(got_at, Time::us(4.0));
+}
+
+TEST(Channel, BoundedSenderBlocksWhenFull) {
+  Engine eng;
+  Channel<int> ch{eng, 2};
+  std::vector<Time> send_done;
+  eng.spawn([](Engine& e, Channel<int>& c,
+               std::vector<Time>& done) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await c.send(i);
+      done.push_back(e.now());
+    }
+  }(eng, ch, send_done));
+  eng.spawn([](Engine& e, Channel<int>& c) -> Task<void> {
+    co_await e.sleep(Time::us(10.0));
+    (void)co_await c.recv();
+  }(eng, ch));
+  eng.run_until(Time::us(20.0));
+  ASSERT_EQ(send_done.size(), 3u);
+  EXPECT_EQ(send_done[0], Time::zero());
+  EXPECT_EQ(send_done[1], Time::zero());
+  EXPECT_EQ(send_done[2], Time::us(10.0));  // unblocked by the recv
+}
+
+TEST(Channel, TrySendRespectsCapacity) {
+  Engine eng;
+  Channel<int> ch{eng, 1};
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_FALSE(ch.try_send(2));
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+  Engine eng;
+  Channel<int> ch{eng};
+  bool threw = false;
+  eng.spawn([](Channel<int>& c, bool& t) -> Task<void> {
+    try {
+      (void)co_await c.recv();
+    } catch (const ChannelClosed&) {
+      t = true;
+    }
+  }(ch, threw));
+  eng.schedule_fn(Time::us(1.0), [&ch] { ch.close(); });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Channel, RecvAfterCloseThrowsImmediately) {
+  Engine eng;
+  Channel<int> ch{eng};
+  ch.close();
+  bool threw = false;
+  eng.spawn([](Channel<int>& c, bool& t) -> Task<void> {
+    try {
+      (void)co_await c.recv();
+    } catch (const ChannelClosed&) {
+      t = true;
+    }
+  }(ch, threw));
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Engine eng;
+  Channel<std::unique_ptr<int>> ch{eng};
+  int got = 0;
+  eng.spawn([](Channel<std::unique_ptr<int>>& c) -> Task<void> {
+    co_await c.send(std::make_unique<int>(99));
+  }(ch));
+  eng.spawn([](Channel<std::unique_ptr<int>>& c, int& g) -> Task<void> {
+    auto p = co_await c.recv();
+    g = *p;
+  }(ch, got));
+  eng.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Engine eng;
+  Channel<int> ch{eng, 4};
+  long sum = 0;
+  for (int p = 0; p < 10; ++p) {
+    eng.spawn([](Engine& e, Channel<int>& c, int id) -> Task<void> {
+      for (int i = 0; i < 20; ++i) {
+        co_await e.sleep(Time::ns(id * 3 + 1));
+        co_await c.send(1);
+      }
+    }(eng, ch, p));
+  }
+  eng.spawn([](Channel<int>& c, long& s) -> Task<void> {
+    for (int i = 0; i < 200; ++i) s += co_await c.recv();
+  }(ch, sum));
+  eng.run();
+  EXPECT_EQ(sum, 200);
+}
+
+}  // namespace

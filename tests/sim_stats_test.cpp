@@ -1,0 +1,155 @@
+// Tests for Summary, Histogram, Rng, and Trace.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using sim::Engine;
+using sim::Histogram;
+using sim::Rng;
+using sim::Summary;
+using sim::Task;
+using sim::Time;
+using sim::Trace;
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+}
+
+TEST(Summary, AcceptsTime) {
+  Summary s;
+  s.add(Time::us(10.0));
+  s.add(Time::us(20.0));
+  EXPECT_DOUBLE_EQ(s.mean(), 15.0);  // microseconds
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, PercentilesBracketData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-binned: percentile returns an upper bin edge, so p50 should be
+  // within a factor of 2 of 500.
+  EXPECT_GE(h.percentile(50.0), 500.0 / 2);
+  EXPECT_LE(h.percentile(50.0), 500.0 * 2 + 1);
+  EXPECT_GE(h.percentile(99.9), 512.0);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h;
+  h.add(1.0);
+  h.add(100.0);
+  const auto s = h.ascii();
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r{7};
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.between(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    hit_lo |= (v == 3);
+    hit_hi |= (v == 6);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r{11};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{13};
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  Engine eng;
+  Trace tr{eng};
+  eng.spawn([](Engine& e, Trace& t) -> Task<void> {
+    auto sp = t.span("host", "stage-a", 1);
+    co_await e.sleep(Time::us(2.0));
+  }(eng, tr));
+  eng.run();
+  EXPECT_TRUE(tr.events().empty());
+}
+
+TEST(Trace, SpanRecordsDuration) {
+  Engine eng;
+  Trace tr{eng};
+  tr.enable();
+  eng.spawn([](Engine& e, Trace& t) -> Task<void> {
+    auto sp = t.span("host", "stage-a", 7);
+    co_await e.sleep(Time::us(2.5));
+    sp.end();
+    auto sp2 = t.span("nic", "stage-b", 7);
+    co_await e.sleep(Time::us(1.5));
+  }(eng, tr));
+  eng.run();
+  ASSERT_EQ(tr.events().size(), 2u);
+  EXPECT_EQ(tr.stage_total("stage-a", 7), Time::us(2.5));
+  EXPECT_EQ(tr.stage_total("stage-b", 7), Time::us(1.5));
+  const auto line = tr.timeline(7);
+  ASSERT_EQ(line.size(), 2u);
+  EXPECT_EQ(line[0].stage, "stage-a");
+  EXPECT_EQ(line[1].stage, "stage-b");
+}
+
+TEST(Trace, FiltersByTag) {
+  Engine eng;
+  Trace tr{eng};
+  tr.enable();
+  tr.mark("x", "m", 1);
+  tr.mark("x", "m", 2);
+  EXPECT_EQ(tr.timeline(1).size(), 1u);
+  EXPECT_EQ(tr.timeline(2).size(), 1u);
+  EXPECT_EQ(tr.timeline(3).size(), 0u);
+}
+
+}  // namespace
