@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cpu.dir/bench_abl_cpu.cpp.o"
+  "CMakeFiles/bench_abl_cpu.dir/bench_abl_cpu.cpp.o.d"
+  "bench_abl_cpu"
+  "bench_abl_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

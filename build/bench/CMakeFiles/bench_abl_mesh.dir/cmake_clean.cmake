@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_mesh.dir/bench_abl_mesh.cpp.o"
+  "CMakeFiles/bench_abl_mesh.dir/bench_abl_mesh.cpp.o.d"
+  "bench_abl_mesh"
+  "bench_abl_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

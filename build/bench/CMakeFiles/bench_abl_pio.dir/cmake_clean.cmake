@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_pio.dir/bench_abl_pio.cpp.o"
+  "CMakeFiles/bench_abl_pio.dir/bench_abl_pio.cpp.o.d"
+  "bench_abl_pio"
+  "bench_abl_pio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_pio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_pipeline.dir/bench_abl_pipeline.cpp.o"
+  "CMakeFiles/bench_abl_pipeline.dir/bench_abl_pipeline.cpp.o.d"
+  "bench_abl_pipeline"
+  "bench_abl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_ptcache.cpp" "bench/CMakeFiles/bench_abl_ptcache.dir/bench_abl_ptcache.cpp.o" "gcc" "bench/CMakeFiles/bench_abl_ptcache.dir/bench_abl_ptcache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_minipvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_eadi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

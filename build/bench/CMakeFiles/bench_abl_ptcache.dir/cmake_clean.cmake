@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ptcache.dir/bench_abl_ptcache.cpp.o"
+  "CMakeFiles/bench_abl_ptcache.dir/bench_abl_ptcache.cpp.o.d"
+  "bench_abl_ptcache"
+  "bench_abl_ptcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ptcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

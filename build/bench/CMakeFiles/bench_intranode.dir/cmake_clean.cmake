@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intranode.dir/bench_intranode.cpp.o"
+  "CMakeFiles/bench_intranode.dir/bench_intranode.cpp.o.d"
+  "bench_intranode"
+  "bench_intranode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

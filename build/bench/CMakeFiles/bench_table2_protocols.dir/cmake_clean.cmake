@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_protocols.dir/bench_table2_protocols.cpp.o"
+  "CMakeFiles/bench_table2_protocols.dir/bench_table2_protocols.cpp.o.d"
+  "bench_table2_protocols"
+  "bench_table2_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

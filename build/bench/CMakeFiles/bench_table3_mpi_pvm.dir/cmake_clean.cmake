@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mpi_pvm.dir/bench_table3_mpi_pvm.cpp.o"
+  "CMakeFiles/bench_table3_mpi_pvm.dir/bench_table3_mpi_pvm.cpp.o.d"
+  "bench_table3_mpi_pvm"
+  "bench_table3_mpi_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mpi_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_fabric.dir/hetero_fabric.cpp.o"
+  "CMakeFiles/hetero_fabric.dir/hetero_fabric.cpp.o.d"
+  "hetero_fabric"
+  "hetero_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

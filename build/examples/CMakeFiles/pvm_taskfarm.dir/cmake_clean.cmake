@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_taskfarm.dir/pvm_taskfarm.cpp.o"
+  "CMakeFiles/pvm_taskfarm.dir/pvm_taskfarm.cpp.o.d"
+  "pvm_taskfarm"
+  "pvm_taskfarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_taskfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_pagerank.dir/rma_pagerank.cpp.o"
+  "CMakeFiles/rma_pagerank.dir/rma_pagerank.cpp.o.d"
+  "rma_pagerank"
+  "rma_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

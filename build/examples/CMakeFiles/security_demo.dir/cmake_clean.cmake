@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_demo.dir/security_demo.cpp.o"
+  "CMakeFiles/security_demo.dir/security_demo.cpp.o.d"
+  "security_demo"
+  "security_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/am2.cpp" "src/CMakeFiles/bcl_baselines.dir/baselines/am2.cpp.o" "gcc" "src/CMakeFiles/bcl_baselines.dir/baselines/am2.cpp.o.d"
+  "/root/repo/src/baselines/bip.cpp" "src/CMakeFiles/bcl_baselines.dir/baselines/bip.cpp.o" "gcc" "src/CMakeFiles/bcl_baselines.dir/baselines/bip.cpp.o.d"
+  "/root/repo/src/baselines/kernel_level.cpp" "src/CMakeFiles/bcl_baselines.dir/baselines/kernel_level.cpp.o" "gcc" "src/CMakeFiles/bcl_baselines.dir/baselines/kernel_level.cpp.o.d"
+  "/root/repo/src/baselines/user_level.cpp" "src/CMakeFiles/bcl_baselines.dir/baselines/user_level.cpp.o" "gcc" "src/CMakeFiles/bcl_baselines.dir/baselines/user_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

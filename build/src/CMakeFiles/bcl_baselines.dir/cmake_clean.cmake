@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_baselines.dir/baselines/am2.cpp.o"
+  "CMakeFiles/bcl_baselines.dir/baselines/am2.cpp.o.d"
+  "CMakeFiles/bcl_baselines.dir/baselines/bip.cpp.o"
+  "CMakeFiles/bcl_baselines.dir/baselines/bip.cpp.o.d"
+  "CMakeFiles/bcl_baselines.dir/baselines/kernel_level.cpp.o"
+  "CMakeFiles/bcl_baselines.dir/baselines/kernel_level.cpp.o.d"
+  "CMakeFiles/bcl_baselines.dir/baselines/user_level.cpp.o"
+  "CMakeFiles/bcl_baselines.dir/baselines/user_level.cpp.o.d"
+  "libbcl_baselines.a"
+  "libbcl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

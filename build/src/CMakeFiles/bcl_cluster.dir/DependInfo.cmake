@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/bcl_cluster.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/bcl_cluster.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/harness.cpp" "src/CMakeFiles/bcl_cluster.dir/cluster/harness.cpp.o" "gcc" "src/CMakeFiles/bcl_cluster.dir/cluster/harness.cpp.o.d"
+  "/root/repo/src/cluster/report.cpp" "src/CMakeFiles/bcl_cluster.dir/cluster/report.cpp.o" "gcc" "src/CMakeFiles/bcl_cluster.dir/cluster/report.cpp.o.d"
+  "/root/repo/src/cluster/workload.cpp" "src/CMakeFiles/bcl_cluster.dir/cluster/workload.cpp.o" "gcc" "src/CMakeFiles/bcl_cluster.dir/cluster/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcl_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_minipvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_eadi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/bcl_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/bcl_cluster.dir/cluster/harness.cpp.o"
+  "CMakeFiles/bcl_cluster.dir/cluster/harness.cpp.o.d"
+  "CMakeFiles/bcl_cluster.dir/cluster/report.cpp.o"
+  "CMakeFiles/bcl_cluster.dir/cluster/report.cpp.o.d"
+  "CMakeFiles/bcl_cluster.dir/cluster/workload.cpp.o"
+  "CMakeFiles/bcl_cluster.dir/cluster/workload.cpp.o.d"
+  "libbcl_cluster.a"
+  "libbcl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

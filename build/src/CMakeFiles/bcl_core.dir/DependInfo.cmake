@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bcl/channel.cpp" "src/CMakeFiles/bcl_core.dir/bcl/channel.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/channel.cpp.o.d"
+  "/root/repo/src/bcl/config.cpp" "src/CMakeFiles/bcl_core.dir/bcl/config.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/config.cpp.o.d"
+  "/root/repo/src/bcl/driver.cpp" "src/CMakeFiles/bcl_core.dir/bcl/driver.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/driver.cpp.o.d"
+  "/root/repo/src/bcl/intranode.cpp" "src/CMakeFiles/bcl_core.dir/bcl/intranode.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/intranode.cpp.o.d"
+  "/root/repo/src/bcl/library.cpp" "src/CMakeFiles/bcl_core.dir/bcl/library.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/library.cpp.o.d"
+  "/root/repo/src/bcl/mcp.cpp" "src/CMakeFiles/bcl_core.dir/bcl/mcp.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/mcp.cpp.o.d"
+  "/root/repo/src/bcl/port.cpp" "src/CMakeFiles/bcl_core.dir/bcl/port.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/port.cpp.o.d"
+  "/root/repo/src/bcl/reliable.cpp" "src/CMakeFiles/bcl_core.dir/bcl/reliable.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/reliable.cpp.o.d"
+  "/root/repo/src/bcl/stack.cpp" "src/CMakeFiles/bcl_core.dir/bcl/stack.cpp.o" "gcc" "src/CMakeFiles/bcl_core.dir/bcl/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcl_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

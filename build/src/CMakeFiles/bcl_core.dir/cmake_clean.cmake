@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_core.dir/bcl/channel.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/channel.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/config.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/config.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/driver.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/driver.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/intranode.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/intranode.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/library.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/library.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/mcp.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/mcp.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/port.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/port.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/reliable.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/reliable.cpp.o.d"
+  "CMakeFiles/bcl_core.dir/bcl/stack.cpp.o"
+  "CMakeFiles/bcl_core.dir/bcl/stack.cpp.o.d"
+  "libbcl_core.a"
+  "libbcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_eadi.dir/eadi/eadi.cpp.o"
+  "CMakeFiles/bcl_eadi.dir/eadi/eadi.cpp.o.d"
+  "libbcl_eadi.a"
+  "libbcl_eadi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_eadi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

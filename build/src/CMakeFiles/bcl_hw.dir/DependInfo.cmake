@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu.cpp" "src/CMakeFiles/bcl_hw.dir/hw/cpu.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/cpu.cpp.o.d"
+  "/root/repo/src/hw/link.cpp" "src/CMakeFiles/bcl_hw.dir/hw/link.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/link.cpp.o.d"
+  "/root/repo/src/hw/memory.cpp" "src/CMakeFiles/bcl_hw.dir/hw/memory.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/memory.cpp.o.d"
+  "/root/repo/src/hw/mesh.cpp" "src/CMakeFiles/bcl_hw.dir/hw/mesh.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/mesh.cpp.o.d"
+  "/root/repo/src/hw/myrinet_switch.cpp" "src/CMakeFiles/bcl_hw.dir/hw/myrinet_switch.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/myrinet_switch.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/CMakeFiles/bcl_hw.dir/hw/nic.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/nic.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/CMakeFiles/bcl_hw.dir/hw/node.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/node.cpp.o.d"
+  "/root/repo/src/hw/pci.cpp" "src/CMakeFiles/bcl_hw.dir/hw/pci.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/pci.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/CMakeFiles/bcl_hw.dir/hw/topology.cpp.o" "gcc" "src/CMakeFiles/bcl_hw.dir/hw/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_hw.dir/hw/cpu.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/cpu.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/link.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/link.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/memory.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/memory.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/mesh.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/mesh.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/myrinet_switch.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/myrinet_switch.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/nic.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/nic.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/node.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/node.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/pci.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/pci.cpp.o.d"
+  "CMakeFiles/bcl_hw.dir/hw/topology.cpp.o"
+  "CMakeFiles/bcl_hw.dir/hw/topology.cpp.o.d"
+  "libbcl_hw.a"
+  "libbcl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

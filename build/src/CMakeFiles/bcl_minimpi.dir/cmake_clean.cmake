@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_minimpi.dir/minimpi/collectives.cpp.o"
+  "CMakeFiles/bcl_minimpi.dir/minimpi/collectives.cpp.o.d"
+  "CMakeFiles/bcl_minimpi.dir/minimpi/mpi.cpp.o"
+  "CMakeFiles/bcl_minimpi.dir/minimpi/mpi.cpp.o.d"
+  "libbcl_minimpi.a"
+  "libbcl_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbcl_minimpi.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_minipvm.dir/minipvm/pvm.cpp.o"
+  "CMakeFiles/bcl_minipvm.dir/minipvm/pvm.cpp.o.d"
+  "libbcl_minipvm.a"
+  "libbcl_minipvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_minipvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

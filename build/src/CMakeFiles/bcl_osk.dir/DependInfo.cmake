@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osk/interrupt.cpp" "src/CMakeFiles/bcl_osk.dir/osk/interrupt.cpp.o" "gcc" "src/CMakeFiles/bcl_osk.dir/osk/interrupt.cpp.o.d"
+  "/root/repo/src/osk/kernel.cpp" "src/CMakeFiles/bcl_osk.dir/osk/kernel.cpp.o" "gcc" "src/CMakeFiles/bcl_osk.dir/osk/kernel.cpp.o.d"
+  "/root/repo/src/osk/pindown.cpp" "src/CMakeFiles/bcl_osk.dir/osk/pindown.cpp.o" "gcc" "src/CMakeFiles/bcl_osk.dir/osk/pindown.cpp.o.d"
+  "/root/repo/src/osk/process.cpp" "src/CMakeFiles/bcl_osk.dir/osk/process.cpp.o" "gcc" "src/CMakeFiles/bcl_osk.dir/osk/process.cpp.o.d"
+  "/root/repo/src/osk/shm.cpp" "src/CMakeFiles/bcl_osk.dir/osk/shm.cpp.o" "gcc" "src/CMakeFiles/bcl_osk.dir/osk/shm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

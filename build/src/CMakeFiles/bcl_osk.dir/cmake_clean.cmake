@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_osk.dir/osk/interrupt.cpp.o"
+  "CMakeFiles/bcl_osk.dir/osk/interrupt.cpp.o.d"
+  "CMakeFiles/bcl_osk.dir/osk/kernel.cpp.o"
+  "CMakeFiles/bcl_osk.dir/osk/kernel.cpp.o.d"
+  "CMakeFiles/bcl_osk.dir/osk/pindown.cpp.o"
+  "CMakeFiles/bcl_osk.dir/osk/pindown.cpp.o.d"
+  "CMakeFiles/bcl_osk.dir/osk/process.cpp.o"
+  "CMakeFiles/bcl_osk.dir/osk/process.cpp.o.d"
+  "CMakeFiles/bcl_osk.dir/osk/shm.cpp.o"
+  "CMakeFiles/bcl_osk.dir/osk/shm.cpp.o.d"
+  "libbcl_osk.a"
+  "libbcl_osk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_osk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

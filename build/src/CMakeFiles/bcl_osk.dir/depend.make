@@ -1,0 +1,2 @@
+# Empty dependencies file for bcl_osk.
+# This may be replaced when dependencies are built.

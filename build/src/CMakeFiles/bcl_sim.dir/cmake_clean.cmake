@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/bcl_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/bcl_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/bcl_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/bcl_sim.dir/sim/sync.cpp.o"
+  "CMakeFiles/bcl_sim.dir/sim/sync.cpp.o.d"
+  "CMakeFiles/bcl_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/bcl_sim.dir/sim/trace.cpp.o.d"
+  "libbcl_sim.a"
+  "libbcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_core_test.dir/bcl_core_test.cpp.o"
+  "CMakeFiles/bcl_core_test.dir/bcl_core_test.cpp.o.d"
+  "bcl_core_test"
+  "bcl_core_test.pdb"
+  "bcl_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_intranode_test.dir/bcl_intranode_test.cpp.o"
+  "CMakeFiles/bcl_intranode_test.dir/bcl_intranode_test.cpp.o.d"
+  "bcl_intranode_test"
+  "bcl_intranode_test.pdb"
+  "bcl_intranode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_intranode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_reliability_test.dir/bcl_reliability_test.cpp.o"
+  "CMakeFiles/bcl_reliability_test.dir/bcl_reliability_test.cpp.o.d"
+  "bcl_reliability_test"
+  "bcl_reliability_test.pdb"
+  "bcl_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadi_stress_test.dir/eadi_stress_test.cpp.o"
+  "CMakeFiles/eadi_stress_test.dir/eadi_stress_test.cpp.o.d"
+  "eadi_stress_test"
+  "eadi_stress_test.pdb"
+  "eadi_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadi_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadi_test.dir/eadi_test.cpp.o"
+  "CMakeFiles/eadi_test.dir/eadi_test.cpp.o.d"
+  "eadi_test"
+  "eadi_test.pdb"
+  "eadi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

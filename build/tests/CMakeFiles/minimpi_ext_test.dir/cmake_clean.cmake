@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_ext_test.dir/minimpi_ext_test.cpp.o"
+  "CMakeFiles/minimpi_ext_test.dir/minimpi_ext_test.cpp.o.d"
+  "minimpi_ext_test"
+  "minimpi_ext_test.pdb"
+  "minimpi_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

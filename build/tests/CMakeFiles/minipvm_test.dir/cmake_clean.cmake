@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipvm_test.dir/minipvm_test.cpp.o"
+  "CMakeFiles/minipvm_test.dir/minipvm_test.cpp.o.d"
+  "minipvm_test"
+  "minipvm_test.pdb"
+  "minipvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osk_test.dir/osk_test.cpp.o"
+  "CMakeFiles/osk_test.dir/osk_test.cpp.o.d"
+  "osk_test"
+  "osk_test.pdb"
+  "osk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

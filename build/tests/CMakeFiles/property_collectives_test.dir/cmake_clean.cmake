@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_collectives_test.dir/property_collectives_test.cpp.o"
+  "CMakeFiles/property_collectives_test.dir/property_collectives_test.cpp.o.d"
+  "property_collectives_test"
+  "property_collectives_test.pdb"
+  "property_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_integrity_test.dir/property_integrity_test.cpp.o"
+  "CMakeFiles/property_integrity_test.dir/property_integrity_test.cpp.o.d"
+  "property_integrity_test"
+  "property_integrity_test.pdb"
+  "property_integrity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_integrity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_perf_test.dir/property_perf_test.cpp.o"
+  "CMakeFiles/property_perf_test.dir/property_perf_test.cpp.o.d"
+  "property_perf_test"
+  "property_perf_test.pdb"
+  "property_perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_reliability_test.dir/property_reliability_test.cpp.o"
+  "CMakeFiles/property_reliability_test.dir/property_reliability_test.cpp.o.d"
+  "property_reliability_test"
+  "property_reliability_test.pdb"
+  "property_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/osk_test[1]_include.cmake")
+include("/root/repo/build/tests/bcl_core_test[1]_include.cmake")
+include("/root/repo/build/tests/bcl_reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/bcl_intranode_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/eadi_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_test[1]_include.cmake")
+include("/root/repo/build/tests/minipvm_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/property_integrity_test[1]_include.cmake")
+include("/root/repo/build/tests/property_reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/property_perf_test[1]_include.cmake")
+include("/root/repo/build/tests/property_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/eadi_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/minipvm_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_link_model_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
