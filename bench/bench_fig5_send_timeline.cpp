@@ -22,6 +22,8 @@ int main() {
 
   std::printf("sender-side timeline (1 KB message, warm):\n");
   timeline::print_side(run, "node0", run.send_start);
+  std::printf("\nper-layer totals from the metric registry:\n");
+  timeline::print_registry_breakdown(run, "node0");
 
   const double host = timeline::send_host_overhead(run);
   const double completion =

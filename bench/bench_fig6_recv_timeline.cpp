@@ -18,6 +18,8 @@ int main() {
 
   std::printf("receiver-side timeline (1 KB message, warm):\n");
   timeline::print_side(run, "node1", run.send_start);
+  std::printf("\nper-layer totals from the metric registry:\n");
+  timeline::print_registry_breakdown(run, "node1");
 
   const double host_recv = timeline::stage_sum(run, "recv-poll", "node1");
   std::printf("\nreceive host overhead: %.2f us (paper 1.01, %s)\n",

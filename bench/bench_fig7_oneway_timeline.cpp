@@ -50,5 +50,29 @@ int main() {
   std::printf("kernel stages on the path:     %.2f us\n", kernel_stages);
   std::printf("reliable-protocol NIC work:    %.2f us (paper 5.65, %s)\n",
               nic_tx, benchutil::check(nic_tx, 5.65, 0.05));
+
+  // The registry's per-stage summaries are fed by the same spans that
+  // produce the trace events, so the two accountings must agree.
+  std::printf("\nregistry vs trace per-stage totals:\n");
+  std::printf("%-18s %6s %12s %10s %6s\n", "stage", "side", "registry(us)",
+              "trace(us)", "agree");
+  const struct {
+    const char* stage;
+    const char* side;
+  } kChecks[] = {
+      {"trap-enter", "node0"},   {"security-check", "node0"},
+      {"translate-pin", "node0"}, {"pio-fill", "node0"},
+      {"trap-exit", "node0"},    {"mcp-tx-proc", "node0"},
+      {"mcp-rx-proc", "node1"},  {"event-dma", "node1"},
+      {"recv-poll", "node1"},
+  };
+  for (const auto& chk : kChecks) {
+    const double reg = timeline::registry_stage_total(run, chk.stage, chk.side);
+    const double evt = timeline::stage_sum(run, chk.stage, chk.side);
+    std::printf("%-18s %6s %12.3f %10.3f %6s\n", chk.stage, chk.side, reg,
+                evt, benchutil::check(reg, evt, 0.005));
+  }
+  std::printf("\nsender per-layer registry breakdown:\n");
+  timeline::print_registry_breakdown(run, "node0");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bench_timeline_util.hpp"
 #include "bench_util.hpp"
 #include "cluster/harness.hpp"
 
@@ -48,6 +49,14 @@ int main(int argc, char** argv) {
                 min_inter, benchutil::check(min_inter, 18.3, 0.10));
     std::printf("minimal intra-node latency: %.2f us (paper 2.7, %s)\n",
                 min_intra, benchutil::check(min_intra, 2.7, 0.15));
+
+    // Where a representative (4 KB) message spends its time, per layer,
+    // straight from the metric registry.
+    const auto run = timeline::run_traced_message(inter, 4096);
+    std::printf("\nper-layer registry breakdown at 4KB (sender):\n");
+    timeline::print_registry_breakdown(run, "node0");
+    std::printf("per-layer registry breakdown at 4KB (receiver):\n");
+    timeline::print_registry_breakdown(run, "node1");
   }
   return 0;
 }

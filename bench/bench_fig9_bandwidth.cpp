@@ -102,6 +102,20 @@ int main(int argc, char** argv) {
     c.engine().run();
     std::printf("\nresource usage during one 128KB transfer:\n%s",
                 cluster::collect_report(c).to_string().c_str());
+
+    // Byte accounting from the metric registry: what the DMA engines and
+    // the wire actually moved for those 128 KB (plus the control round).
+    std::printf("\nbyte counters from the metric registry:\n");
+    for (const auto& [name, v] : c.metrics().scalar_values()) {
+      const bool dma = name.find(".dma_tx_bytes") != std::string::npos ||
+                       name.find(".dma_rx_bytes") != std::string::npos;
+      const bool wire = name.rfind("fabric.link.", 0) == 0 &&
+                        name.size() > 6 &&
+                        name.compare(name.size() - 6, 6, ".bytes") == 0;
+      if (dma || wire) {
+        std::printf("  %-36s %12.0f\n", name.c_str(), v);
+      }
+    }
   }
   return 0;
 }

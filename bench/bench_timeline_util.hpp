@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,10 @@ struct TracedRun {
   sim::Time send_start;                 // just before the timed send call
   sim::Time recv_done;                  // receive completion (after poll)
   sim::Time send_complete;              // sender's completion poll done
+  // Registry view of the same traced round: "<component>.<stage>.us" ->
+  // summed stage time, captured from the cluster's MetricRegistry (the
+  // registry is reset when tracing starts, so both scope identically).
+  std::map<std::string, double> stage_us;
 };
 
 // One warm message of `bytes`, then one traced message; returns the trace.
@@ -25,7 +30,8 @@ inline TracedRun run_traced_message(const bcl::ClusterConfig& cfg,
   auto& tx = c.open_endpoint(0);
   auto& rx = c.open_endpoint(1);
   TracedRun out;
-  c.engine().spawn([](sim::Engine& eng, sim::Trace& tr, bcl::Endpoint& ep,
+  c.engine().spawn([](sim::Engine& eng, sim::Trace& tr,
+                      sim::MetricRegistry& reg, bcl::Endpoint& ep,
                       bcl::PortId dst, std::size_t bytes,
                       TracedRun& out) -> sim::Task<void> {
     auto payload = ep.process().alloc(std::max<std::size_t>(bytes, 1));
@@ -34,14 +40,17 @@ inline TracedRun run_traced_message(const bcl::ClusterConfig& cfg,
     (void)co_await ep.wait_send();
     auto sync = co_await ep.wait_recv();
     (void)co_await ep.copy_out_system(sync);
-    // Traced round.
+    // Traced round.  Resetting the registry here scopes its owned
+    // instruments (including the per-stage summaries the trace feeds) to
+    // exactly the traced round.
     tr.clear();
     tr.enable();
+    reg.reset();
     out.send_start = eng.now();
     (void)co_await ep.send_system(dst, payload, bytes);
     (void)co_await ep.wait_send();
     out.send_complete = eng.now();
-  }(c.engine(), c.trace(), tx, rx.id(), bytes, out));
+  }(c.engine(), c.trace(), c.metrics(), tx, rx.id(), bytes, out));
   c.engine().spawn([](sim::Engine& eng, bcl::Endpoint& ep, bcl::PortId back,
                       TracedRun& out) -> sim::Task<void> {
     auto ev = co_await ep.wait_recv();  // warm
@@ -59,6 +68,11 @@ inline TracedRun run_traced_message(const bcl::ClusterConfig& cfg,
                    [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
                      return a.start < b.start;
                    });
+  for (const auto& [name, s] : c.metrics().summaries()) {
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".us") == 0) {
+      out.stage_us[name] = s->sum();
+    }
+  }
   return out;
 }
 
@@ -105,6 +119,34 @@ inline double stage_sum(const TracedRun& run, const std::string& stage,
     }
   }
   return sum;
+}
+
+// The same stage total read back from the MetricRegistry summaries
+// ("<component>.<stage>.us") instead of the event list.  For a traced run
+// the two must agree to rounding — the registry is fed by the same spans.
+inline double registry_stage_total(const TracedRun& run,
+                                   const std::string& stage,
+                                   const std::string& side) {
+  const std::string suffix = "." + stage + ".us";
+  double sum = 0.0;
+  for (const auto& [name, us] : run.stage_us) {
+    if (name.rfind(side, 0) != 0) continue;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      sum += us;
+    }
+  }
+  return sum;
+}
+
+// Per-layer breakdown table straight from the registry (no event replay).
+inline void print_registry_breakdown(const TracedRun& run,
+                                     const std::string& side) {
+  std::printf("%-36s %10s\n", "registry series", "total(us)");
+  for (const auto& [name, us] : run.stage_us) {
+    if (name.rfind(side, 0) != 0) continue;
+    std::printf("%-36s %10.2f\n", name.c_str(), us);
+  }
 }
 
 }  // namespace timeline

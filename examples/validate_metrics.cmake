@@ -1,0 +1,50 @@
+# Runs metrics_dashboard and validates every export format:
+#   * metrics.json and trace.json parse with `python3 -m json.tool`
+#   * metrics.csv starts with a "time_us,..." header and has data rows
+#   * metrics.prom carries "# TYPE bcl_..." exposition lines
+# Invoked as a ctest case:
+#   cmake -DDASHBOARD=<exe> -DOUT_DIR=<dir> -P validate_metrics.cmake
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+execute_process(COMMAND "${DASHBOARD}" "${OUT_DIR}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metrics_dashboard failed with exit code ${rc}")
+endif()
+
+foreach(f metrics.json metrics.prom metrics.csv trace.json)
+  if(NOT EXISTS "${OUT_DIR}/${f}")
+    message(FATAL_ERROR "missing export: ${OUT_DIR}/${f}")
+  endif()
+endforeach()
+
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  foreach(f metrics.json trace.json)
+    execute_process(COMMAND "${PYTHON3}" -m json.tool "${OUT_DIR}/${f}"
+                    OUTPUT_QUIET ERROR_VARIABLE err RESULT_VARIABLE jrc)
+    if(NOT jrc EQUAL 0)
+      message(FATAL_ERROR "${f} is not valid JSON: ${err}")
+    endif()
+  endforeach()
+else()
+  message(WARNING "python3 not found; skipping JSON validation")
+endif()
+
+file(STRINGS "${OUT_DIR}/metrics.csv" csv_lines)
+list(LENGTH csv_lines csv_count)
+if(csv_count LESS 2)
+  message(FATAL_ERROR "metrics.csv has no data rows (${csv_count} lines)")
+endif()
+list(GET csv_lines 0 csv_header)
+if(NOT csv_header MATCHES "^time_us,")
+  message(FATAL_ERROR "metrics.csv header is '${csv_header}', expected time_us,...")
+endif()
+
+file(STRINGS "${OUT_DIR}/metrics.prom" prom_types REGEX "^# TYPE bcl_")
+list(LENGTH prom_types prom_count)
+if(prom_count EQUAL 0)
+  message(FATAL_ERROR "metrics.prom has no '# TYPE bcl_...' lines")
+endif()
+
+message(STATUS "exports validated: json ok, csv ${csv_count} lines, "
+               "${prom_count} prometheus series")

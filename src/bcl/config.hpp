@@ -75,6 +75,12 @@ struct ClusterConfig {
   hw::NodeConfig node{};
   hw::FabricOptions fabric = default_fabric();
 
+  // -- observability -------------------------------------------------------------
+  // The registry itself is always on (counters are cheap pointer bumps);
+  // `sample_period` only controls the gauge-snapshot daemon, which is
+  // started on demand via BclCluster::start_sampler().
+  sim::Time sample_period = sim::Time::us(50);
+
   // Myrinet link defaults carry the per-packet wire overhead (route bytes,
   // CRC trailer, inter-packet gap) that calibrates the sustained 146 MB/s
   // payload bandwidth against the 160 MB/s raw link; see DESIGN.md.

@@ -11,12 +11,22 @@ std::string comp_of(osk::Kernel& k) {
 }  // namespace
 
 Driver::Driver(osk::Kernel& kernel, Mcp& mcp, const CostConfig& cfg,
-               std::uint32_t cluster_nodes, sim::Trace* trace)
+               std::uint32_t cluster_nodes, sim::Trace* trace,
+               sim::MetricRegistry* metrics)
     : kernel_{kernel},
       mcp_{mcp},
       cfg_{cfg},
       cluster_nodes_{cluster_nodes},
-      trace_{trace} {}
+      trace_{trace} {
+  if (metrics != nullptr) {
+    const std::string prefix =
+        "node" + std::to_string(kernel_.node().id()) + ".driver.";
+    m_sends_ = &metrics->counter(prefix + "sends");
+    m_rejects_ = &metrics->counter(prefix + "security_rejects");
+    m_pio_words_ = &metrics->counter(prefix + "pio_words");
+    m_send_bytes_ = &metrics->counter(prefix + "send_bytes");
+  }
+}
 
 BclErr Driver::validate_send(osk::Process& proc, Port& port,
                              const SendArgs& args) {
@@ -70,6 +80,7 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
   if (const BclErr err = validate_send(proc, port, args);
       err != BclErr::kOk) {
     ++rejects_;
+    if (m_rejects_) m_rejects_->inc();
     co_await kernel_.trap_exit(proc);
     co_return Result<std::uint64_t>{0, err};
   }
@@ -95,6 +106,7 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
     }
     if (pin_failed) {
       ++rejects_;
+      if (m_rejects_) m_rejects_->inc();
       span.end();
       co_await kernel_.trap_exit(proc);
       co_return Result<std::uint64_t>{0, BclErr::kNoResources};
@@ -104,14 +116,22 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
     co_await proc.cpu().busy(kernel_.config().pindown.lookup);
   }
 
+  const int pio_words =
+      d.pio_words(cfg_.desc_words_base, cfg_.desc_words_per_seg);
   {
     // Fill the send request descriptor in NIC SRAM word by word.
     auto span = trace_ ? trace_->span(comp_of(kernel_), "pio-fill", msg_id)
                        : sim::Trace::Span{};
-    co_await kernel_.node().pci().pio_write(
-        d.pio_words(cfg_.desc_words_base, cfg_.desc_words_per_seg));
+    co_await kernel_.node().pci().pio_write(pio_words);
   }
   ++sends_;
+  if (m_sends_) m_sends_->inc();
+  if (m_send_bytes_) m_send_bytes_->add(args.len);
+  if (m_pio_words_) m_pio_words_->add(static_cast<std::uint64_t>(pio_words));
+  if (trace_) {
+    trace_->flow_begin(comp_of(kernel_), "msg",
+                       flow_key(kernel_.node().id(), msg_id));
+  }
   {
     auto span = trace_ ? trace_->span(comp_of(kernel_), "trap-exit", msg_id)
                        : sim::Trace::Span{};

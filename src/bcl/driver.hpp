@@ -14,6 +14,7 @@
 #include "bcl/port.hpp"
 #include "bcl/types.hpp"
 #include "osk/kernel.hpp"
+#include "sim/metrics.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 
@@ -32,7 +33,8 @@ struct SendArgs {
 class Driver {
  public:
   Driver(osk::Kernel& kernel, Mcp& mcp, const CostConfig& cfg,
-         std::uint32_t cluster_nodes, sim::Trace* trace = nullptr);
+         std::uint32_t cluster_nodes, sim::Trace* trace = nullptr,
+         sim::MetricRegistry* metrics = nullptr);
 
   // -- the hot path: ioctl(BCL_SEND) ------------------------------------------
   // Trap + checks + translate/pin + PIO descriptor fill.  Returns the
@@ -69,6 +71,12 @@ class Driver {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t rejects_ = 0;
+  // Hot-path metric handles, resolved once at construction (null without a
+  // registry).
+  sim::Counter* m_sends_ = nullptr;
+  sim::Counter* m_rejects_ = nullptr;
+  sim::Counter* m_pio_words_ = nullptr;
+  sim::Counter* m_send_bytes_ = nullptr;
 };
 
 }  // namespace bcl

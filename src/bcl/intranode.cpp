@@ -7,8 +7,23 @@
 namespace bcl {
 
 IntraNode::IntraNode(sim::Engine& eng, osk::Kernel& kernel,
-                     const CostConfig& cfg)
-    : eng_{eng}, kernel_{kernel}, cfg_{cfg} {}
+                     const CostConfig& cfg, sim::MetricRegistry* metrics)
+    : eng_{eng}, kernel_{kernel}, cfg_{cfg} {
+  if (metrics != nullptr) {
+    const std::string prefix =
+        "node" + std::to_string(kernel_.node().id()) + ".shm.";
+    metrics->counter(prefix + "messages", [this] { return stats_.messages; });
+    metrics->counter(prefix + "chunks", [this] { return stats_.chunks; });
+    metrics->counter(prefix + "sys_drops", [this] { return stats_.sys_drops; });
+    metrics->counter(prefix + "not_posted_drops",
+                     [this] { return stats_.not_posted_drops; });
+    metrics->counter(prefix + "rma_errors",
+                     [this] { return stats_.rma_errors; });
+    metrics->gauge(prefix + "pipes", [this] {
+      return static_cast<double>(pipes_.size());
+    });
+  }
+}
 
 void IntraNode::register_port(Port* port) {
   ports_[port->id().port] = port;

@@ -17,13 +17,15 @@
 #include "bcl/types.hpp"
 #include "osk/kernel.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/queue.hpp"
 
 namespace bcl {
 
 class IntraNode {
  public:
-  IntraNode(sim::Engine& eng, osk::Kernel& kernel, const CostConfig& cfg);
+  IntraNode(sim::Engine& eng, osk::Kernel& kernel, const CostConfig& cfg,
+            sim::MetricRegistry* metrics = nullptr);
 
   void register_port(Port* port);
   void unregister_port(std::uint32_t port_no);

@@ -4,7 +4,8 @@ namespace bcl {
 
 Endpoint::Endpoint(sim::Engine& eng, const CostConfig& cfg, Driver& driver,
                    Mcp& mcp, IntraNode& intra, osk::Process& proc,
-                   std::unique_ptr<Port> port, sim::Trace* trace)
+                   std::unique_ptr<Port> port, sim::Trace* trace,
+                   sim::MetricRegistry* metrics)
     : eng_{eng},
       cfg_{cfg},
       driver_{driver},
@@ -15,6 +16,15 @@ Endpoint::Endpoint(sim::Engine& eng, const CostConfig& cfg, Driver& driver,
       trace_{trace} {
   mcp_.register_port(port_.get());
   intra_.register_port(port_.get());
+  if (metrics != nullptr) {
+    const std::string prefix = "node" +
+                               std::to_string(port_->id().node) + ".lib.port" +
+                               std::to_string(port_->id().port) + ".";
+    m_sends_ = &metrics->counter(prefix + "sends");
+    m_recvs_ = &metrics->counter(prefix + "recvs");
+    m_recv_polls_ = &metrics->counter(prefix + "recv_polls");
+    m_recv_bytes_ = &metrics->counter(prefix + "recv_bytes");
+  }
 }
 
 Endpoint::~Endpoint() {
@@ -48,7 +58,10 @@ sim::Task<Result<std::uint64_t>> Endpoint::send(PortId dst, ChannelRef ch,
   args.vaddr = buf.vaddr + off;
   args.len = len;
   auto r = co_await driver_.ioctl_send(proc_, *port_, args);
-  if (r.ok()) ++port_->messages_sent;
+  if (r.ok()) {
+    ++port_->messages_sent;
+    if (m_sends_) m_sends_->inc();
+  }
   co_return r;
 }
 
@@ -72,6 +85,10 @@ sim::Task<RecvEvent> Endpoint::wait_recv() {
   auto span = trace_ ? trace_->span(comp(), "recv-poll", ev.msg_id)
                      : sim::Trace::Span{};
   co_await proc_.cpu().busy(cfg_.recv_event_poll);
+  if (m_recvs_) m_recvs_->inc();
+  if (m_recv_polls_) m_recv_polls_->inc();
+  if (m_recv_bytes_) m_recv_bytes_->add(ev.len);
+  if (trace_) trace_->flow_end(comp(), "msg", flow_key(ev.src.node, ev.msg_id));
   co_return ev;
 }
 
@@ -79,7 +96,16 @@ sim::Task<std::optional<RecvEvent>> Endpoint::try_recv() {
   // The poll touches the user-space completion queue whether or not an
   // event is present.
   co_await proc_.cpu().busy(cfg_.recv_event_poll);
-  co_return port_->recv_events().try_recv();
+  if (m_recv_polls_) m_recv_polls_->inc();
+  auto ev = port_->recv_events().try_recv();
+  if (ev) {
+    if (m_recvs_) m_recvs_->inc();
+    if (m_recv_bytes_) m_recv_bytes_->add(ev->len);
+    if (trace_) {
+      trace_->flow_end(comp(), "msg", flow_key(ev->src.node, ev->msg_id));
+    }
+  }
+  co_return ev;
 }
 
 sim::Task<std::vector<std::byte>> Endpoint::copy_out_system(

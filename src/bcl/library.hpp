@@ -20,7 +20,8 @@ class Endpoint {
  public:
   Endpoint(sim::Engine& eng, const CostConfig& cfg, Driver& driver,
            Mcp& mcp, IntraNode& intra, osk::Process& proc,
-           std::unique_ptr<Port> port, sim::Trace* trace);
+           std::unique_ptr<Port> port, sim::Trace* trace,
+           sim::MetricRegistry* metrics = nullptr);
   ~Endpoint();
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
@@ -85,6 +86,11 @@ class Endpoint {
   osk::Process& proc_;
   std::unique_ptr<Port> port_;
   sim::Trace* trace_;
+  // Library-level metric handles (null without a registry).
+  sim::Counter* m_sends_ = nullptr;
+  sim::Counter* m_recvs_ = nullptr;
+  sim::Counter* m_recv_polls_ = nullptr;
+  sim::Counter* m_recv_bytes_ = nullptr;
 };
 
 }  // namespace bcl

@@ -28,13 +28,43 @@ std::vector<hw::PhysSegment> slice_segments(
 }
 
 Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
-         sim::Trace* trace)
+         sim::Trace* trace, sim::MetricRegistry* metrics)
     : eng_{eng},
       nic_{nic},
       cfg_{cfg},
       trace_{trace},
       requests_{eng, cfg.request_queue_depth},
       tx_mutex_{eng} {
+  if (metrics != nullptr) {
+    const std::string prefix = nic_.name() + ".mcp.";
+    m_dma_tx_bytes_ = &metrics->counter(prefix + "dma_tx_bytes");
+    m_dma_rx_bytes_ = &metrics->counter(prefix + "dma_rx_bytes");
+    m_tx_descriptors_ = &metrics->counter(prefix + "tx_descriptors");
+    // The MCP already keeps its own counters; export them by callback so
+    // the hot paths stay untouched.
+    metrics->counter(prefix + "rx_packets",
+                     [this] { return stats_.data_packets_in; });
+    metrics->counter(prefix + "crc_drops", [this] { return stats_.crc_drops; });
+    metrics->counter(prefix + "seq_drops", [this] { return stats_.seq_drops; });
+    metrics->counter(prefix + "no_port_drops",
+                     [this] { return stats_.no_port_drops; });
+    metrics->counter(prefix + "acks_sent", [this] { return stats_.acks_sent; });
+    metrics->counter(prefix + "messages_sent",
+                     [this] { return stats_.messages_sent; });
+    metrics->counter(prefix + "rma_reads_served",
+                     [this] { return stats_.rma_reads_served; });
+    metrics->counter(prefix + "retransmissions",
+                     [this] { return retransmissions(); });
+    metrics->counter(prefix + "timeouts", [this] { return timeouts(); });
+    metrics->counter(prefix + "window_stalls",
+                     [this] { return window_stalls(); });
+    metrics->gauge(prefix + "request_ring", [this] {
+      return static_cast<double>(requests_.size());
+    });
+    metrics->gauge(prefix + "tx_in_flight", [this] {
+      return static_cast<double>(tx_in_flight());
+    });
+  }
   eng_.spawn_daemon(tx_pump());
   eng_.spawn_daemon(rx_pump());
 }
@@ -66,6 +96,24 @@ std::uint64_t Mcp::retransmissions() const {
   return n;
 }
 
+std::uint64_t Mcp::timeouts() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, s] : tx_sessions_) n += s->timeouts();
+  return n;
+}
+
+std::uint64_t Mcp::window_stalls() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, s] : tx_sessions_) n += s->window_stalls();
+  return n;
+}
+
+std::size_t Mcp::tx_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [node, s] : tx_sessions_) n += s->in_flight();
+  return n;
+}
+
 sim::Task<void> Mcp::tx_pump() {
   for (;;) {
     SendDescriptor d = co_await requests_.recv();
@@ -86,6 +134,8 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
           ? 1
           : static_cast<std::uint32_t>(std::max<std::uint64_t>(
                 1, (d.total_len + cfg_.mtu - 1) / cfg_.mtu));
+  if (m_tx_descriptors_) m_tx_descriptors_->inc();
+  if (trace_) trace_->flow_step(comp(), "msg", flow_key(nic_.node(), d.msg_id));
   if (d.extra_nic_cost > sim::Time::zero()) {
     // User-level front ends push address translation onto the NIC.
     co_await nic_.lanai().use(d.extra_nic_cost);
@@ -117,6 +167,7 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
                          : sim::Trace::Span{};
       co_await nic_.dma_gather(slice_segments(d.segs, off, len), p.payload,
                                cfg_.dma_lead_bytes);
+      if (m_dma_tx_bytes_) m_dma_tx_bytes_->add(len);
     }
     {
       auto span = trace_ ? trace_->span(comp(), "mcp-tx-proc", d.msg_id)
@@ -197,6 +248,7 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
     ++stats_.no_port_drops;
     co_return;
   }
+  if (trace_) trace_->flow_step(comp(), "msg", flow_key(p.src_node, p.msg_id));
   const ChannelRef ch = ChannelRef::decode(p.channel);
   const PortId src{p.src_node, p.src_port};
   switch (ch.kind) {
@@ -218,6 +270,7 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
                            : sim::Trace::Span{};
         co_await nic_.dma_scatter(p.payload, std::move(segs),
                                   cfg_.dma_lead_bytes);
+        if (m_dma_rx_bytes_) m_dma_rx_bytes_->add(p.payload.size());
       }
       ++port->messages_received;
       co_await deliver_recv_event(
@@ -240,6 +293,7 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
                            : sim::Trace::Span{};
         co_await nic_.dma_scatter(p.payload, std::move(segs),
                                   cfg_.dma_lead_bytes);
+        if (m_dma_rx_bytes_) m_dma_rx_bytes_->add(p.payload.size());
       }
       if (p.frag_index + 1 == p.frag_count) {
         st.posted = false;  // rendezvous consumed
@@ -266,6 +320,7 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
         auto segs = slice_segments(st.segs, p.offset, p.payload.size());
         co_await nic_.dma_scatter(p.payload, std::move(segs),
                                   cfg_.dma_lead_bytes);
+        if (m_dma_rx_bytes_) m_dma_rx_bytes_->add(p.payload.size());
       }
       // RMA writes complete silently at the target.
       break;

@@ -21,6 +21,7 @@
 #include "bcl/types.hpp"
 #include "hw/nic.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/queue.hpp"
 #include "sim/sync.hpp"
 #include "sim/trace.hpp"
@@ -37,7 +38,7 @@ class Mcp {
   static constexpr std::uint16_t kProto = 1;
 
   Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
-      sim::Trace* trace = nullptr);
+      sim::Trace* trace = nullptr, sim::MetricRegistry* metrics = nullptr);
 
   // Port registry (NIC-resident port table).
   void register_port(Port* port);
@@ -60,6 +61,9 @@ class Mcp {
   };
   const Stats& stats() const { return stats_; }
   std::uint64_t retransmissions() const;
+  std::uint64_t timeouts() const;
+  std::uint64_t window_stalls() const;
+  std::size_t tx_in_flight() const;
 
  private:
   sim::Task<void> tx_pump();
@@ -85,6 +89,10 @@ class Mcp {
   std::map<hw::NodeId, RxSession> rx_sessions_;
   std::uint64_t next_packet_id_ = 1;
   Stats stats_;
+  // Hot-path metric handles (null without a registry).
+  sim::Counter* m_dma_tx_bytes_ = nullptr;
+  sim::Counter* m_dma_rx_bytes_ = nullptr;
+  sim::Counter* m_tx_descriptors_ = nullptr;
 };
 
 }  // namespace bcl

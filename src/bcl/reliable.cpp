@@ -3,7 +3,10 @@
 namespace bcl {
 
 sim::Task<void> TxSession::send(hw::Packet p) {
-  co_await window_.acquire();
+  if (!window_.try_acquire()) {
+    ++window_stalls_;  // go-back-N window full: the MCP tx path blocks here
+    co_await window_.acquire();
+  }
   p.seq = next_seq_++;
   if (unacked_.empty()) last_progress_ = eng_.now();
   unacked_.push_back(p);  // retransmit copy
@@ -34,6 +37,7 @@ sim::Task<void> TxSession::timer() {
   timer_armed_ = false;
   if (unacked_.empty()) co_return;  // all acked; let the engine drain
   if (eng_.now() - last_progress_ >= rto_ && !retransmitting_) {
+    ++timeouts_;
     retransmitting_ = true;
     // Go-back-N: resend the whole outstanding window in order.
     const std::size_t n = unacked_.size();

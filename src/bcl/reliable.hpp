@@ -32,6 +32,8 @@ class TxSession {
 
   std::size_t in_flight() const { return unacked_.size(); }
   std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t window_stalls() const { return window_stalls_; }
 
  private:
   void arm_timer();
@@ -47,6 +49,8 @@ class TxSession {
   bool timer_armed_ = false;
   bool retransmitting_ = false;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t window_stalls_ = 0;
 };
 
 class RxSession {

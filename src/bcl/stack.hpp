@@ -12,6 +12,7 @@
 #include "bcl/library.hpp"
 #include "hw/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 
 namespace bcl {
@@ -19,7 +20,7 @@ namespace bcl {
 class NodeStack {
  public:
   NodeStack(sim::Engine& eng, hw::NodeId id, const ClusterConfig& cfg,
-            sim::Trace* trace);
+            sim::Trace* trace, sim::MetricRegistry* metrics = nullptr);
 
   hw::Node& node() { return node_; }
   osk::Kernel& kernel() { return kernel_; }
@@ -35,9 +36,13 @@ class NodeStack {
   Endpoint& endpoint(std::size_t i) { return *endpoints_.at(i); }
 
  private:
+  void register_node_metrics(sim::MetricRegistry& m);
+  void register_port_metrics(sim::MetricRegistry& m, Port& port);
+
   sim::Engine& eng_;
   const ClusterConfig& cfg_;
   sim::Trace* trace_;
+  sim::MetricRegistry* metrics_;
   hw::Node node_;
   osk::Kernel kernel_;
   Mcp mcp_;
@@ -53,6 +58,11 @@ class BclCluster {
 
   sim::Engine& engine() { return eng_; }
   sim::Trace& trace() { return trace_; }
+  sim::MetricRegistry& metrics() { return metrics_; }
+  sim::Sampler& sampler() { return sampler_; }
+  // Starts the periodic gauge-snapshot daemon (cfg.sample_period).  Safe to
+  // call once per run; the daemon parks itself when the workload drains.
+  void start_sampler() { sampler_.start(cfg_.sample_period); }
   const ClusterConfig& config() const { return cfg_; }
   std::uint32_t nodes() const { return cfg_.nodes; }
   NodeStack& node(hw::NodeId id) { return *stacks_.at(id); }
@@ -66,6 +76,8 @@ class BclCluster {
   ClusterConfig cfg_;
   sim::Engine eng_;
   sim::Trace trace_;
+  sim::MetricRegistry metrics_;
+  sim::Sampler sampler_;
   std::unique_ptr<hw::Fabric> fabric_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
 };

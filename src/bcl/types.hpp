@@ -18,6 +18,13 @@ struct PortId {
   auto operator<=>(const PortId&) const = default;
 };
 
+// Trace flow-arrow id for a message.  The wire msg_id is a per-sender
+// sequence, so two nodes' messages can share one; qualifying with the
+// source node keeps Perfetto from cross-linking their arrows.
+constexpr std::uint64_t flow_key(hw::NodeId src, std::uint64_t msg_id) {
+  return (static_cast<std::uint64_t>(src) + 1) << 48 | msg_id;
+}
+
 enum class ChanKind : std::uint8_t {
   kSystem = 0,  // small messages, FIFO pool, drop on overflow
   kNormal = 1,  // rendezvous: receiver posts a buffer first

@@ -31,7 +31,8 @@ World::World(const WorldConfig& cfg, int nprocs) : cfg_{cfg}, cluster_{[&] {
   for (int r = 0; r < nprocs; ++r) {
     auto& rank = ranks_[static_cast<std::size_t>(r)];
     rank.mpi = std::make_unique<minimpi::Mpi>(
-        cluster_.engine(), *rank.dev, world_ids, r, cfg_.mpi);
+        cluster_.engine(), *rank.dev, world_ids, r, cfg_.mpi,
+        /*context_base=*/0, &cluster_.metrics());
   }
 }
 
@@ -41,7 +42,8 @@ minipvm::Pvm& World::pvm(int rank) {
     std::vector<bcl::PortId> world_ids;
     for (const auto& q : ranks_) world_ids.push_back(q.ep->id());
     r.pvm = std::make_unique<minipvm::Pvm>(cluster_.engine(), *r.dev,
-                                           world_ids, rank, cfg_.pvm);
+                                           world_ids, rank, cfg_.pvm,
+                                           &cluster_.metrics());
   }
   return *r.pvm;
 }

@@ -2,7 +2,21 @@
 
 #include <utility>
 
+#include "sim/metrics.hpp"
+
 namespace hw {
+
+void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
+                           const std::string& prefix) {
+  reg.counter(prefix + ".bytes", [&link] { return link.bytes(); });
+  reg.counter(prefix + ".packets", [&link] { return link.packets(); });
+  reg.counter(prefix + ".corrupted", [&link] { return link.corrupted(); });
+  reg.gauge(prefix + ".busy_us",
+            [&link] { return link.busy_time().to_us(); });
+  reg.gauge(prefix + ".queue", [&link] {
+    return static_cast<double>(link.queue_depth());
+  });
+}
 
 Link::Link(sim::Engine& eng, std::string name, const LinkConfig& cfg,
            Sink sink, std::uint64_t seed)

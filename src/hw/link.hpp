@@ -18,6 +18,10 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
+namespace sim {
+class MetricRegistry;
+}
+
 namespace hw {
 
 class Nic;
@@ -34,6 +38,10 @@ class Fabric {
   virtual std::string name() const = 0;
   // Minimum number of link hops between two nodes (for latency models).
   virtual int hops(NodeId a, NodeId b) const = 0;
+  // Exports wire-level observability (per-link bytes/packets/queue depth,
+  // per-switch forward counts) as callback-backed metrics.  Call after
+  // every node is attached; the fabric must outlive the registry reads.
+  virtual void register_metrics(sim::MetricRegistry&) const {}
 };
 
 struct LinkConfig {
@@ -53,6 +61,13 @@ struct LinkConfig {
   std::size_t queue_depth = 4;
 };
 
+class Link;
+
+// Registers "<prefix>.bytes/.packets/.corrupted/.busy_us/.queue" callback
+// metrics for one link.
+void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
+                           const std::string& prefix);
+
 class Link {
  public:
   using Sink = std::function<void(Packet&&)>;
@@ -68,6 +83,7 @@ class Link {
   std::uint64_t bytes() const { return bytes_; }
   std::uint64_t corrupted() const { return corrupted_; }
   sim::Time busy_time() const { return busy_; }
+  std::size_t queue_depth() const { return in_.size(); }
 
   void set_corrupt_prob(double p) { cfg_.corrupt_prob = p; }
 

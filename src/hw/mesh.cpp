@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "hw/nic.hpp"
+#include "sim/metrics.hpp"
 
 namespace hw {
 
@@ -112,6 +113,17 @@ void MeshFabric::attach(NodeId id, Nic& nic) {
 
 int MeshFabric::hops(NodeId a, NodeId b) const {
   return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+}
+
+void MeshFabric::register_metrics(sim::MetricRegistry& reg) const {
+  for (const auto& l : links_) {
+    register_link_metrics(reg, *l, "fabric.link." + l->name());
+  }
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const MeshRouter* r = routers_[i].get();
+    reg.counter("fabric.router.m" + std::to_string(i) + ".forwarded",
+                [r] { return r->forwarded(); });
+  }
 }
 
 }  // namespace hw

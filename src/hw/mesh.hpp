@@ -39,6 +39,7 @@ class MeshFabric : public Fabric {
   void stamp_route(Packet&) const override {}  // routed in-network
   std::string name() const override { return "nwrc-mesh"; }
   int hops(NodeId a, NodeId b) const override;
+  void register_metrics(sim::MetricRegistry& reg) const override;
 
   int width() const { return width_; }
   int height() const { return height_; }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "hw/nic.hpp"
+#include "sim/metrics.hpp"
 
 namespace hw {
 
@@ -147,6 +148,18 @@ int MyrinetFabric::hops(NodeId a, NodeId b) const {
 
 void MyrinetFabric::set_host_link_corrupt_prob(NodeId node, double p) {
   host_uplinks_.at(node)->set_corrupt_prob(p);
+}
+
+void MyrinetFabric::register_metrics(sim::MetricRegistry& reg) const {
+  for (const auto& l : links_) {
+    register_link_metrics(reg, *l, "fabric.link." + l->name());
+  }
+  for (const auto& sw : switches_) {
+    const std::string prefix = "fabric.switch." + sw->name();
+    const CrossbarSwitch* s = sw.get();
+    reg.counter(prefix + ".forwarded", [s] { return s->forwarded(); });
+    reg.counter(prefix + ".route_errors", [s] { return s->route_errors(); });
+  }
 }
 
 }  // namespace hw

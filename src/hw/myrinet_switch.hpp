@@ -67,6 +67,7 @@ class MyrinetFabric : public Fabric {
   void stamp_route(Packet& p) const override;
   std::string name() const override { return "myrinet"; }
   int hops(NodeId a, NodeId b) const override;
+  void register_metrics(sim::MetricRegistry& reg) const override;
 
   // Route as a sequence of switch output ports.
   std::vector<std::uint8_t> route(NodeId src, NodeId dst) const;

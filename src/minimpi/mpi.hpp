@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "eadi/eadi.hpp"
+#include "sim/metrics.hpp"
 
 namespace minimpi {
 
@@ -33,7 +34,8 @@ struct MpiConfig {
 class Mpi {
  public:
   Mpi(sim::Engine& eng, eadi::Device& dev, std::vector<bcl::PortId> world,
-      int rank, const MpiConfig& cfg = {}, std::int32_t context_base = 0);
+      int rank, const MpiConfig& cfg = {}, std::int32_t context_base = 0,
+      sim::MetricRegistry* metrics = nullptr);
 
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(world_.size()); }
@@ -149,6 +151,12 @@ class Mpi {
   std::int32_t context_;
   int next_split_seq_ = 1;
   osk::UserBuffer scratch_{};
+  // Metric handles (null without a registry); message sizes land in a
+  // power-of-two size-class histogram.
+  sim::MetricRegistry* metrics_ = nullptr;
+  sim::Counter* m_sends_ = nullptr;
+  sim::Counter* m_recvs_ = nullptr;
+  sim::Histogram* m_send_bytes_ = nullptr;
 };
 
 }  // namespace minimpi

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "eadi/eadi.hpp"
+#include "sim/metrics.hpp"
 
 namespace minipvm {
 
@@ -31,7 +32,8 @@ struct PvmConfig {
 class Pvm {
  public:
   Pvm(sim::Engine& eng, eadi::Device& dev, std::vector<bcl::PortId> world,
-      int tid, const PvmConfig& cfg = {});
+      int tid, const PvmConfig& cfg = {},
+      sim::MetricRegistry* metrics = nullptr);
 
   int tid() const { return tid_; }
   int ntasks() const { return static_cast<int>(world_.size()); }
@@ -79,6 +81,11 @@ class Pvm {
   osk::UserBuffer recv_buf_{};   // active receive buffer
   std::size_t recv_size_ = 0;
   std::size_t recv_pos_ = 0;
+  // Metric handles (null without a registry).
+  sim::Counter* m_sends_ = nullptr;
+  sim::Counter* m_recvs_ = nullptr;
+  sim::Counter* m_packed_bytes_ = nullptr;
+  sim::Histogram* m_send_bytes_ = nullptr;
 };
 
 }  // namespace minipvm

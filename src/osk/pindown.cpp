@@ -1,5 +1,6 @@
 #include "osk/pindown.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace osk {
@@ -29,7 +30,9 @@ sim::Task<std::vector<hw::PhysSegment>> PinDownTable::translate_and_pin(
     ++hits_;
   } else {
     ++misses_;
+    pages_pinned_total_ += new_pins;
   }
+  peak_pinned_ = std::max(peak_pinned_, pinned_.size());
 
   const sim::Time cost =
       cfg_.lookup + cfg_.pin_per_page * static_cast<double>(new_pins) +

@@ -39,7 +39,9 @@ class PinDownTable {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t pages_pinned_total() const { return pages_pinned_total_; }
   std::size_t pinned_pages() const { return pinned_.size(); }
+  std::size_t peak_pinned_pages() const { return peak_pinned_; }
 
  private:
   struct Key {
@@ -55,6 +57,8 @@ class PinDownTable {
   std::map<Key, Entry> pinned_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t pages_pinned_total_ = 0;
+  std::size_t peak_pinned_ = 0;
 };
 
 }  // namespace osk

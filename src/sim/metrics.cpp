@@ -1,0 +1,259 @@
+#include "sim/metrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "sim/trace.hpp"
+
+namespace sim {
+
+std::string format_metric_value(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "bcl_";
+  for (unsigned char c : name) {
+    out += (std::isalnum(c) || c == '_' || c == ':') ? static_cast<char>(c)
+                                                     : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Counter& MetricRegistry::counter(const std::string& name,
+                                 std::function<std::uint64_t()> fn) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(std::move(fn));
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name,
+                             std::function<double()> fn) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(std::move(fn));
+  return *slot;
+}
+
+Summary& MetricRegistry::summary(const std::string& name) {
+  auto& slot = summaries_[name];
+  if (!slot) slot = std::make_unique<Summary>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricRegistry::reset() {
+  for (auto& [name, c] : counters_) {
+    if (!c->callback_backed()) c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    if (!g->callback_backed()) g->reset();
+  }
+  for (auto& [name, s] : summaries_) *s = Summary{};
+  for (auto& [name, h] : histograms_) *h = Histogram{};
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::scalar_values()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::string MetricRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) +
+           "\": " + std::to_string(c->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) +
+           "\": " + format_metric_value(g->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"summaries\": {";
+  first = true;
+  for (const auto& [name, s] : summaries_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(s->count()) + ", \"sum\": " +
+           format_metric_value(s->sum()) + ", \"mean\": " +
+           format_metric_value(s->mean()) + ", \"min\": " +
+           format_metric_value(s->min()) + ", \"max\": " +
+           format_metric_value(s->max()) + "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(h->count()) + ", \"p0\": " +
+           format_metric_value(h->percentile(0.0)) + ", \"p50\": " +
+           format_metric_value(h->percentile(50.0)) + ", \"p90\": " +
+           format_metric_value(h->percentile(90.0)) + ", \"p99\": " +
+           format_metric_value(h->percentile(99.0)) + ", \"p100\": " +
+           format_metric_value(h->percentile(100.0)) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricRegistry::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + format_metric_value(g->value()) + "\n";
+  }
+  for (const auto& [name, s] : summaries_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "_count " + std::to_string(s->count()) + "\n";
+    out += p + "_sum " + format_metric_value(s->sum()) + "\n";
+    out += p + "_min " + format_metric_value(s->min()) + "\n";
+    out += p + "_max " + format_metric_value(s->max()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "_count " + std::to_string(h->count()) + "\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out += p + "{quantile=\"" + format_metric_value(q) + "\"} " +
+             format_metric_value(h->percentile(q * 100.0)) + "\n";
+    }
+  }
+  return out;
+}
+
+void Sampler::start(Time period) {
+  if (running_) return;
+  period_ = period;
+  running_ = true;
+  eng_.spawn_daemon(loop());
+}
+
+void Sampler::tick() {
+  Tick t;
+  t.at = eng_.now();
+  t.values = reg_.scalar_values();
+  if (trace_ != nullptr && trace_->enabled()) {
+    for (const auto& [name, g] : reg_.gauges()) {
+      trace_->counter(name, "value", g->value());
+    }
+  }
+  ticks_.push_back(std::move(t));
+}
+
+Task<void> Sampler::loop() {
+  // Sample-then-sleep: the first tick lands at start time, and the loop
+  // re-checks liveness after each period so a finished workload gets one
+  // trailing sample and then lets the event queue drain.
+  do {
+    tick();
+    co_await eng_.sleep(period_);
+  } while (running_ && eng_.active_tasks() > 0);
+  running_ = false;
+}
+
+std::string Sampler::to_csv() const {
+  std::set<std::string> names;
+  for (const auto& t : ticks_) {
+    for (const auto& [name, value] : t.values) names.insert(name);
+  }
+  std::string out = "time_us";
+  for (const auto& n : names) {
+    out += ',';
+    out += n;
+  }
+  out += "\n";
+  for (const auto& t : ticks_) {
+    out += format_metric_value(t.at.to_us());
+    // Each tick's values are sorted by name (registry iteration order), so
+    // one linear merge against the header suffices.
+    auto it = t.values.begin();
+    for (const auto& n : names) {
+      while (it != t.values.end() && it->first < n) ++it;
+      out += ',';
+      if (it != t.values.end() && it->first == n) {
+        out += format_metric_value(it->second);
+      } else {
+        out += '0';
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sim

@@ -21,11 +21,19 @@ void Histogram::add(double x) {
 
 double Histogram::percentile(double p) const {
   if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p == 0.0) {
+    // Lower edge of the first occupied bin, so p0 brackets the minimum
+    // (the cumulative scan below would report an upper edge instead).
+    for (int b = 0; b < kBins; ++b) {
+      if (bins_[b] != 0) return bin_low(b);
+    }
+  }
   const double target = p / 100.0 * static_cast<double>(total_);
   std::uint64_t cum = 0;
   for (int b = 0; b < kBins; ++b) {
     cum += bins_[b];
-    if (static_cast<double>(cum) >= target) return bin_low(b + 1);
+    if (cum != 0 && static_cast<double>(cum) >= target) return bin_low(b + 1);
   }
   return bin_low(kBins);
 }

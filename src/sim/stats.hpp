@@ -17,6 +17,7 @@ class Summary {
  public:
   void add(double x) {
     ++n_;
+    sum_ += x;
     const double d = x - mean_;
     mean_ += d / static_cast<double>(n_);
     m2_ += d * (x - mean_);
@@ -26,6 +27,7 @@ class Summary {
   void add(Time t) { add(t.to_us()); }
 
   std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
   double mean() const { return mean_; }
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
@@ -35,6 +37,7 @@ class Summary {
 
  private:
   std::uint64_t n_ = 0;
+  double sum_ = 0.0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
@@ -47,8 +50,11 @@ class Histogram {
  public:
   void add(double x);
   std::uint64_t count() const { return total_; }
-  double percentile(double p) const;  // p in [0, 100]
-  std::string ascii(int width = 40) const;
+  // p is clamped to [0, 100].  An empty histogram reads 0 for every
+  // percentile; p=0 returns the lower edge of the first occupied bin and
+  // p=100 the upper edge of the last, so quantiles always bracket the data.
+  double percentile(double p) const;
+  std::string ascii(int width = 40) const;  // "(empty)" when no samples
 
  private:
   static constexpr int kBins = 96;  // 2^-16 .. 2^80

@@ -4,7 +4,56 @@
 #include <cstdio>
 #include <map>
 
+#include "sim/metrics.hpp"
+
 namespace sim {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string us(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", t.to_us());
+  return buf;
+}
+
+}  // namespace
+
+void Trace::record_span(Time start, std::string component, std::string stage,
+                        std::uint64_t tag) {
+  const Time end = eng_.now();
+  if (registry_ != nullptr) {
+    registry_->summary(component + "." + stage + ".us").add(end - start);
+  }
+  if (enabled_) {
+    events_.push_back(TraceEvent{start, end, std::move(component),
+                                 std::move(stage), tag});
+  }
+}
 
 Time Trace::stage_total(const std::string& stage, std::uint64_t tag) const {
   Time total = Time::zero();
@@ -16,30 +65,45 @@ Time Trace::stage_total(const std::string& stage, std::uint64_t tag) const {
 
 std::string Trace::to_chrome_json() const {
   std::map<std::string, int> tids;
+  const auto tid_of = [&tids](const std::string& comp) {
+    return tids.try_emplace(comp, static_cast<int>(tids.size()) + 1)
+        .first->second;
+  };
   std::string out = "[\n";
-  char line[256];
   bool first = true;
-  for (const auto& e : events_) {
-    const auto [it, inserted] =
-        tids.try_emplace(e.component, static_cast<int>(tids.size()) + 1);
-    std::snprintf(line, sizeof line,
-                  "%s {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
-                  "\"args\":{\"msg\":%llu}}",
-                  first ? "" : ",\n", e.stage.c_str(), e.component.c_str(),
-                  e.start.to_us(), (e.end - e.start).to_us(), it->second,
-                  (unsigned long long)e.tag);
-    out += line;
+  const auto emit = [&out, &first](const std::string& obj) {
+    out += first ? " " : ",\n ";
+    out += obj;
     first = false;
+  };
+  for (const auto& e : events_) {
+    emit("{\"name\":\"" + escape(e.stage) + "\",\"cat\":\"" +
+         escape(e.component) + "\",\"ph\":\"X\",\"ts\":" + us(e.start) +
+         ",\"dur\":" + us(e.end - e.start) +
+         ",\"pid\":1,\"tid\":" + std::to_string(tid_of(e.component)) +
+         ",\"args\":{\"msg\":" + std::to_string(e.tag) + "}}");
+  }
+  for (const auto& c : counter_events_) {
+    emit("{\"name\":\"" + escape(c.track) + "\",\"ph\":\"C\",\"ts\":" +
+         us(c.t) + ",\"pid\":1,\"args\":{\"" + escape(c.series) +
+         "\":" + format_metric_value(c.value) + "}}");
+  }
+  for (const auto& f : flow_events_) {
+    std::string obj = "{\"name\":\"" + escape(f.name) +
+                      "\",\"cat\":\"flow\",\"ph\":\"";
+    obj += f.phase;
+    obj += "\",\"ts\":" + us(f.t) +
+           ",\"pid\":1,\"tid\":" + std::to_string(tid_of(f.component)) +
+           ",\"id\":" + std::to_string(f.id);
+    if (f.phase == 'f') obj += ",\"bp\":\"e\"";
+    obj += "}";
+    emit(obj);
   }
   // Track names.
   for (const auto& [comp, tid] : tids) {
-    std::snprintf(line, sizeof line,
-                  "%s {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
-                  first ? "" : ",\n", tid, comp.c_str());
-    out += line;
-    first = false;
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(tid) + ",\"args\":{\"name\":\"" + escape(comp) +
+         "\"}}");
   }
   out += "\n]\n";
   return out;

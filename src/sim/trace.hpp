@@ -4,6 +4,17 @@
 // recorder keeps (t0, t1, component, stage, tag) tuples.  The Fig. 5-7
 // benchmarks replay one message with tracing enabled and print the per-stage
 // breakdown exactly the way the paper's timeline figures do.
+//
+// Beyond spans, a Trace records Perfetto counter-track samples ("ph":"C",
+// fed by the metric Sampler) and flow events ("ph":"s"/"t"/"f" keyed by
+// message id) so one chrome://tracing / Perfetto file shows a message
+// hopping host -> NIC -> wire -> NIC -> host with queue-depth graphs
+// underneath.
+//
+// A Trace may also be attached to a MetricRegistry (set_registry): every
+// span then feeds a "<component>.<stage>.us" Summary, even while event
+// recording is disabled.  That keeps the per-layer time accounting always
+// on (cheap, bounded memory) while full timelines stay opt-in.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +26,8 @@
 
 namespace sim {
 
+class MetricRegistry;
+
 struct TraceEvent {
   Time start;
   Time end;
@@ -23,15 +36,42 @@ struct TraceEvent {
   std::uint64_t tag;      // message id
 };
 
+// One counter-track sample ("ph":"C").
+struct TraceCounterEvent {
+  Time t;
+  std::string track;   // counter track name, e.g. "node0.nic.rxq"
+  std::string series;  // series within the track (args key)
+  double value;
+};
+
+// One flow event: phase 's' (start), 't' (step), or 'f' (finish).
+struct TraceFlowEvent {
+  Time t;
+  char phase;
+  std::string component;  // track the arrow attaches to
+  std::string name;       // flow name, e.g. "msg"
+  std::uint64_t id;       // message id
+};
+
 class Trace {
  public:
   explicit Trace(Engine& eng) : eng_{eng} {}
 
   void enable(bool on = true) { enabled_ = on; }
   bool enabled() const { return enabled_; }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    counter_events_.clear();
+    flow_events_.clear();
+  }
 
-  // RAII span; records on end().  No-op when tracing is disabled.
+  // Attaching a registry keeps per-stage Summaries ("<comp>.<stage>.us")
+  // up to date on every span, independent of enable().
+  void set_registry(MetricRegistry* reg) { registry_ = reg; }
+  MetricRegistry* registry() const { return registry_; }
+
+  // RAII span; records on end().  No-op when both event recording and the
+  // registry are off.
   class Span {
    public:
     Span() = default;
@@ -56,8 +96,8 @@ class Trace {
 
     void end() {
       if (!tr_) return;
-      tr_->events_.push_back(TraceEvent{start_, tr_->eng_.now(), component_,
-                                        stage_, tag_});
+      tr_->record_span(start_, std::move(component_), std::move(stage_),
+                       tag_);
       tr_ = nullptr;
     }
 
@@ -70,7 +110,7 @@ class Trace {
   };
 
   Span span(std::string component, std::string stage, std::uint64_t tag = 0) {
-    if (!enabled_) return Span{};
+    if (!enabled_ && registry_ == nullptr) return Span{};
     return Span{this, std::move(component), std::move(stage), tag};
   }
 
@@ -82,20 +122,59 @@ class Trace {
                    std::move(stage), tag});
   }
 
+  // Counter-track sample (recorded only while enabled).
+  void counter(std::string track, std::string series, double value) {
+    if (!enabled_) return;
+    counter_events_.push_back(
+        TraceCounterEvent{eng_.now(), std::move(track), std::move(series),
+                          value});
+  }
+
+  // Flow events keyed by message id (recorded only while enabled).
+  void flow(char phase, std::string component, std::string name,
+            std::uint64_t id) {
+    if (!enabled_) return;
+    flow_events_.push_back(
+        TraceFlowEvent{eng_.now(), phase, std::move(component),
+                       std::move(name), id});
+  }
+  void flow_begin(std::string component, std::string name, std::uint64_t id) {
+    flow('s', std::move(component), std::move(name), id);
+  }
+  void flow_step(std::string component, std::string name, std::uint64_t id) {
+    flow('t', std::move(component), std::move(name), id);
+  }
+  void flow_end(std::string component, std::string name, std::uint64_t id) {
+    flow('f', std::move(component), std::move(name), id);
+  }
+
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceCounterEvent>& counter_events() const {
+    return counter_events_;
+  }
+  const std::vector<TraceFlowEvent>& flow_events() const {
+    return flow_events_;
+  }
 
   // Total duration spent in `stage` for message `tag` (summed over spans).
   Time stage_total(const std::string& stage, std::uint64_t tag) const;
   // All events for one message ordered by start time.
   std::vector<TraceEvent> timeline(std::uint64_t tag) const;
   // Chrome trace-event JSON (load in chrome://tracing or Perfetto); each
-  // component becomes a track.
+  // component becomes a track.  Strings are JSON-escaped and names of any
+  // length are supported.
   std::string to_chrome_json() const;
 
  private:
+  void record_span(Time start, std::string component, std::string stage,
+                   std::uint64_t tag);
+
   Engine& eng_;
   bool enabled_ = false;
+  MetricRegistry* registry_ = nullptr;
   std::vector<TraceEvent> events_;
+  std::vector<TraceCounterEvent> counter_events_;
+  std::vector<TraceFlowEvent> flow_events_;
 };
 
 }  // namespace sim

@@ -1,0 +1,392 @@
+// Tests for MetricRegistry, Sampler, exporters, and the trace/registry
+// integration: determinism across identical runs, JSON validity of every
+// exporter, and agreement between registry summaries and trace events.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bcl/bcl.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using sim::Engine;
+using sim::MetricRegistry;
+using sim::Sampler;
+using sim::Task;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator: enough of RFC 8259 to catch
+// unescaped quotes, truncated documents, and trailing garbage.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string s) : s_{std::move(s)} {}
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string{"\"\\/bfnrt"}.find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l{lit};
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  void ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(MetricRegistry, CounterAndGaugeBasics) {
+  MetricRegistry reg;
+  auto& c = reg.counter("a.b.sends");
+  c.inc();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Lookup-or-create returns the same instrument.
+  EXPECT_EQ(&reg.counter("a.b.sends"), &c);
+  EXPECT_EQ(reg.counter("a.b.sends").value(), 5u);
+
+  auto& g = reg.gauge("a.b.depth");
+  g.set(3.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  EXPECT_EQ(&reg.gauge("a.b.depth"), &g);
+}
+
+TEST(MetricRegistry, CallbackBackedInstruments) {
+  MetricRegistry reg;
+  std::uint64_t source = 7;
+  auto& c = reg.counter("cb.count", [&source] { return source; });
+  auto& g = reg.gauge("cb.depth", [&source] {
+    return static_cast<double>(source) / 2.0;
+  });
+  EXPECT_EQ(c.value(), 7u);
+  source = 10;
+  EXPECT_EQ(c.value(), 10u);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_TRUE(c.callback_backed());
+}
+
+TEST(MetricRegistry, ResetZeroesOwnedOnly) {
+  MetricRegistry reg;
+  std::uint64_t source = 42;
+  reg.counter("owned").inc(9);
+  reg.gauge("owned.g").set(1.5);
+  reg.counter("cb", [&source] { return source; });
+  reg.summary("s").add(2.0);
+  reg.histogram("h").add(3.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("owned").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("owned.g").value(), 0.0);
+  EXPECT_EQ(reg.counter("cb").value(), 42u);  // callback source untouched
+  EXPECT_EQ(reg.summary("s").count(), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(MetricRegistry, JsonExportIsValid) {
+  MetricRegistry reg;
+  reg.counter("node0.driver.sends").inc(3);
+  reg.gauge("node0.nic.rx_queue").set(2.0);
+  reg.summary("node0.kernel.trap-enter.us").add(1.25);
+  reg.histogram("mpi.rank0.send_bytes").add(4096.0);
+  // A hostile name: quotes, backslash, newline must be escaped.
+  reg.counter("weird.\"name\"\\with\nnasties").inc();
+  const std::string json = reg.to_json();
+  JsonChecker chk{json};
+  EXPECT_TRUE(chk.valid()) << json;
+  EXPECT_NE(json.find("node0.driver.sends"), std::string::npos);
+}
+
+TEST(MetricRegistry, EmptyJsonIsValid) {
+  MetricRegistry reg;
+  JsonChecker chk{reg.to_json()};
+  EXPECT_TRUE(chk.valid());
+}
+
+TEST(MetricRegistry, PrometheusExport) {
+  MetricRegistry reg;
+  reg.counter("node0.driver.sends").inc(3);
+  reg.gauge("node0.nic.rx_queue").set(2.0);
+  reg.summary("node0.kernel.trap-enter.us").add(1.25);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE bcl_node0_driver_sends counter"),
+            std::string::npos) << prom;
+  EXPECT_NE(prom.find("bcl_node0_driver_sends 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE bcl_node0_nic_rx_queue gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("_count"), std::string::npos);
+}
+
+TEST(Sampler, TicksAndCsv) {
+  Engine eng;
+  MetricRegistry reg;
+  auto& g = reg.gauge("load");
+  Sampler sampler{eng, reg};
+  sampler.start(Time::us(10));
+  eng.spawn([](Engine& e, sim::Gauge& gauge) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      gauge.set(static_cast<double>(i));
+      co_await e.sleep(Time::us(10));
+    }
+  }(eng, g));
+  eng.run();  // must terminate: the sampler parks when the task drains
+  EXPECT_GE(sampler.samples(), 5u);
+  const std::string csv = sampler.to_csv();
+  EXPECT_EQ(csv.rfind("time_us,", 0), 0u) << csv;
+  EXPECT_NE(csv.find("load"), std::string::npos);
+  // Rows: header + one per tick.
+  std::size_t rows = 0;
+  for (char ch : csv) rows += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, sampler.samples() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level: a fixed workload on a 2-node cluster.
+struct RunArtifacts {
+  std::string json;
+  std::string prom;
+  std::string csv;
+  std::string trace;
+};
+
+RunArtifacts run_cluster_once() {
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.trace().enable();
+  c.sampler().set_trace(&c.trace());
+  c.start_sampler();
+  c.engine().spawn([](bcl::Endpoint& ep, bcl::PortId dst) -> Task<void> {
+    auto buf = ep.process().alloc(2048);
+    for (int i = 0; i < 3; ++i) {
+      auto r = co_await ep.send_system(dst, buf, 512);
+      EXPECT_TRUE(r.ok());
+      (void)co_await ep.wait_send();
+    }
+  }(tx, rx.id()));
+  c.engine().spawn([](bcl::Endpoint& ep) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      auto ev = co_await ep.wait_recv();
+      (void)co_await ep.copy_out_system(ev);
+    }
+  }(rx));
+  c.engine().run();
+  return RunArtifacts{c.metrics().to_json(), c.metrics().to_prometheus(),
+                      c.sampler().to_csv(), c.trace().to_chrome_json()};
+}
+
+TEST(ClusterMetrics, DeterministicAcrossIdenticalRuns) {
+  const RunArtifacts a = run_cluster_once();
+  const RunArtifacts b = run_cluster_once();
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.prom, b.prom);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(ClusterMetrics, ExportsAreValidAndPopulated) {
+  const RunArtifacts a = run_cluster_once();
+  JsonChecker json_chk{a.json};
+  EXPECT_TRUE(json_chk.valid());
+  JsonChecker trace_chk{a.trace};
+  EXPECT_TRUE(trace_chk.valid());
+  // Every layer shows up in the registry.
+  for (const char* name :
+       {"node0.driver.sends", "node0.osk.pin_misses",
+        "node0.nic.mcp.dma_tx_bytes", "node0.nic.tx_packets",
+        "node1.lib.port0.recvs", "fabric.link."}) {
+    EXPECT_NE(a.json.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(a.csv.rfind("time_us,", 0), 0u);
+}
+
+TEST(ClusterMetrics, TraceCarriesSpansCountersAndFlows) {
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.trace().enable();
+  c.sampler().set_trace(&c.trace());
+  c.start_sampler();
+  c.engine().spawn([](bcl::Endpoint& ep, bcl::PortId dst) -> Task<void> {
+    auto buf = ep.process().alloc(256);
+    auto r = co_await ep.send_system(dst, buf, 256);
+    EXPECT_TRUE(r.ok());
+    (void)co_await ep.wait_send();
+  }(tx, rx.id()));
+  c.engine().spawn([](bcl::Endpoint& ep) -> Task<void> {
+    auto ev = co_await ep.wait_recv();
+    (void)co_await ep.copy_out_system(ev);
+  }(rx));
+  c.engine().run();
+
+  EXPECT_FALSE(c.trace().events().empty());
+  EXPECT_FALSE(c.trace().counter_events().empty());
+  // One full flow: begin at the sender kernel, steps at both NICs, end at
+  // the receiver library.
+  char phases[3] = {0, 0, 0};
+  for (const auto& f : c.trace().flow_events()) {
+    if (f.phase == 's') phases[0] = 1;
+    if (f.phase == 't') phases[1] = 1;
+    if (f.phase == 'f') phases[2] = 1;
+  }
+  EXPECT_EQ(phases[0] + phases[1] + phases[2], 3);
+  const std::string json = c.trace().to_chrome_json();
+  JsonChecker chk{json};
+  EXPECT_TRUE(chk.valid());
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(ClusterMetrics, RegistrySummariesAgreeWithTraceEvents) {
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.trace().enable();
+  c.engine().spawn([](bcl::Endpoint& ep, bcl::PortId dst) -> Task<void> {
+    auto buf = ep.process().alloc(1024);
+    auto r = co_await ep.send_system(dst, buf, 1024);
+    EXPECT_TRUE(r.ok());
+    (void)co_await ep.wait_send();
+  }(tx, rx.id()));
+  c.engine().spawn([](bcl::Endpoint& ep) -> Task<void> {
+    auto ev = co_await ep.wait_recv();
+    (void)co_await ep.copy_out_system(ev);
+  }(rx));
+  c.engine().run();
+
+  // For every per-stage summary, the sum must match replaying the events.
+  std::size_t compared = 0;
+  for (const auto& [name, s] : c.metrics().summaries()) {
+    if (name.size() < 4 || name.compare(name.size() - 3, 3, ".us") != 0) {
+      continue;
+    }
+    const std::string path = name.substr(0, name.size() - 3);
+    const std::size_t dot = path.rfind('.');
+    EXPECT_NE(dot, std::string::npos);
+    const std::string component = path.substr(0, dot);
+    const std::string stage = path.substr(dot + 1);
+    double from_events = 0.0;
+    std::uint64_t n_events = 0;
+    for (const auto& e : c.trace().events()) {
+      if (e.component == component && e.stage == stage) {
+        from_events += (e.end - e.start).to_us();
+        ++n_events;
+      }
+    }
+    EXPECT_EQ(s->count(), n_events) << name;
+    EXPECT_NEAR(s->sum(), from_events, 1e-6) << name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 5u);
+}
+
+}  // namespace

@@ -52,6 +52,34 @@ TEST(Histogram, PercentilesBracketData) {
   EXPECT_GE(h.percentile(99.9), 512.0);
 }
 
+TEST(Histogram, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(Histogram, P0AndP100BracketSingleSample) {
+  Histogram h;
+  h.add(10.0);
+  // 10.0 lands in the [8, 16) bin: p0 reads the lower edge, p100 the upper,
+  // so the quantile range always contains the sample.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 16.0);
+  EXPECT_LE(h.percentile(0.0), 10.0);
+  EXPECT_GE(h.percentile(100.0), 10.0);
+}
+
+TEST(Histogram, PercentileArgumentIsClamped) {
+  Histogram h;
+  h.add(1.0);
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(500.0), h.percentile(100.0));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);      // lower edge of [1, 2)
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1024.0); // upper edge of [512, 1024)
+}
+
 TEST(Histogram, AsciiRenders) {
   Histogram h;
   h.add(1.0);
@@ -150,6 +178,32 @@ TEST(Trace, FiltersByTag) {
   EXPECT_EQ(tr.timeline(1).size(), 1u);
   EXPECT_EQ(tr.timeline(2).size(), 1u);
   EXPECT_EQ(tr.timeline(3).size(), 0u);
+}
+
+TEST(Trace, ChromeJsonEscapesHostileNames) {
+  Engine eng;
+  Trace tr{eng};
+  tr.enable();
+  tr.mark("comp\"quote", "stage\\back\nline\ttab", 1);
+  const std::string json = tr.to_chrome_json();
+  EXPECT_NE(json.find("comp\\\"quote"), std::string::npos) << json;
+  EXPECT_NE(json.find("stage\\\\back\\nline\\ttab"), std::string::npos) << json;
+  // No raw control character below 0x20 (other than the record separator
+  // newlines the writer itself emits) may survive into the document.
+  for (char raw : json) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    EXPECT_TRUE(c >= 0x20 || c == '\n') << "raw control char " << int(c);
+  }
+}
+
+TEST(Trace, ChromeJsonKeepsLongNames) {
+  Engine eng;
+  Trace tr{eng};
+  tr.enable();
+  const std::string long_stage(400, 'x');
+  tr.mark("comp", long_stage, 1);
+  // Names longer than any fixed formatting buffer must survive untruncated.
+  EXPECT_NE(tr.to_chrome_json().find(long_stage), std::string::npos);
 }
 
 }  // namespace
