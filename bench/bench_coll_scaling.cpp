@@ -1,0 +1,144 @@
+// Scaling of the NIC collective engine vs the host-level algorithms:
+// barrier / broadcast / reduce latency as the node count grows, one rank
+// per node.  The NIC path combines and forwards on the MCPs along k-ary
+// trees (no host trap at interior hops), so barrier latency should grow
+// ~O(log n) and clearly beat the host dissemination barrier at scale
+// (cf. Yu et al., "Efficient and Scalable Barrier over Quadrics and
+// Myrinet with a New NIC-Based Collective Message Passing Protocol").
+//
+// Output: a human table plus one JSON line per (op, path, nodes) sample,
+// suitable for plotting the scaling series.
+//
+//   --smoke    quick sanitizer-friendly run (small sweep, few iterations)
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+
+namespace {
+
+constexpr std::size_t kBcastBytes = 8 * 1024;
+constexpr std::size_t kReduceCount = 1024;
+
+struct Meas {
+  double barrier_us = 0;
+  double bcast_us = 0;
+  double reduce_us = 0;
+};
+
+Meas run_case(std::uint32_t nodes, bool nic, int iters) {
+  cluster::WorldConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.node.mem_bytes = 16u << 20;
+  cfg.mpi.nic_collectives = nic;
+  // The two-level Myrinet fabric tops out at 32 nodes; larger sweeps run
+  // on the nwrc mesh (same NIC/MCP model, different interconnect).
+  if (nodes > 32) cfg.cluster.fabric.kind = hw::FabricKind::kNwrcMesh;
+  cluster::World w{cfg, static_cast<int>(nodes)};
+  Meas m;
+  w.run([&](cluster::World& world, int rank) -> sim::Task<void> {
+    auto& me = world.mpi(rank);
+    auto& eng = world.engine();
+    auto buf = me.process().alloc(
+        std::max(kBcastBytes, kReduceCount * sizeof(double)));
+    auto out = me.process().alloc(kReduceCount * sizeof(double));
+    me.write_doubles(buf, std::vector<double>(kReduceCount, rank + 1.0));
+    // Warm up: triggers group registration and page-table priming so the
+    // timed loops measure steady state.
+    co_await me.barrier();
+    co_await me.bcast(buf, kBcastBytes, 0);
+    co_await me.reduce(buf, out, kReduceCount, 0);
+    co_await me.barrier();
+
+    sim::Time t0 = eng.now();
+    for (int i = 0; i < iters; ++i) co_await me.barrier();
+    if (rank == 0) {
+      m.barrier_us = (eng.now() - t0).to_us() / iters;
+    }
+    co_await me.barrier();
+    t0 = eng.now();
+    for (int i = 0; i < iters; ++i) {
+      co_await me.bcast(buf, kBcastBytes, 0);
+    }
+    co_await me.barrier();
+    if (rank == 0) {
+      // Barrier-closed so the sample covers completion at every rank.
+      m.bcast_us = (eng.now() - t0).to_us() / iters;
+    }
+    t0 = eng.now();
+    for (int i = 0; i < iters; ++i) {
+      co_await me.reduce(buf, out, kReduceCount, 0);
+    }
+    co_await me.barrier();
+    if (rank == 0) {
+      m.reduce_us = (eng.now() - t0).to_us() / iters;
+    }
+  });
+  return m;
+}
+
+const char* pass(bool ok) { return ok ? "ok" : "DIFF"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  benchutil::header("coll-scaling",
+                    "NIC collective engine vs host algorithms, 2-64 nodes");
+  benchutil::claim(
+      "NIC-offloaded barrier grows ~O(log n) and beats the host "
+      "dissemination barrier by >=2x at 16 nodes");
+
+  const std::vector<std::uint32_t> sweep =
+      smoke ? std::vector<std::uint32_t>{2, 4, 8}
+            : std::vector<std::uint32_t>{2, 4, 8, 16, 32, 64};
+  const int iters = smoke ? 3 : 8;
+
+  std::printf("%5s | %21s | %21s | %21s\n", "", "barrier us", "bcast 8K us",
+              "reduce 1Kdbl us");
+  std::printf("%5s | %10s %10s | %10s %10s | %10s %10s\n", "nodes", "host",
+              "nic", "host", "nic", "host", "nic");
+  std::vector<std::pair<Meas, Meas>> rows;  // (host, nic) per node count
+  for (const std::uint32_t n : sweep) {
+    const Meas host = run_case(n, /*nic=*/false, iters);
+    const Meas nic = run_case(n, /*nic=*/true, iters);
+    rows.emplace_back(host, nic);
+    std::printf("%5u | %10.2f %10.2f | %10.2f %10.2f | %10.2f %10.2f\n", n,
+                host.barrier_us, nic.barrier_us, host.bcast_us, nic.bcast_us,
+                host.reduce_us, nic.reduce_us);
+    for (const auto& [path, m] :
+         {std::pair<const char*, const Meas&>{"host", host},
+          std::pair<const char*, const Meas&>{"nic", nic}}) {
+      std::printf(
+          "{\"bench\":\"coll_scaling\",\"path\":\"%s\",\"nodes\":%u,"
+          "\"barrier_us\":%.3f,\"bcast_us\":%.3f,\"reduce_us\":%.3f}\n",
+          path, n, m.barrier_us, m.bcast_us, m.reduce_us);
+    }
+  }
+
+  if (!smoke) {
+    // sweep = {2,4,8,16,32,64}: index 3 is 16 nodes, index 5 is 64.
+    const Meas& host16 = rows[3].first;
+    const Meas& nic16 = rows[3].second;
+    const Meas& nic64 = rows[5].second;
+    const double speedup16 = host16.barrier_us / nic16.barrier_us;
+    // O(log n): 16 -> 64 nodes is 1.5x the tree depth; allow 2.5x latency.
+    const double growth = nic64.barrier_us / nic16.barrier_us;
+    std::printf("\nchecks:\n");
+    std::printf("  barrier speedup at 16 nodes: %.2fx (>=2x)  %s\n",
+                speedup16, pass(speedup16 >= 2.0));
+    std::printf("  nic barrier growth 16->64:   %.2fx (<=2.5x) %s\n", growth,
+                pass(growth <= 2.5));
+    std::printf("  nic bcast  beats host at 16: %.2fx (>1x)   %s\n",
+                host16.bcast_us / nic16.bcast_us,
+                pass(nic16.bcast_us < host16.bcast_us));
+    std::printf("  nic reduce beats host at 16: %.2fx (>1x)   %s\n",
+                host16.reduce_us / nic16.reduce_us,
+                pass(nic16.reduce_us < host16.reduce_us));
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 // library.  See README.md for a quickstart and DESIGN.md for architecture.
 #pragma once
 
+#include "bcl/coll/port.hpp"  // CollPort: NIC-resident collectives
 #include "bcl/config.hpp"    // CostConfig, ClusterConfig
 #include "bcl/library.hpp"   // Endpoint: send/recv/RMA
 #include "bcl/stack.hpp"     // BclCluster, NodeStack

@@ -1,0 +1,481 @@
+#include "bcl/coll/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "bcl/mcp.hpp"
+
+namespace bcl::coll {
+
+CollectiveEngine::CollectiveEngine(sim::Engine& eng, hw::Nic& nic, Mcp& mcp,
+                                   const CostConfig& cfg, sim::Trace* trace,
+                                   sim::MetricRegistry* metrics)
+    : eng_{eng},
+      nic_{nic},
+      mcp_{mcp},
+      cfg_{cfg},
+      trace_{trace},
+      posts_{eng, cfg.request_queue_depth} {
+  if (metrics != nullptr) {
+    const std::string prefix = nic_.name() + ".coll.";
+    metrics->counter(prefix + "posts", [this] { return stats_.posts; });
+    metrics->counter(prefix + "rx_packets",
+                     [this] { return stats_.packets_in; });
+    metrics->counter(prefix + "forwards", [this] { return stats_.forwards; });
+    metrics->counter(prefix + "combines", [this] { return stats_.combines; });
+    metrics->counter(prefix + "combined_elements",
+                     [this] { return stats_.combined_elements; });
+    metrics->counter(prefix + "completions",
+                     [this] { return stats_.completions; });
+    metrics->counter(prefix + "drops", [this] { return stats_.drops; });
+    metrics->counter(prefix + "sram_exhausted",
+                     [this] { return stats_.sram_exhausted; });
+    metrics->gauge(prefix + "sram_bytes", [this] {
+      return static_cast<double>(sram_bytes_);
+    });
+    metrics->gauge(prefix + "pending_ops", [this] {
+      return static_cast<double>(pending_.size());
+    });
+    metrics->gauge(prefix + "groups", [this] {
+      return static_cast<double>(groups_.size());
+    });
+    metrics->gauge(prefix + "tree_depth", [this] {
+      return static_cast<double>(max_tree_depth());
+    });
+  }
+  eng_.spawn_daemon(post_pump());
+}
+
+std::string CollectiveEngine::comp() const { return nic_.name(); }
+
+int CollectiveEngine::max_tree_depth() const {
+  int depth = 0;
+  for (const auto& [id, g] : groups_) {
+    depth = std::max(depth, tree_depth(g.size(), g.arity));
+  }
+  return depth;
+}
+
+BclErr CollectiveEngine::register_group(GroupDescriptor desc) {
+  if (groups_.size() >= cfg_.coll_max_groups) return BclErr::kNoResources;
+  const std::uint16_t id = desc.id;
+  if (groups_.count(id) != 0) return BclErr::kNoResources;
+  groups_.emplace(id, std::move(desc));
+  // Replay packets from peers that raced ahead of our registration.
+  std::vector<hw::Packet> matched;
+  for (auto it = pre_reg_.begin(); it != pre_reg_.end();) {
+    if ((it->channel & 0xffff) == id) {
+      matched.push_back(std::move(*it));
+      it = pre_reg_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& p : matched) eng_.spawn_daemon(replay(std::move(p)));
+  return BclErr::kOk;
+}
+
+sim::Task<void> CollectiveEngine::replay(hw::Packet p) {
+  co_await handle_packet(std::move(p));
+}
+
+void CollectiveEngine::unregister_group(std::uint16_t id) {
+  groups_.erase(id);
+}
+
+GroupDescriptor* CollectiveEngine::find_group(std::uint16_t id) {
+  const auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+CollectiveEngine::Neighborhood CollectiveEngine::neighbors(
+    const GroupDescriptor& g, int root) const {
+  Neighborhood nb;
+  const int n = g.size();
+  nb.rel = tree_rel(g.my_index, root, n);
+  const int prel = tree_parent_rel(nb.rel, g.arity);
+  nb.parent = prel < 0 ? -1 : tree_abs(prel, root, n);
+  for (const int c : tree_children_rel(nb.rel, g.arity, n)) {
+    nb.children.push_back(tree_abs(c, root, n));
+  }
+  return nb;
+}
+
+hw::Packet CollectiveEngine::make_packet(const GroupDescriptor& g,
+                                         int dst_member, CollWire wire,
+                                         std::uint64_t seq,
+                                         std::uint16_t root,
+                                         CollOp op) const {
+  hw::Packet p;
+  const PortId dst = g.members.at(static_cast<std::size_t>(dst_member));
+  p.dst_node = dst.node;
+  p.dst_port = dst.port;
+  p.src_port = g.members[g.my_index].port;
+  p.proto = Mcp::kProto;
+  p.kind = hw::PacketKind::kCtrl;
+  p.channel = static_cast<std::uint32_t>(g.id) |
+              (static_cast<std::uint32_t>(root) << 16);
+  p.op_flags = coll_op_flags(wire);
+  p.reply_channel = static_cast<std::uint16_t>(op);
+  p.msg_id = seq;
+  return p;
+}
+
+void CollectiveEngine::emit(hw::Packet p) {
+  ++stats_.forwards;
+  if (trace_) {
+    trace_->flow_step(comp(), "coll",
+                      coll_flow_key(static_cast<std::uint16_t>(p.channel),
+                                    p.msg_id));
+  }
+  // Never transmit inline: handle_packet runs on the rx pump, which must
+  // not wait for the tx mutex (the session it would block on drains its
+  // window through this very pump).
+  eng_.spawn_daemon(mcp_.coll_send(std::move(p)));
+}
+
+void CollectiveEngine::reserve_sram(Pending& pd, std::size_t bytes) {
+  if (bytes == 0) return;
+  if (nic_.sram_reserve(bytes)) {
+    pd.sram = bytes;
+    sram_bytes_ += bytes;
+  } else {
+    ++stats_.sram_exhausted;  // accounting only; combining proceeds
+  }
+}
+
+void CollectiveEngine::erase(const Key& key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  if (it->second.sram > 0) {
+    nic_.sram_release(it->second.sram);
+    sram_bytes_ -= it->second.sram;
+  }
+  pending_.erase(it);
+}
+
+sim::Task<void> CollectiveEngine::post_pump() {
+  for (;;) {
+    CollPost post = co_await posts_.recv();
+    co_await handle_post(std::move(post));
+  }
+}
+
+sim::Task<void> CollectiveEngine::handle_post(CollPost post) {
+  ++stats_.posts;
+  co_await nic_.lanai().use(cfg_.mcp_coll_proc);
+  GroupDescriptor* g = find_group(post.group);
+  if (g == nullptr) {
+    ++stats_.drops;  // driver validated; only an unregister race lands here
+    co_return;
+  }
+  if (trace_) {
+    trace_->flow_step(comp(), "coll", coll_flow_key(g->id, post.seq));
+  }
+  switch (post.kind) {
+    case CollKind::kBarrier: {
+      Pending& pd = pending_[{g->id, post.seq}];
+      pd.kind = CollKind::kBarrier;
+      pd.local_posted = true;
+      ++pd.have;
+      co_await handle_barrier_arrive(*g, pd, post.seq);
+      break;
+    }
+    case CollKind::kReduce: {
+      Pending& pd = pending_[{g->id, post.seq}];
+      pd.kind = CollKind::kReduce;
+      pd.root = post.root;
+      pd.op = post.op;
+      pd.len = std::max(pd.len, post.len);
+      // The local contribution moves host -> NIC SRAM by DMA and becomes
+      // (or merges into) the accumulator.
+      std::vector<std::byte> bytes;
+      if (post.len > 0) {
+        co_await nic_.dma_gather(slice_segments(post.segs, 0, post.len),
+                                 bytes, cfg_.dma_lead_bytes);
+      }
+      pd.acc.resize(post.len / sizeof(double));
+      if (!bytes.empty()) {
+        std::memcpy(pd.acc.data(), bytes.data(),
+                    pd.acc.size() * sizeof(double));
+      }
+      reserve_sram(pd, post.len);
+      pd.acc_init = true;
+      // Child partials that arrived before the post combine now.
+      std::vector<hw::Packet> stash = std::move(pd.stash);
+      pd.stash.clear();
+      for (const auto& sp : stash) co_await combine_fragment(*g, pd, sp);
+      pd.local_posted = true;
+      ++pd.have;
+      co_await advance_reduce(*g, pd, post.seq);
+      break;
+    }
+    case CollKind::kBcast: {
+      // Only the root member posts a broadcast; everyone else just polls.
+      const Neighborhood nb = neighbors(*g, post.root);
+      const std::uint32_t frags = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(
+              1, (post.len + cfg_.mtu - 1) / cfg_.mtu));
+      for (std::uint32_t i = 0; i < frags; ++i) {
+        const std::uint64_t off = static_cast<std::uint64_t>(i) * cfg_.mtu;
+        const std::size_t flen = static_cast<std::size_t>(
+            std::min<std::uint64_t>(cfg_.mtu, post.len - off));
+        std::vector<std::byte> chunk;
+        if (flen > 0) {
+          co_await nic_.dma_gather(slice_segments(post.segs, off, flen),
+                                   chunk, cfg_.dma_lead_bytes);
+        }
+        for (const int child : nb.children) {
+          hw::Packet q = make_packet(*g, child, CollWire::kData, post.seq,
+                                     post.root, post.op);
+          q.frag_index = i;
+          q.frag_count = frags;
+          q.msg_bytes = post.len;
+          q.offset = off;
+          q.payload = chunk;
+          emit(std::move(q));
+        }
+      }
+      co_await complete(*g, post.seq, CollKind::kBcast, post.root, post.len,
+                        true);
+      break;
+    }
+  }
+}
+
+sim::Task<void> CollectiveEngine::handle_packet(hw::Packet p) {
+  ++stats_.packets_in;
+  co_await nic_.lanai().use(cfg_.mcp_coll_proc);
+  const std::uint16_t gid = static_cast<std::uint16_t>(p.channel & 0xffff);
+  const std::uint16_t root = static_cast<std::uint16_t>(p.channel >> 16);
+  const auto it = groups_.find(gid);
+  if (it == groups_.end()) {
+    // A peer beat our registration: park the packet for replay (bounded so
+    // a group that never registers cannot hoard SRAM forever).
+    if (pre_reg_.size() < 4 * cfg_.coll_max_groups) {
+      pre_reg_.push_back(std::move(p));
+    } else {
+      ++stats_.drops;
+    }
+    co_return;
+  }
+  GroupDescriptor& g = it->second;
+  const std::uint64_t seq = p.msg_id;
+  if (trace_) trace_->flow_step(comp(), "coll", coll_flow_key(gid, seq));
+  switch (static_cast<CollWire>(p.op_flags >> 8)) {
+    case CollWire::kArrive: {
+      Pending& pd = pending_[{gid, seq}];
+      pd.kind = CollKind::kBarrier;
+      ++pd.have;
+      co_await handle_barrier_arrive(g, pd, seq);
+      break;
+    }
+    case CollWire::kRelease:
+      co_await handle_barrier_release(g, seq);
+      break;
+    case CollWire::kData: {
+      Pending& pd = pending_[{gid, seq}];
+      pd.root = root;
+      co_await handle_bcast_packet(g, pd, seq, std::move(p));
+      break;
+    }
+    case CollWire::kPartial: {
+      Pending& pd = pending_[{gid, seq}];
+      pd.root = root;
+      co_await handle_reduce_packet(g, pd, seq, std::move(p));
+      break;
+    }
+    default:
+      ++stats_.drops;
+      break;
+  }
+}
+
+// Barriers always run on the canonical root-0 tree stored in the
+// descriptor: combine arrivals up, then release down.
+sim::Task<void> CollectiveEngine::handle_barrier_arrive(GroupDescriptor& g,
+                                                        Pending& pd,
+                                                        std::uint64_t seq) {
+  const int need = static_cast<int>(g.children.size()) + 1;
+  if (!pd.local_posted || pd.have < need || pd.sent_up) co_return;
+  pd.sent_up = true;
+  if (g.parent < 0) {
+    // Root: the whole group has arrived; release the tree.
+    for (const int child : g.children) {
+      emit(make_packet(g, child, CollWire::kRelease, seq, 0, pd.op));
+    }
+    co_await complete(g, seq, CollKind::kBarrier, 0, 0, true);
+    erase({g.id, seq});
+  } else {
+    emit(make_packet(g, g.parent, CollWire::kArrive, seq, 0, pd.op));
+    // Completion arrives with the release from above.
+  }
+}
+
+sim::Task<void> CollectiveEngine::handle_barrier_release(GroupDescriptor& g,
+                                                         std::uint64_t seq) {
+  for (const int child : g.children) {
+    emit(make_packet(g, child, CollWire::kRelease, seq, 0, CollOp::kSum));
+  }
+  co_await complete(g, seq, CollKind::kBarrier, 0, 0, true);
+  erase({g.id, seq});
+}
+
+sim::Task<void> CollectiveEngine::handle_reduce_packet(GroupDescriptor& g,
+                                                       Pending& pd,
+                                                       std::uint64_t seq,
+                                                       hw::Packet p) {
+  pd.kind = CollKind::kReduce;
+  pd.op = static_cast<CollOp>(p.reply_channel);
+  pd.len = std::max(pd.len, static_cast<std::size_t>(p.msg_bytes));
+  const bool last = p.frag_index + 1 == p.frag_count;
+  if (!pd.acc_init) {
+    pd.stash.push_back(std::move(p));  // no accumulator until the post
+  } else {
+    co_await combine_fragment(g, pd, p);
+  }
+  if (last) {
+    ++pd.have;  // one child subtree fully accounted
+    co_await advance_reduce(g, pd, seq);
+  }
+}
+
+sim::Task<void> CollectiveEngine::combine_fragment(GroupDescriptor& g,
+                                                   Pending& pd,
+                                                   const hw::Packet& p) {
+  (void)g;
+  const std::size_t elems = p.payload.size() / sizeof(double);
+  if (elems > 0) {
+    co_await nic_.lanai().use(cfg_.coll_combine_per_element *
+                              static_cast<double>(elems));
+    const std::size_t base =
+        static_cast<std::size_t>(p.offset) / sizeof(double);
+    if (base + elems > pd.acc.size()) pd.acc.resize(base + elems);
+    for (std::size_t i = 0; i < elems; ++i) {
+      double v = 0;
+      std::memcpy(&v, p.payload.data() + i * sizeof(double), sizeof(double));
+      pd.acc[base + i] = coll_apply(pd.op, pd.acc[base + i], v);
+    }
+  }
+  ++stats_.combines;
+  stats_.combined_elements += elems;
+}
+
+void CollectiveEngine::send_partial_up(const GroupDescriptor& g,
+                                       int parent_member, std::uint64_t seq,
+                                       const Pending& pd) {
+  const std::uint32_t frags = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, (pd.len + cfg_.mtu - 1) / cfg_.mtu));
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * cfg_.mtu;
+    const std::size_t flen = static_cast<std::size_t>(
+        std::min<std::uint64_t>(cfg_.mtu, pd.len - off));
+    hw::Packet q =
+        make_packet(g, parent_member, CollWire::kPartial, seq, pd.root,
+                    pd.op);
+    q.frag_index = i;
+    q.frag_count = frags;
+    q.msg_bytes = pd.len;
+    q.offset = off;
+    if (flen > 0) {
+      q.payload.resize(flen);
+      std::memcpy(q.payload.data(),
+                  reinterpret_cast<const std::byte*>(pd.acc.data()) + off,
+                  flen);
+    }
+    emit(std::move(q));
+  }
+}
+
+sim::Task<void> CollectiveEngine::advance_reduce(GroupDescriptor& g,
+                                                 Pending& pd,
+                                                 std::uint64_t seq) {
+  const Neighborhood nb = neighbors(g, pd.root);
+  const int need = static_cast<int>(nb.children.size()) + 1;
+  if (!pd.acc_init || pd.have < need || pd.sent_up) co_return;
+  pd.sent_up = true;
+  if (nb.rel == 0) {
+    // Root: DMA the final vector into the registration-pinned result
+    // buffer — the only host DMA of the whole reduction.
+    if (pd.len > 0) {
+      std::vector<std::byte> bytes(pd.len);
+      std::memcpy(bytes.data(), pd.acc.data(), pd.len);
+      co_await nic_.dma_scatter(bytes,
+                                slice_segments(g.result_segs, 0, pd.len),
+                                cfg_.dma_lead_bytes);
+    }
+    co_await complete(g, seq, CollKind::kReduce, pd.root, pd.len, true);
+  } else {
+    // Interior/leaf: hand the combined subtree partial to the parent; the
+    // host is never touched.
+    send_partial_up(g, nb.parent, seq, pd);
+    co_await complete(g, seq, CollKind::kReduce, pd.root, 0, true);
+  }
+  erase({g.id, seq});
+}
+
+sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
+                                                      Pending& pd,
+                                                      std::uint64_t seq,
+                                                      hw::Packet p) {
+  pd.kind = CollKind::kBcast;
+  pd.len = static_cast<std::size_t>(p.msg_bytes);
+  // Forward to children first (cut-through, straight from the packet
+  // buffer), then scatter the fragment into the pinned result buffer.
+  const Neighborhood nb = neighbors(g, pd.root);
+  for (const int child : nb.children) {
+    hw::Packet q = p;
+    const PortId dst = g.members.at(static_cast<std::size_t>(child));
+    q.dst_node = dst.node;
+    q.dst_port = dst.port;
+    q.src_port = g.members[g.my_index].port;
+    q.seq = 0;
+    q.ack = 0;
+    q.corrupted = false;
+    q.route.clear();
+    q.route_pos = 0;
+    emit(std::move(q));
+  }
+  if (!p.payload.empty()) {
+    if (p.offset + p.payload.size() > g.result_buf.len) {
+      ++stats_.drops;
+      co_return;
+    }
+    co_await nic_.dma_scatter(
+        p.payload,
+        slice_segments(g.result_segs, p.offset, p.payload.size()),
+        cfg_.dma_lead_bytes);
+  }
+  ++pd.frags_seen;
+  if (pd.frags_seen == p.frag_count) {
+    co_await complete(g, seq, CollKind::kBcast, pd.root,
+                      static_cast<std::size_t>(p.msg_bytes), true);
+    erase({g.id, seq});
+  }
+}
+
+sim::Task<void> CollectiveEngine::complete(GroupDescriptor& g,
+                                           std::uint64_t seq, CollKind kind,
+                                           std::uint16_t root,
+                                           std::size_t len, bool ok) {
+  Port* port = mcp_.find_port(g.members[g.my_index].port);
+  co_await nic_.lanai().use(cfg_.mcp_event_proc);
+  co_await eng_.sleep(cfg_.event_dma);
+  ++stats_.completions;
+  if (trace_) {
+    // Mirror the driver's convention: only the operation's root member
+    // (member 0 for barriers) terminates the per-collective flow arrow.
+    const std::uint16_t origin = kind == CollKind::kBarrier ? 0 : root;
+    if (g.my_index == origin) {
+      trace_->flow_end(comp(), "coll", coll_flow_key(g.id, seq));
+    } else {
+      trace_->flow_step(comp(), "coll", coll_flow_key(g.id, seq));
+    }
+  }
+  if (port != nullptr) {
+    co_await port->coll_events().send(CollEvent{g.id, seq, kind, root, len,
+                                                ok});
+  }
+}
+
+}  // namespace bcl::coll

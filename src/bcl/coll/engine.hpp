@@ -1,0 +1,142 @@
+// CollectiveEngine: the MCP firmware extension that executes barrier,
+// broadcast, and reduce entirely on the NIC.
+//
+// The engine owns the group descriptors the driver's register_group trap
+// PIOs into NIC SRAM, plus a post queue (one entry per locally-initiated
+// collective).  Collective packets are recognised by Mcp::handle_data (low
+// byte of op_flags == SendOp::kColl) and handed here; the engine combines
+// barrier arrivals and reduce partials in NIC SRAM, forwards broadcast
+// fragments to tree children straight out of the packet buffer, and DMAs a
+// single completion event into the port's collective event queue — the host
+// is involved only at the posting ioctl and the completion poll.
+//
+// Deadlock rule (see docs/INTERNALS.md): handle_packet runs on the MCP's
+// rx pump, which must never block on the tx mutex, so every packet the
+// engine originates is emitted through a spawned daemon (Mcp::coll_send).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bcl/coll/group.hpp"
+#include "bcl/config.hpp"
+#include "hw/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/queue.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace bcl {
+
+class Mcp;
+
+namespace coll {
+
+class CollectiveEngine {
+ public:
+  CollectiveEngine(sim::Engine& eng, hw::Nic& nic, Mcp& mcp,
+                   const CostConfig& cfg, sim::Trace* trace,
+                   sim::MetricRegistry* metrics);
+
+  // -- registration (state writes are instantaneous; the trap charges time) ------
+  BclErr register_group(GroupDescriptor desc);
+  void unregister_group(std::uint16_t id);
+  GroupDescriptor* find_group(std::uint16_t id);
+
+  // The queue the driver's coll_post trap PIOs operation descriptors into.
+  sim::Channel<CollPost>& posts() { return posts_; }
+
+  // Called by Mcp::handle_data for packets carrying SendOp::kColl.
+  sim::Task<void> handle_packet(hw::Packet p);
+
+  struct Stats {
+    std::uint64_t posts = 0;
+    std::uint64_t packets_in = 0;
+    std::uint64_t forwards = 0;      // packets originated (up or down)
+    std::uint64_t combines = 0;      // fragment-combine operations
+    std::uint64_t combined_elements = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t drops = 0;         // unknown group after replay budget
+    std::uint64_t sram_exhausted = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t sram_bytes() const { return sram_bytes_; }
+  std::size_t pending_ops() const { return pending_.size(); }
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  // One in-flight collective operation on this NIC, keyed (group, seq).
+  struct Pending {
+    CollKind kind = CollKind::kBarrier;
+    std::uint16_t root = 0;
+    CollOp op = CollOp::kSum;
+    std::size_t len = 0;
+    int have = 0;             // self post + completed child subtrees
+    bool local_posted = false;
+    bool sent_up = false;     // this subtree already reported / forwarded
+    std::vector<double> acc;  // reduce accumulator (NIC SRAM)
+    bool acc_init = false;
+    std::vector<hw::Packet> stash;  // partials arriving before the post
+    std::uint32_t frags_seen = 0;   // broadcast reassembly progress
+    std::size_t sram = 0;           // bytes reserved for acc
+  };
+  // The tree neighbourhood of this member for an operation rooted at
+  // member `root` (relative-index arithmetic; see group.hpp).
+  struct Neighborhood {
+    int rel = 0;
+    int parent = -1;            // member index, -1 at the root
+    std::vector<int> children;  // member indices
+  };
+  using Key = std::pair<std::uint16_t, std::uint64_t>;
+
+  sim::Task<void> post_pump();
+  sim::Task<void> handle_post(CollPost post);
+  sim::Task<void> handle_barrier_arrive(GroupDescriptor& g, Pending& pd,
+                                        std::uint64_t seq);
+  sim::Task<void> handle_barrier_release(GroupDescriptor& g,
+                                         std::uint64_t seq);
+  sim::Task<void> handle_reduce_packet(GroupDescriptor& g, Pending& pd,
+                                       std::uint64_t seq, hw::Packet p);
+  sim::Task<void> handle_bcast_packet(GroupDescriptor& g, Pending& pd,
+                                      std::uint64_t seq, hw::Packet p);
+  sim::Task<void> advance_reduce(GroupDescriptor& g, Pending& pd,
+                                 std::uint64_t seq);
+  sim::Task<void> combine_fragment(GroupDescriptor& g, Pending& pd,
+                                   const hw::Packet& p);
+  sim::Task<void> complete(GroupDescriptor& g, std::uint64_t seq,
+                           CollKind kind, std::uint16_t root, std::size_t len,
+                           bool ok);
+  sim::Task<void> replay(hw::Packet p);
+
+  Neighborhood neighbors(const GroupDescriptor& g, int root) const;
+  hw::Packet make_packet(const GroupDescriptor& g, int dst_member,
+                         CollWire wire, std::uint64_t seq, std::uint16_t root,
+                         CollOp op) const;
+  void emit(hw::Packet p);  // spawn a daemon through Mcp::coll_send
+  void send_partial_up(const GroupDescriptor& g, int parent_member,
+                       std::uint64_t seq, const Pending& pd);
+  void reserve_sram(Pending& pd, std::size_t bytes);
+  void erase(const Key& key);
+  std::string comp() const;
+  int max_tree_depth() const;
+
+  sim::Engine& eng_;
+  hw::Nic& nic_;
+  Mcp& mcp_;
+  const CostConfig& cfg_;
+  sim::Trace* trace_;
+  sim::Channel<CollPost> posts_;
+  std::map<std::uint16_t, GroupDescriptor> groups_;
+  std::map<Key, Pending> pending_;
+  // Packets for groups not yet registered on this NIC (a peer raced ahead);
+  // replayed on registration, bounded to keep a lost group from leaking.
+  std::vector<hw::Packet> pre_reg_;
+  std::size_t sram_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace coll
+}  // namespace bcl

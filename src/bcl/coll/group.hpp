@@ -1,0 +1,140 @@
+// Collective groups: the NIC-resident descriptors behind the collective
+// engine (src/bcl/coll/engine.hpp).
+//
+// A CollGroup is a set of member endpoints — at most one per node — joined
+// into a k-ary combining/forwarding tree.  The kernel driver validates the
+// membership and pins the result buffer at registration time
+// (Driver::ioctl_register_group), then PIOs this descriptor into NIC SRAM;
+// from then on barrier, broadcast, and reduce traffic for the group is
+// combined and forwarded entirely by the MCP, with the host involved only
+// at the two ends (the posting ioctl and the completion-event poll).
+//
+// Trees are defined over *relative* member indices so any member can be the
+// root of a broadcast or reduction: rel = (index - root) mod n, and the
+// canonical k-ary heap layout parent(rel) = (rel-1)/k applies.  The
+// descriptor additionally stores the canonical root-0 parent/children used
+// by barriers, which are always rooted at member 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcl/types.hpp"
+#include "hw/memory.hpp"
+#include "osk/process.hpp"
+
+namespace bcl::coll {
+
+// Combine operator for reductions, applied element-wise over doubles
+// (matching the mini-MPI element type).
+enum class CollOp : std::uint8_t { kSum = 0, kProd, kMin, kMax };
+
+enum class CollKind : std::uint8_t { kBarrier = 0, kBcast, kReduce };
+
+// Wire opcodes carried in the high byte of Packet::op_flags (the low byte
+// is SendOp::kColl, which is what routes the packet to the engine).
+enum class CollWire : std::uint8_t {
+  kArrive = 1,   // barrier: subtree-complete, child -> parent
+  kRelease = 2,  // barrier: root decision, parent -> children
+  kData = 3,     // broadcast fragment, parent -> children
+  kPartial = 4,  // reduce: combined subtree partial, child -> parent
+};
+
+inline constexpr std::uint16_t coll_op_flags(CollWire wire) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(SendOp::kColl) |
+      (static_cast<std::uint16_t>(wire) << 8));
+}
+
+// Perfetto flow id for one collective operation: unlike point-to-point
+// flows there is exactly one cluster-wide operation per (group, seq), so
+// no source-node qualifier is needed — a distinct high bit keeps the id
+// space disjoint from flow_key().
+inline constexpr std::uint64_t coll_flow_key(std::uint16_t group,
+                                             std::uint64_t seq) {
+  return (1ull << 62) | (static_cast<std::uint64_t>(group) << 44) |
+         (seq & ((1ull << 44) - 1));
+}
+
+// -- k-ary tree arithmetic over relative indices --------------------------------
+inline constexpr int tree_rel(int index, int root, int n) {
+  return (index - root + n) % n;
+}
+inline constexpr int tree_abs(int rel, int root, int n) {
+  return (rel + root) % n;
+}
+inline constexpr int tree_parent_rel(int rel, int k) {
+  return rel == 0 ? -1 : (rel - 1) / k;
+}
+inline std::vector<int> tree_children_rel(int rel, int k, int n) {
+  std::vector<int> out;
+  for (int c = k * rel + 1; c <= k * rel + k && c < n; ++c) out.push_back(c);
+  return out;
+}
+// Depth of the deepest leaf (root = 0) — exported as a gauge.
+inline int tree_depth(int n, int k) {
+  int depth = 0;
+  for (int rel = n - 1; rel > 0; rel = tree_parent_rel(rel, k)) ++depth;
+  return depth;
+}
+
+// What the register_group trap writes into NIC SRAM.
+struct GroupDescriptor {
+  std::uint16_t id = 0;
+  std::vector<PortId> members;       // one per node, index = member rank
+  std::uint16_t my_index = 0;        // this NIC's member
+  int arity = 2;                     // k of the forwarding tree
+  CollOp default_op = CollOp::kSum;  // combine op registered with the group
+  std::uint64_t next_seq = 1;        // registration-time sequence origin
+
+  // Canonical root-0 tree neighbourhood (used by barriers); broadcast and
+  // reduce re-root by relative-index arithmetic at packet-processing time.
+  int parent = -1;                   // member index, -1 at the root
+  std::vector<int> children;         // member indices
+
+  // Pinned result buffer: broadcast payloads and the final reduction land
+  // here by DMA, so no per-operation host buffer registration is needed.
+  osk::UserBuffer result_buf{};
+  std::vector<hw::PhysSegment> result_segs;
+
+  int size() const { return static_cast<int>(members.size()); }
+};
+
+// Completion record the engine DMAs into the port's collective event queue
+// (one per member per operation).
+struct CollEvent {
+  std::uint16_t group = 0;
+  std::uint64_t seq = 0;
+  CollKind kind = CollKind::kBarrier;
+  std::uint16_t root = 0;
+  std::size_t len = 0;  // payload bytes delivered (bcast / reduce at root)
+  bool ok = true;
+};
+
+// What ioctl_coll_post PIOs into the NIC after validation: the local
+// member's participation in operation `seq`.
+struct CollPost {
+  std::uint16_t group = 0;
+  CollKind kind = CollKind::kBarrier;
+  std::uint16_t root = 0;  // member index
+  CollOp op = CollOp::kSum;
+  std::uint64_t seq = 0;
+  std::vector<hw::PhysSegment> segs;  // pinned contribution / bcast source
+  std::size_t len = 0;
+};
+
+inline double coll_apply(CollOp op, double a, double b) {
+  switch (op) {
+    case CollOp::kSum:
+      return a + b;
+    case CollOp::kProd:
+      return a * b;
+    case CollOp::kMin:
+      return a < b ? a : b;
+    case CollOp::kMax:
+      return a > b ? a : b;
+  }
+  return a;
+}
+
+}  // namespace bcl::coll

@@ -1,0 +1,183 @@
+#include "bcl/coll/port.hpp"
+
+#include "bcl/coll/engine.hpp"
+
+namespace bcl::coll {
+
+CollPort::CollPort(Endpoint& ep, std::uint16_t id, std::uint16_t my_index,
+                   int n, osk::UserBuffer buf)
+    : ep_{ep}, id_{id}, my_index_{my_index}, n_{n}, buf_{buf} {}
+
+sim::Task<Result<std::unique_ptr<CollPort>>> CollPort::create(
+    Endpoint& ep, std::uint16_t group_id, std::vector<PortId> members,
+    std::size_t buf_bytes) {
+  std::uint16_t idx = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == ep.id()) {
+      idx = static_cast<std::uint16_t>(i);
+      found = true;
+      break;
+    }
+  }
+  if (!found || buf_bytes == 0) {
+    co_return Result<std::unique_ptr<CollPort>>{nullptr, BclErr::kBadTarget};
+  }
+  bool alloc_failed = false;
+  osk::UserBuffer buf{};
+  try {
+    buf = ep.process().alloc(buf_bytes);
+  } catch (const std::bad_alloc&) {
+    alloc_failed = true;
+  }
+  if (alloc_failed) {
+    co_return Result<std::unique_ptr<CollPort>>{nullptr,
+                                                BclErr::kNoResources};
+  }
+  RegisterGroupArgs args;
+  args.group_id = group_id;
+  args.members = members;
+  args.my_index = idx;
+  args.result_buf = buf;
+  const BclErr err = co_await ep.driver().ioctl_register_group(
+      ep.process(), ep.port(), args);
+  if (err != BclErr::kOk) {
+    ep.process().free(buf);
+    co_return Result<std::unique_ptr<CollPort>>{nullptr, err};
+  }
+  co_return Result<std::unique_ptr<CollPort>>{
+      std::unique_ptr<CollPort>(new CollPort(
+          ep, group_id, idx, static_cast<int>(members.size()), buf)),
+      BclErr::kOk};
+}
+
+CollPort::~CollPort() {
+  ep_.mcp().coll().unregister_group(id_);
+  ep_.driver().kernel().pindown().unpin(ep_.process(), buf_.vaddr,
+                                        buf_.len);
+  ep_.process().free(buf_);
+}
+
+sim::Task<CollEvent> CollPort::wait_event(std::uint64_t seq) {
+  for (;;) {
+    CollEvent ev = co_await ep_.port().coll_events().recv();
+    co_await ep_.process().cpu().busy(ep_.cost().recv_event_poll);
+    if (ev.seq == seq) co_return ev;
+    // A stale event can only mean the caller broke the everyone-calls-
+    // everything-in-order discipline; skipping keeps the queue draining.
+  }
+}
+
+sim::Task<void> CollPort::copy_from_result(const osk::UserBuffer& dst,
+                                           std::size_t len) {
+  if (len == 0) co_return;
+  std::vector<std::byte> tmp(len);
+  ep_.process().peek(buf_, 0, tmp);
+  co_await ep_.process().cpu().busy(ep_.process().cpu().memcpy_time(len));
+  ep_.process().poke(dst, 0, tmp);
+}
+
+sim::Task<BclErr> CollPort::barrier() {
+  const std::uint64_t seq = next_seq_++;
+  CollPostArgs a;
+  a.group_id = id_;
+  a.kind = CollKind::kBarrier;
+  a.seq = seq;
+  const auto r =
+      co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
+  if (!r.ok()) co_return r.err;
+  (void)co_await wait_event(seq);
+  co_return BclErr::kOk;
+}
+
+sim::Task<BclErr> CollPort::bcast(const osk::UserBuffer& buf,
+                                  std::size_t len, int root) {
+  const std::uint64_t seq = next_seq_++;
+  if (len > buf_.len) co_return BclErr::kTooBig;
+  if (root == my_index_) {
+    CollPostArgs a;
+    a.group_id = id_;
+    a.kind = CollKind::kBcast;
+    a.root = static_cast<std::uint16_t>(root);
+    a.seq = seq;
+    a.vaddr = buf.vaddr;
+    a.len = len;
+    const auto r =
+        co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
+    if (!r.ok()) co_return r.err;
+    (void)co_await wait_event(seq);
+  } else {
+    // Receivers only poll: the data lands in the pinned result buffer by
+    // NIC DMA, announced by a single completion event.
+    (void)co_await wait_event(seq);
+    co_await copy_from_result(buf, len);
+  }
+  co_return BclErr::kOk;
+}
+
+sim::Task<BclErr> CollPort::reduce(const osk::UserBuffer& src,
+                                   const osk::UserBuffer& dst,
+                                   std::size_t count, CollOp op, int root) {
+  const std::uint64_t seq = next_seq_++;
+  const std::size_t bytes = count * sizeof(double);
+  if (bytes > buf_.len) co_return BclErr::kTooBig;
+  CollPostArgs a;
+  a.group_id = id_;
+  a.kind = CollKind::kReduce;
+  a.root = static_cast<std::uint16_t>(root);
+  a.op = op;
+  a.seq = seq;
+  a.vaddr = src.vaddr;
+  a.len = bytes;
+  const auto r =
+      co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
+  if (!r.ok()) co_return r.err;
+  (void)co_await wait_event(seq);
+  if (root == my_index_) co_await copy_from_result(dst, bytes);
+  co_return BclErr::kOk;
+}
+
+sim::Task<BclErr> CollPort::allreduce(const osk::UserBuffer& src,
+                                      const osk::UserBuffer& dst,
+                                      std::size_t count, CollOp op) {
+  const std::size_t bytes = count * sizeof(double);
+  if (bytes > buf_.len) co_return BclErr::kTooBig;
+  // Phase 1: reduce to member 0 (result stays in 0's pinned buffer).
+  {
+    const std::uint64_t seq = next_seq_++;
+    CollPostArgs a;
+    a.group_id = id_;
+    a.kind = CollKind::kReduce;
+    a.root = 0;
+    a.op = op;
+    a.seq = seq;
+    a.vaddr = src.vaddr;
+    a.len = bytes;
+    const auto r =
+        co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
+    if (!r.ok()) co_return r.err;
+    (void)co_await wait_event(seq);
+  }
+  // Phase 2: member 0 re-broadcasts straight out of the result buffer —
+  // no host round trip between the reduction and the fan-out.
+  {
+    const std::uint64_t seq = next_seq_++;
+    if (my_index_ == 0) {
+      CollPostArgs a;
+      a.group_id = id_;
+      a.kind = CollKind::kBcast;
+      a.root = 0;
+      a.seq = seq;
+      a.len = bytes;
+      a.from_result_buf = true;
+      const auto r = co_await ep_.driver().ioctl_coll_post(ep_.process(),
+                                                           ep_.port(), a);
+      if (!r.ok()) co_return r.err;
+    }
+    (void)co_await wait_event(seq);
+  }
+  co_await copy_from_result(dst, bytes);
+  co_return BclErr::kOk;
+}
+
+}  // namespace bcl::coll

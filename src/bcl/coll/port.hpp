@@ -1,0 +1,72 @@
+// CollPort: the user-level face of the NIC collective engine.
+//
+// One CollPort wraps one membership in one registered group: creation runs
+// the register_group trap (allocating and pinning the group result buffer),
+// and each operation is a single trap-accounted post ioctl followed by a
+// user-space poll of the port's collective event queue.  Everything between
+// those two ends executes on the NICs (coll::CollectiveEngine).
+//
+// Roots and destinations are *member indices* (one member per node); layers
+// with several ranks per node (mini-MPI) funnel through a per-node leader.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bcl/coll/group.hpp"
+#include "bcl/library.hpp"
+
+namespace bcl::coll {
+
+class CollPort {
+ public:
+  // Registers `members` (one port per node, members[i] = member rank i) as
+  // NIC group `group_id` on this endpoint's NIC.  `buf_bytes` bounds the
+  // largest broadcast/reduction payload.  On failure (duplicate id, bad
+  // membership, pin exhaustion) nothing is left registered and callers are
+  // expected to fall back to host-level algorithms.
+  static sim::Task<Result<std::unique_ptr<CollPort>>> create(
+      Endpoint& ep, std::uint16_t group_id, std::vector<PortId> members,
+      std::size_t buf_bytes);
+  ~CollPort();
+  CollPort(const CollPort&) = delete;
+  CollPort& operator=(const CollPort&) = delete;
+
+  int index() const { return my_index_; }
+  int size() const { return n_; }
+  std::size_t max_bytes() const { return buf_.len; }
+
+  // Every member calls every operation, in the same order (the shared
+  // sequence number is derived locally from that discipline, exactly like
+  // MPI's collective-call matching rule).
+  sim::Task<BclErr> barrier();
+  // Root sends buf[0, len); every other member receives into buf.
+  sim::Task<BclErr> bcast(const osk::UserBuffer& buf, std::size_t len,
+                          int root);
+  // Element-wise reduction of `count` doubles; dst is written at the root.
+  sim::Task<BclErr> reduce(const osk::UserBuffer& src,
+                           const osk::UserBuffer& dst, std::size_t count,
+                           CollOp op, int root);
+  // Reduce to member 0, then re-broadcast straight out of the pinned
+  // result buffer (no intermediate host copy); dst is written everywhere.
+  sim::Task<BclErr> allreduce(const osk::UserBuffer& src,
+                              const osk::UserBuffer& dst, std::size_t count,
+                              CollOp op);
+
+ private:
+  CollPort(Endpoint& ep, std::uint16_t id, std::uint16_t my_index, int n,
+           osk::UserBuffer buf);
+  // Polls the collective event queue until operation `seq` completes.
+  sim::Task<CollEvent> wait_event(std::uint64_t seq);
+  sim::Task<void> copy_from_result(const osk::UserBuffer& dst,
+                                   std::size_t len);
+
+  Endpoint& ep_;
+  std::uint16_t id_;
+  std::uint16_t my_index_;
+  int n_;
+  osk::UserBuffer buf_;  // pinned group result buffer
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace bcl::coll

@@ -50,6 +50,16 @@ struct CostConfig {
   sim::Time rto = sim::Time::us(300);
   int ack_every = 1;  // cumulative ack frequency
 
+  // -- NIC-resident collectives (coll::CollectiveEngine) -------------------------
+  // The engine's per-packet handler is far lighter than the full reliable
+  // send path: no descriptor fetch, no pin-table segments, the group state
+  // is already resident in SRAM (cf. Yu et al.'s NIC-based barrier).
+  int coll_arity = 4;  // k of the combining/forwarding trees
+  sim::Time mcp_coll_proc = sim::Time::us(1.40);
+  sim::Time coll_combine_per_element = sim::Time::ns(9.0);
+  std::size_t coll_max_groups = 64;         // descriptor slots in NIC SRAM
+  std::size_t coll_buf_bytes = 64 * 1024;   // per-group pinned result buffer
+
   // -- channels ------------------------------------------------------------------
   std::uint32_t max_ports = 8;
   int sys_slots = 64;

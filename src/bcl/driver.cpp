@@ -1,5 +1,10 @@
 #include "bcl/driver.hpp"
 
+#include <algorithm>
+#include <set>
+
+#include "bcl/coll/engine.hpp"
+
 namespace bcl {
 
 namespace {
@@ -203,6 +208,157 @@ sim::Task<BclErr> Driver::ioctl_bind_open(osk::Process& proc, Port& port,
   if (err != BclErr::kOk) ++rejects_;
   co_await kernel_.trap_exit(proc);
   co_return err;
+}
+
+sim::Task<BclErr> Driver::ioctl_register_group(osk::Process& proc,
+                                               Port& port,
+                                               const RegisterGroupArgs& args) {
+  co_await kernel_.trap_enter(proc);
+  co_await kernel_.charge_check(proc);
+  BclErr err = BclErr::kOk;
+  const std::size_t n = args.members.size();
+  if (kernel_.validate_caller(proc, port.process().pid()) !=
+      osk::KernErr::kOk) {
+    err = BclErr::kBadPid;
+  } else if (n < 2 || n > 0xffff || args.my_index >= n) {
+    err = BclErr::kBadTarget;
+  } else if (!(args.members[args.my_index] == port.id())) {
+    // The registering port must be the member slot it claims.
+    err = BclErr::kBadPid;
+  } else if (args.result_buf.len == 0 ||
+             kernel_.validate_buffer(proc, args.result_buf.vaddr,
+                                     args.result_buf.len) !=
+                 osk::KernErr::kOk) {
+    err = BclErr::kBadBuffer;
+  } else {
+    std::set<hw::NodeId> nodes;
+    for (const PortId& m : args.members) {
+      if (kernel_.validate_target(m.node, cluster_nodes_, m.port,
+                                  cfg_.max_ports) != osk::KernErr::kOk ||
+          !nodes.insert(m.node).second) {  // one member per node
+        err = BclErr::kBadTarget;
+        break;
+      }
+    }
+  }
+  if (err == BclErr::kOk) {
+    coll::GroupDescriptor desc;
+    desc.id = args.group_id;
+    desc.members = args.members;
+    desc.my_index = args.my_index;
+    desc.arity = std::max(1, cfg_.coll_arity);
+    desc.result_buf = args.result_buf;
+    // Canonical root-0 tree neighbourhood (barriers); rooted operations
+    // re-derive theirs by relative-index arithmetic on the NIC.
+    const int rel = static_cast<int>(args.my_index);
+    desc.parent = coll::tree_parent_rel(rel, desc.arity);
+    desc.children = coll::tree_children_rel(rel, desc.arity,
+                                            static_cast<int>(n));
+    bool pin_failed = false;
+    try {
+      desc.result_segs = co_await kernel_.pindown().translate_and_pin(
+          proc, args.result_buf.vaddr, args.result_buf.len);
+    } catch (const std::runtime_error&) {
+      pin_failed = true;  // co_await is not allowed inside the handler
+    }
+    if (pin_failed) {
+      err = BclErr::kNoResources;
+    } else {
+      // The descriptor (members, tree links, buffer pages) goes to NIC
+      // SRAM word by word.
+      co_await kernel_.node().pci().pio_write(
+          cfg_.desc_words_base + 2 * static_cast<int>(n) +
+          cfg_.desc_words_per_seg * static_cast<int>(desc.result_segs.size()));
+      const osk::UserBuffer pinned = desc.result_buf;
+      err = mcp_.coll().register_group(std::move(desc));
+      if (err != BclErr::kOk) {
+        kernel_.pindown().unpin(proc, pinned.vaddr, pinned.len);
+      }
+    }
+  }
+  if (err != BclErr::kOk) {
+    ++rejects_;
+    if (m_rejects_) m_rejects_->inc();
+  }
+  co_await kernel_.trap_exit(proc);
+  co_return err;
+}
+
+sim::Task<Result<std::uint64_t>> Driver::ioctl_coll_post(
+    osk::Process& proc, Port& port, const CollPostArgs& args) {
+  co_await kernel_.trap_enter(proc);
+  co_await kernel_.charge_check(proc);
+  BclErr err = BclErr::kOk;
+  coll::GroupDescriptor* g = mcp_.coll().find_group(args.group_id);
+  if (kernel_.validate_caller(proc, port.process().pid()) !=
+      osk::KernErr::kOk) {
+    err = BclErr::kBadPid;
+  } else if (g == nullptr ||
+             args.root >= static_cast<std::uint16_t>(g->size())) {
+    err = BclErr::kBadTarget;
+  } else if (!(g->members[g->my_index] == port.id())) {
+    err = BclErr::kBadPid;
+  } else if (args.len > g->result_buf.len) {
+    err = BclErr::kTooBig;  // the pinned result buffer must hold it
+  } else if (args.len > 0 && !args.from_result_buf &&
+             kernel_.validate_buffer(proc, args.vaddr, args.len) !=
+                 osk::KernErr::kOk) {
+    err = BclErr::kBadBuffer;
+  }
+  coll::CollPost post;
+  if (err == BclErr::kOk) {
+    post.group = args.group_id;
+    post.kind = args.kind;
+    post.root = args.root;
+    post.op = args.op;
+    post.seq = args.seq;
+    post.len = args.len;
+    if (args.len > 0 && args.from_result_buf) {
+      // Already pinned at registration: a table lookup, no new pins.
+      co_await proc.cpu().busy(kernel_.config().pindown.lookup);
+      post.segs = slice_segments(g->result_segs, 0, args.len);
+    } else if (args.len > 0) {
+      bool pin_failed = false;
+      try {
+        post.segs = co_await kernel_.pindown().translate_and_pin(
+            proc, args.vaddr, args.len);
+      } catch (const std::runtime_error&) {
+        pin_failed = true;
+      }
+      if (pin_failed) err = BclErr::kNoResources;
+    } else {
+      co_await proc.cpu().busy(kernel_.config().pindown.lookup);
+    }
+  }
+  if (err != BclErr::kOk) {
+    ++rejects_;
+    if (m_rejects_) m_rejects_->inc();
+    co_await kernel_.trap_exit(proc);
+    co_return Result<std::uint64_t>{0, err};
+  }
+  const int pio_words =
+      cfg_.desc_words_base +
+      cfg_.desc_words_per_seg * static_cast<int>(post.segs.size());
+  co_await kernel_.node().pci().pio_write(pio_words);
+  if (m_pio_words_) m_pio_words_->add(static_cast<std::uint64_t>(pio_words));
+  if (trace_) {
+    // One flow arrow per collective: the operation's root member (member 0
+    // for barriers) owns begin/end; everyone else contributes steps.
+    const std::uint16_t origin =
+        args.kind == coll::CollKind::kBarrier ? 0 : args.root;
+    if (g->my_index == origin) {
+      trace_->flow_begin(comp_of(kernel_), "coll",
+                         coll::coll_flow_key(args.group_id, args.seq));
+    } else {
+      trace_->flow_step(comp_of(kernel_), "coll",
+                        coll::coll_flow_key(args.group_id, args.seq));
+    }
+  }
+  co_await kernel_.trap_exit(proc);
+  // As with sends, the valid bit arms as the ioctl returns; blocking here
+  // models a full collective-post ring.
+  co_await mcp_.coll().posts().send(std::move(post));
+  co_return Result<std::uint64_t>{args.seq, BclErr::kOk};
 }
 
 BclErr Driver::setup_system_channel(osk::Process& proc, Port& port, int slots,

@@ -30,6 +30,30 @@ struct SendArgs {
   std::uint16_t reply_channel = 0;
 };
 
+// ioctl(BCL_REGISTER_GROUP): join a NIC collective group.  `members` lists
+// one port per node (index = member rank); `result_buf` is where broadcast
+// payloads and final reductions land, pinned for the group's lifetime.
+struct RegisterGroupArgs {
+  std::uint16_t group_id = 0;
+  std::vector<PortId> members;
+  std::uint16_t my_index = 0;
+  osk::UserBuffer result_buf{};
+};
+
+// ioctl(BCL_COLL_POST): initiate this member's part of collective `seq`.
+struct CollPostArgs {
+  std::uint16_t group_id = 0;
+  coll::CollKind kind = coll::CollKind::kBarrier;
+  std::uint16_t root = 0;  // member index
+  coll::CollOp op = coll::CollOp::kSum;
+  std::uint64_t seq = 0;
+  osk::VirtAddr vaddr = 0;  // contribution / broadcast source
+  std::size_t len = 0;
+  // Broadcast straight out of the group's pinned result buffer (allreduce
+  // fan-out: the reduction result is re-broadcast without an extra copy).
+  bool from_result_buf = false;
+};
+
 class Driver {
  public:
   Driver(osk::Kernel& kernel, Mcp& mcp, const CostConfig& cfg,
@@ -49,6 +73,19 @@ class Driver {
   sim::Task<BclErr> ioctl_bind_open(osk::Process& proc, Port& port,
                                     std::uint16_t channel,
                                     const osk::UserBuffer& buf);
+
+  // -- NIC collectives -----------------------------------------------------------
+  // Validates the membership (caller identity, one member per node, every
+  // target in range), pins the result buffer, and PIOs the group descriptor
+  // (tree parent/children, combine op, sequence origin) into NIC SRAM —
+  // the semi-user-level model applies to collectives unchanged.
+  sim::Task<BclErr> ioctl_register_group(osk::Process& proc, Port& port,
+                                         const RegisterGroupArgs& args);
+  // Trap-accounted collective initiation; after this returns, the whole
+  // operation runs on the NICs until the completion event is polled.
+  sim::Task<Result<std::uint64_t>> ioctl_coll_post(osk::Process& proc,
+                                                   Port& port,
+                                                   const CollPostArgs& args);
 
   // -- untimed setup (initialization is not on any measured path) ---------------
   // Configures the system-channel pool: resolves and pins every slot.

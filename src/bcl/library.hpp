@@ -29,6 +29,9 @@ class Endpoint {
   PortId id() const { return port_->id(); }
   Port& port() { return *port_; }
   osk::Process& process() { return proc_; }
+  Driver& driver() { return driver_; }
+  Mcp& mcp() { return mcp_; }
+  const CostConfig& cost() const { return cfg_; }
 
   // -- send ----------------------------------------------------------------------
   // Sends buf[off, off+len) to (dst, channel).  Same-node destinations take

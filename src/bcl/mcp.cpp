@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bcl/coll/engine.hpp"
+
 namespace bcl {
 
 std::vector<hw::PhysSegment> slice_segments(
@@ -65,11 +67,26 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
       return static_cast<double>(tx_in_flight());
     });
   }
+  coll_ = std::make_unique<coll::CollectiveEngine>(eng, nic, *this, cfg,
+                                                   trace, metrics);
   eng_.spawn_daemon(tx_pump());
   eng_.spawn_daemon(rx_pump());
 }
 
+Mcp::~Mcp() = default;
+
 std::string Mcp::comp() const { return nic_.name(); }
+
+sim::Task<void> Mcp::coll_send(hw::Packet p) {
+  co_await nic_.lanai().use(cfg_.mcp_coll_proc);
+  auto guard = co_await tx_mutex_.scoped();
+  p.id = next_packet_id_++;
+  if (cfg_.reliable) {
+    co_await tx_session(p.dst_node).send(std::move(p));
+  } else {
+    co_await nic_.transmit(std::move(p));
+  }
+}
 
 void Mcp::register_port(Port* port) { ports_[port->id().port] = port; }
 
@@ -238,6 +255,13 @@ sim::Task<void> Mcp::rx_pump() {
 }
 
 sim::Task<void> Mcp::handle_data(hw::Packet p) {
+  // Collective packets carry the SendOp in the low op_flags byte (the
+  // channel field holds the group id, not a ChannelRef) — demux first.
+  if ((p.op_flags & 0xff) ==
+      static_cast<std::uint16_t>(SendOp::kColl)) {
+    co_await coll_->handle_packet(std::move(p));
+    co_return;
+  }
   if (p.kind == hw::PacketKind::kCtrl &&
       static_cast<SendOp>(p.op_flags) == SendOp::kRmaRead) {
     co_await handle_rma_read(p);

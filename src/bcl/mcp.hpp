@@ -28,6 +28,10 @@
 
 namespace bcl {
 
+namespace coll {
+class CollectiveEngine;
+}
+
 // Slices a scatter/gather list to the physical range [off, off+len).
 std::vector<hw::PhysSegment> slice_segments(
     const std::vector<hw::PhysSegment>& segs, std::uint64_t off,
@@ -39,6 +43,7 @@ class Mcp {
 
   Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
       sim::Trace* trace = nullptr, sim::MetricRegistry* metrics = nullptr);
+  ~Mcp();
 
   // Port registry (NIC-resident port table).
   void register_port(Port* port);
@@ -47,6 +52,16 @@ class Mcp {
 
   // The request queue the kernel module posts into.
   sim::Channel<SendDescriptor>& requests() { return requests_; }
+
+  // The NIC-resident collective engine (barrier/bcast/reduce offload).
+  coll::CollectiveEngine& coll() { return *coll_; }
+
+  // Engine-originated transmit: stamps a packet id and pushes the packet
+  // through the per-destination go-back-N session.  Charges the engine's
+  // lightweight per-packet cost (the full send path's descriptor fetch and
+  // pin-table walk don't apply — group state is already in SRAM).  Always
+  // run as a daemon from rx context (see the deadlock rule in INTERNALS).
+  sim::Task<void> coll_send(hw::Packet p);
 
   TxSession& tx_session(hw::NodeId dst);
 
@@ -88,6 +103,7 @@ class Mcp {
   std::map<hw::NodeId, std::unique_ptr<TxSession>> tx_sessions_;
   std::map<hw::NodeId, RxSession> rx_sessions_;
   std::uint64_t next_packet_id_ = 1;
+  std::unique_ptr<coll::CollectiveEngine> coll_;
   Stats stats_;
   // Hot-path metric handles (null without a registry).
   sim::Counter* m_dma_tx_bytes_ = nullptr;

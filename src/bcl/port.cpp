@@ -30,6 +30,7 @@ Port::Port(sim::Engine& eng, PortId id, osk::Process& proc,
       proc_{proc},
       send_events_{eng, cfg.event_queue_depth},
       recv_events_{eng, cfg.event_queue_depth},
+      coll_events_{eng, cfg.event_queue_depth},
       normal_(cfg.normal_channels),
       open_(cfg.open_channels) {}
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bcl/channel.hpp"
+#include "bcl/coll/group.hpp"
 #include "bcl/config.hpp"
 #include "bcl/types.hpp"
 #include "osk/process.hpp"
@@ -29,6 +30,10 @@ class Port {
   // Completion queues: written by the MCP via DMA, polled by the library.
   sim::Channel<SendEvent>& send_events() { return send_events_; }
   sim::Channel<RecvEvent>& recv_events() { return recv_events_; }
+  // Collective completions get their own queue: the EADI progress daemon
+  // drains recv_events_, so interleaving them there would let it swallow
+  // collective completions that CollPort is polling for.
+  sim::Channel<coll::CollEvent>& coll_events() { return coll_events_; }
 
   SystemChannelState& system() { return system_; }
   NormalChannelState& normal(std::uint16_t i) {
@@ -54,6 +59,7 @@ class Port {
   osk::Process& proc_;
   sim::Channel<SendEvent> send_events_;
   sim::Channel<RecvEvent> recv_events_;
+  sim::Channel<coll::CollEvent> coll_events_;
   SystemChannelState system_;
   std::vector<NormalChannelState> normal_;
   std::vector<OpenChannelState> open_;

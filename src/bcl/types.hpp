@@ -81,8 +81,11 @@ struct RecvEvent {
   int sys_slot = -1;  // system-channel pool slot holding the payload
 };
 
-// Operation requested of the NIC.
-enum class SendOp : std::uint8_t { kSend = 0, kRmaWrite, kRmaRead };
+// Operation requested of the NIC.  kColl marks collective-engine packets:
+// the low byte of Packet::op_flags carries the SendOp and the high byte a
+// coll::CollWire opcode, so the MCP can demultiplex before touching the
+// channel field (which collective packets reuse for the group id).
+enum class SendOp : std::uint8_t { kSend = 0, kRmaWrite, kRmaRead, kColl };
 
 // What the kernel module writes (via PIO) into the NIC request queue.
 struct SendDescriptor {

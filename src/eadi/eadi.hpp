@@ -49,6 +49,7 @@ class Device {
   Device& operator=(const Device&) = delete;
 
   bcl::PortId id() const { return ep_.id(); }
+  bcl::Endpoint& endpoint() { return ep_; }
   osk::Process& process() { return ep_.process(); }
   const DeviceConfig& config() const { return cfg_; }
   std::size_t eager_threshold() const { return eager_threshold_; }

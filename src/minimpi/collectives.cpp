@@ -1,4 +1,8 @@
-// Collectives built on mini-MPI point-to-point, per the paper's layering.
+// Collectives built on mini-MPI point-to-point, per the paper's layering —
+// plus the NIC-offloaded fast path: when a communicator spans several nodes
+// and every node leader registers a group with the NIC collective engine,
+// barrier/bcast/reduce/allreduce run on the MCPs (bcl::coll) with the host
+// only funnelling intra-node ranks through the local leader.
 #include <algorithm>
 
 #include "minimpi/mpi.hpp"
@@ -19,8 +23,243 @@ double Mpi::apply(Op op, double a, double b) {
   return a;
 }
 
-// Dissemination barrier: ceil(log2 n) rounds of 0-byte exchanges.
+bcl::coll::CollOp Mpi::to_coll(Op op) {
+  switch (op) {
+    case Op::kSum:
+      return bcl::coll::CollOp::kSum;
+    case Op::kProd:
+      return bcl::coll::CollOp::kProd;
+    case Op::kMin:
+      return bcl::coll::CollOp::kMin;
+    case Op::kMax:
+      return bcl::coll::CollOp::kMax;
+  }
+  return bcl::coll::CollOp::kSum;
+}
+
+// -- NIC offload setup -----------------------------------------------------------
+
+sim::Task<void> Mpi::ensure_nic_coll() {
+  if (nic_.checked) co_return;
+  nic_.checked = true;
+  const int n = size();
+  // Leader = lowest rank on each node; member order = leader rank order.
+  // Purely local computation, so every rank derives the same layout.
+  std::vector<int> leaders;
+  nic_.member_of.assign(static_cast<std::size_t>(n), -1);
+  for (int r = 0; r < n; ++r) {
+    int m = -1;
+    for (std::size_t i = 0; i < leaders.size(); ++i) {
+      if (world_[static_cast<std::size_t>(leaders[i])].node ==
+          world_[static_cast<std::size_t>(r)].node) {
+        m = static_cast<int>(i);
+        break;
+      }
+    }
+    if (m < 0) {
+      m = static_cast<int>(leaders.size());
+      leaders.push_back(r);
+    }
+    nic_.member_of[static_cast<std::size_t>(r)] = m;
+  }
+  nic_.my_leader = leaders[static_cast<std::size_t>(
+      nic_.member_of[static_cast<std::size_t>(rank_)])];
+  for (int r = 0; r < n; ++r) {
+    if (world_[static_cast<std::size_t>(r)].node ==
+        world_[static_cast<std::size_t>(rank_)].node) {
+      nic_.local_ranks.push_back(r);
+    }
+  }
+  nic_.max_bytes = dev_.endpoint().cost().coll_buf_bytes;
+
+  bool ok = cfg_.nic_collectives && leaders.size() >= 2;
+  if (ok && nic_leader()) {
+    std::vector<bcl::PortId> members;
+    for (const int r : leaders) {
+      members.push_back(world_[static_cast<std::size_t>(r)]);
+    }
+    // Group ids are 16-bit; derive one from the communicator context so
+    // every member picks the same id (a collision on some NIC simply makes
+    // registration fail there and the whole communicator falls back).
+    const std::uint16_t gid = static_cast<std::uint16_t>(
+        (static_cast<std::uint32_t>(context_) * 2654435761u) >> 16);
+    auto res = co_await bcl::coll::CollPort::create(
+        dev_.endpoint(), gid, std::move(members), nic_.max_bytes);
+    if (res.ok()) {
+      nic_.port = std::move(res.value);
+    } else {
+      ok = false;
+    }
+  }
+  // Agree on the outcome before any NIC collective can start.  The host
+  // allreduce(min) doubles as a barrier, so no collective packet can race
+  // a peer's still-pending registration.
+  auto mine = process().alloc(sizeof(double));
+  auto agreed = process().alloc(sizeof(double));
+  write_doubles(mine, std::vector<double>{ok ? 1.0 : 0.0});
+  co_await host_allreduce(mine, agreed, 1, Op::kMin);
+  nic_.enabled = read_doubles(agreed, 1)[0] >= 1.0;
+  process().free(mine);
+  process().free(agreed);
+  if (!nic_.enabled) nic_.port.reset();  // unregisters; fallback is host
+}
+
+// Leader-side local phase of reduce/allreduce: fold this node's
+// contributions (own + every local rank's) into one vector.
+sim::Task<std::vector<double>> Mpi::gather_local(
+    const osk::UserBuffer& sendbuf, std::size_t count, Op op) {
+  std::vector<double> accum = read_doubles(sendbuf, count);
+  const std::size_t bytes = count * sizeof(double);
+  auto tmp = scratch(std::max<std::size_t>(bytes, 8));
+  for (const int r : nic_.local_ranks) {
+    if (r == rank_) continue;
+    (void)co_await recv(tmp, r, kNicUpTag + r);
+    const auto other = read_doubles(tmp, count);
+    co_await process().cpu().busy(cfg_.reduce_per_element *
+                                  static_cast<double>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      accum[i] = apply(op, accum[i], other[i]);
+    }
+  }
+  co_return accum;
+}
+
+sim::Task<void> Mpi::nic_barrier() {
+  co_await process().cpu().busy(cfg_.call_overhead);
+  auto token = scratch(8);
+  if (nic_leader()) {
+    for (const int r : nic_.local_ranks) {
+      if (r == rank_) continue;
+      (void)co_await recv(slice(token, 0, 0), r, kNicUpTag + r);
+    }
+    (void)co_await nic_.port->barrier();
+    for (const int r : nic_.local_ranks) {
+      if (r == rank_) continue;
+      co_await send(slice(token, 0, 0), 0, r, kNicDownTag + r);
+    }
+  } else {
+    co_await send(slice(token, 0, 0), 0, nic_.my_leader, kNicUpTag + rank_);
+    (void)co_await recv(slice(token, 0, 0), nic_.my_leader,
+                        kNicDownTag + rank_);
+  }
+}
+
+sim::Task<void> Mpi::nic_bcast(const osk::UserBuffer& buf, std::size_t len,
+                               int root) {
+  co_await process().cpu().busy(cfg_.call_overhead);
+  const int mroot = nic_.member_of[static_cast<std::size_t>(root)];
+  if (nic_leader()) {
+    if (nic_.member_of[static_cast<std::size_t>(rank_)] == mroot &&
+        rank_ != root) {
+      // The true root is a non-leader on this node: its payload funnels up.
+      (void)co_await recv(buf, root, kNicUpTag + root);
+    }
+    (void)co_await nic_.port->bcast(buf, len, mroot);
+    for (const int r : nic_.local_ranks) {
+      if (r == rank_ || r == root) continue;
+      co_await send(buf, len, r, kNicDownTag + r);
+    }
+  } else if (rank_ == root) {
+    co_await send(buf, len, nic_.my_leader, kNicUpTag + root);
+  } else {
+    (void)co_await recv(buf, nic_.my_leader, kNicDownTag + rank_);
+  }
+}
+
+sim::Task<void> Mpi::nic_reduce(const osk::UserBuffer& sendbuf,
+                                const osk::UserBuffer& recvbuf,
+                                std::size_t count, int root, Op op) {
+  co_await process().cpu().busy(cfg_.call_overhead);
+  const std::size_t bytes = count * sizeof(double);
+  const int mroot = nic_.member_of[static_cast<std::size_t>(root)];
+  if (!nic_leader()) {
+    co_await send(sendbuf, bytes, nic_.my_leader, kNicUpTag + rank_);
+    if (rank_ == root) {
+      (void)co_await recv(recvbuf, nic_.my_leader, kNicDownTag + root);
+    }
+    co_return;
+  }
+  const std::vector<double> accum = co_await gather_local(sendbuf, count, op);
+  auto contrib = scratch2(std::max<std::size_t>(bytes, 8));
+  write_doubles(contrib, accum);
+  const osk::UserBuffer dst = rank_ == root ? recvbuf : contrib;
+  (void)co_await nic_.port->reduce(contrib, dst, count, to_coll(op), mroot);
+  if (nic_.member_of[static_cast<std::size_t>(rank_)] == mroot &&
+      rank_ != root) {
+    // The true root is a non-leader on this node: hand the result down.
+    co_await send(contrib, bytes, root, kNicDownTag + root);
+  }
+}
+
+sim::Task<void> Mpi::nic_allreduce(const osk::UserBuffer& sendbuf,
+                                   const osk::UserBuffer& recvbuf,
+                                   std::size_t count, Op op) {
+  co_await process().cpu().busy(cfg_.call_overhead);
+  const std::size_t bytes = count * sizeof(double);
+  if (!nic_leader()) {
+    co_await send(sendbuf, bytes, nic_.my_leader, kNicUpTag + rank_);
+    (void)co_await recv(recvbuf, nic_.my_leader, kNicDownTag + rank_);
+    co_return;
+  }
+  const std::vector<double> accum = co_await gather_local(sendbuf, count, op);
+  auto contrib = scratch2(std::max<std::size_t>(bytes, 8));
+  write_doubles(contrib, accum);
+  (void)co_await nic_.port->allreduce(contrib, recvbuf, count, to_coll(op));
+  for (const int r : nic_.local_ranks) {
+    if (r == rank_) continue;
+    co_await send(recvbuf, bytes, r, kNicDownTag + r);
+  }
+}
+
+// -- public entry points (dispatch NIC vs host) ----------------------------------
+
 sim::Task<void> Mpi::barrier() {
+  co_await ensure_nic_coll();
+  if (nic_.enabled) {
+    co_await nic_barrier();
+  } else {
+    co_await host_barrier();
+  }
+}
+
+sim::Task<void> Mpi::bcast(const osk::UserBuffer& buf, std::size_t len,
+                           int root) {
+  co_await ensure_nic_coll();
+  // Every rank sees the same len, so every rank takes the same branch.
+  if (nic_.enabled && len <= nic_.max_bytes) {
+    co_await nic_bcast(buf, len, root);
+  } else {
+    co_await host_bcast(buf, len, root);
+  }
+}
+
+sim::Task<void> Mpi::reduce(const osk::UserBuffer& sendbuf,
+                            const osk::UserBuffer& recvbuf,
+                            std::size_t count, int root, Op op) {
+  co_await ensure_nic_coll();
+  if (nic_.enabled && count * sizeof(double) <= nic_.max_bytes) {
+    co_await nic_reduce(sendbuf, recvbuf, count, root, op);
+  } else {
+    co_await host_reduce(sendbuf, recvbuf, count, root, op);
+  }
+}
+
+sim::Task<void> Mpi::allreduce(const osk::UserBuffer& sendbuf,
+                               const osk::UserBuffer& recvbuf,
+                               std::size_t count, Op op) {
+  if (count == 0) co_return;  // nothing to combine, nothing to move
+  co_await ensure_nic_coll();
+  if (nic_.enabled && count * sizeof(double) <= nic_.max_bytes) {
+    co_await nic_allreduce(sendbuf, recvbuf, count, op);
+  } else {
+    co_await host_allreduce(sendbuf, recvbuf, count, op);
+  }
+}
+
+// -- host-level algorithms -------------------------------------------------------
+
+// Dissemination barrier: ceil(log2 n) rounds of 0-byte exchanges.
+sim::Task<void> Mpi::host_barrier() {
   const int n = size();
   if (n == 1) co_return;
   auto token = scratch(8);  // reused scratch; payload is 0 bytes anyway
@@ -34,8 +273,8 @@ sim::Task<void> Mpi::barrier() {
 }
 
 // Binomial-tree broadcast rooted at `root`.
-sim::Task<void> Mpi::bcast(const osk::UserBuffer& buf, std::size_t len,
-                           int root) {
+sim::Task<void> Mpi::host_bcast(const osk::UserBuffer& buf, std::size_t len,
+                                int root) {
   const int n = size();
   if (n == 1) co_return;
   const int rel = (rank_ - root + n) % n;
@@ -59,9 +298,9 @@ sim::Task<void> Mpi::bcast(const osk::UserBuffer& buf, std::size_t len,
 }
 
 // Binomial-tree reduction of `count` doubles to `root`.
-sim::Task<void> Mpi::reduce(const osk::UserBuffer& sendbuf,
-                            const osk::UserBuffer& recvbuf,
-                            std::size_t count, int root, Op op) {
+sim::Task<void> Mpi::host_reduce(const osk::UserBuffer& sendbuf,
+                                 const osk::UserBuffer& recvbuf,
+                                 std::size_t count, int root, Op op) {
   const int n = size();
   const std::size_t bytes = count * sizeof(double);
   std::vector<double> accum = read_doubles(sendbuf, count);
@@ -90,11 +329,14 @@ sim::Task<void> Mpi::reduce(const osk::UserBuffer& sendbuf,
   if (rank_ == root) write_doubles(recvbuf, accum);
 }
 
-sim::Task<void> Mpi::allreduce(const osk::UserBuffer& sendbuf,
-                               const osk::UserBuffer& recvbuf,
-                               std::size_t count, Op op) {
-  co_await reduce(sendbuf, recvbuf, count, /*root=*/0, op);
-  co_await bcast(recvbuf, count * sizeof(double), /*root=*/0);
+// Reduce to rank 0, then re-broadcast the very same result buffer — the
+// reduction lands in recvbuf and the bcast reads it in place, so no rank
+// pays an intermediate copy.
+sim::Task<void> Mpi::host_allreduce(const osk::UserBuffer& sendbuf,
+                                    const osk::UserBuffer& recvbuf,
+                                    std::size_t count, Op op) {
+  co_await host_reduce(sendbuf, recvbuf, count, /*root=*/0, op);
+  co_await host_bcast(recvbuf, count * sizeof(double), /*root=*/0);
 }
 
 // Linear-pipeline inclusive scan: rank r combines everything from r-1.
@@ -119,14 +361,34 @@ sim::Task<void> Mpi::scan(const osk::UserBuffer& sendbuf,
   }
 }
 
-// Allgather = gather at rank 0 + broadcast (simple and correct; the
-// paper's stack keeps collectives in "higher level software" anyway).
+// Ring allgather: n-1 steps, each rank forwarding the block it received in
+// the previous step.  Every link carries the same load, so large gathers
+// no longer serialise through rank 0.
 sim::Task<void> Mpi::allgather(const osk::UserBuffer& sendbuf,
                                std::size_t len,
                                const osk::UserBuffer& recvbuf) {
-  co_await gather(sendbuf, len, recvbuf, /*root=*/0);
-  co_await bcast(recvbuf, len * static_cast<std::size_t>(size()),
-                 /*root=*/0);
+  const int n = size();
+  // Own block lands in place first.
+  if (len > 0) {
+    std::vector<std::byte> mine(len);
+    process().peek(sendbuf, 0, mine);
+    co_await process().cpu().busy(process().cpu().memcpy_time(len));
+    process().poke(recvbuf, static_cast<std::size_t>(rank_) * len, mine);
+  }
+  if (n == 1) co_return;
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (rank_ - s + n) % n;
+    const int recv_block = (rank_ - s - 1 + n) % n;
+    Request sr = isend(
+        slice(recvbuf, static_cast<std::size_t>(send_block) * len, len), len,
+        right, kAllgatherTag + s);
+    (void)co_await recv(
+        slice(recvbuf, static_cast<std::size_t>(recv_block) * len, len),
+        left, kAllgatherTag + s);
+    (void)co_await wait(sr);
+  }
 }
 
 // Linear gather of fixed `len`-byte blocks into recvbuf at root.

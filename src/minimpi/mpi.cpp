@@ -102,6 +102,14 @@ osk::UserBuffer Mpi::scratch(std::size_t bytes) {
   return scratch_;
 }
 
+osk::UserBuffer Mpi::scratch2(std::size_t bytes) {
+  if (scratch2_.len < bytes) {
+    if (scratch2_.len > 0) process().free(scratch2_);
+    scratch2_ = process().alloc(bytes);
+  }
+  return scratch2_;
+}
+
 sim::Task<void> Mpi::send(const osk::UserBuffer& buf, std::size_t len,
                           int dst, int tag) {
   co_await process().cpu().busy(cfg_.call_overhead);

@@ -29,6 +29,10 @@ struct Status {
 struct MpiConfig {
   sim::Time call_overhead = sim::Time::us(0.30);  // MPI-layer bookkeeping
   sim::Time reduce_per_element = sim::Time::ns(3.0);
+  // Offload barrier/bcast/reduce/allreduce to the NIC collective engine
+  // when the communicator spans >= 2 nodes and group registration succeeds
+  // on every node leader; host-level algorithms remain the fallback.
+  bool nic_collectives = true;
 };
 
 class Mpi {
@@ -131,8 +135,55 @@ class Mpi {
   static constexpr std::int32_t kAlltoallTag = 6'000'000;
   static constexpr std::int32_t kScanTag = 7'000'000;
   static constexpr std::int32_t kAllgatherTag = 8'000'000;
+  // Node-local funnel traffic for NIC collectives (ranks <-> node leader).
+  static constexpr std::int32_t kNicUpTag = 9'000'000;
+  static constexpr std::int32_t kNicDownTag = 9'500'000;
 
   static double apply(Op op, double a, double b);
+  static bcl::coll::CollOp to_coll(Op op);
+
+  // -- NIC collective offload ----------------------------------------------------
+  // One registered group per communicator: members are the per-node leader
+  // ranks (lowest rank on each node), computed locally from world_ without
+  // communication so every rank agrees.
+  struct NicColl {
+    bool checked = false;   // lazy: resolved at the first collective call
+    bool enabled = false;   // all leaders registered successfully
+    std::unique_ptr<bcl::coll::CollPort> port;  // leaders only
+    int my_leader = -1;            // leader rank of this rank's node
+    std::vector<int> local_ranks;  // ranks on this node, ascending
+    std::vector<int> member_of;    // rank -> member index of its node
+    std::size_t max_bytes = 0;     // largest NIC-eligible payload
+  };
+  // Registers the group (leaders) and agrees on the outcome with a
+  // host-level allreduce(min), which doubles as the barrier that keeps any
+  // collective packet from racing a peer's registration.
+  sim::Task<void> ensure_nic_coll();
+  bool nic_leader() const { return nic_.my_leader == rank_; }
+  sim::Task<void> nic_barrier();
+  sim::Task<void> nic_bcast(const osk::UserBuffer& buf, std::size_t len,
+                            int root);
+  sim::Task<void> nic_reduce(const osk::UserBuffer& sendbuf,
+                             const osk::UserBuffer& recvbuf,
+                             std::size_t count, int root, Op op);
+  sim::Task<void> nic_allreduce(const osk::UserBuffer& sendbuf,
+                                const osk::UserBuffer& recvbuf,
+                                std::size_t count, Op op);
+  // Folds node-local contributions into the leader's accumulator.
+  sim::Task<std::vector<double>> gather_local(const osk::UserBuffer& sendbuf,
+                                              std::size_t count, Op op);
+
+  // Host-level algorithms (the pre-offload implementations; always correct,
+  // used for single-node communicators and as the registration fallback).
+  sim::Task<void> host_barrier();
+  sim::Task<void> host_bcast(const osk::UserBuffer& buf, std::size_t len,
+                             int root);
+  sim::Task<void> host_reduce(const osk::UserBuffer& sendbuf,
+                              const osk::UserBuffer& recvbuf,
+                              std::size_t count, int root, Op op);
+  sim::Task<void> host_allreduce(const osk::UserBuffer& sendbuf,
+                                 const osk::UserBuffer& recvbuf,
+                                 std::size_t count, Op op);
 
   bcl::PortId port_of(int rank) const { return world_.at(rank); }
   int rank_of(bcl::PortId id) const;
@@ -140,8 +191,10 @@ class Mpi {
                         std::size_t len) const {
     return osk::UserBuffer{buf.vaddr + off, len, buf.owner};
   }
-  // Scratch buffer for reductions, grown on demand.
+  // Scratch buffers, grown on demand.  scratch2 exists so the leader's NIC
+  // contribution can live alongside the receive staging in scratch.
   osk::UserBuffer scratch(std::size_t bytes);
+  osk::UserBuffer scratch2(std::size_t bytes);
 
   sim::Engine& eng_;
   eadi::Device& dev_;
@@ -151,6 +204,8 @@ class Mpi {
   std::int32_t context_;
   int next_split_seq_ = 1;
   osk::UserBuffer scratch_{};
+  osk::UserBuffer scratch2_{};
+  NicColl nic_;
   // Metric handles (null without a registry); message sizes land in a
   // power-of-two size-class histogram.
   sim::MetricRegistry* metrics_ = nullptr;

@@ -2,9 +2,11 @@
 // events, RMA, ordering — over the Myrinet model and the nwrc mesh.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "bcl/bcl.hpp"
+#include "bcl/mcp.hpp"
 
 namespace {
 
@@ -410,6 +412,42 @@ TEST(BclCore, CrossTrafficManyEndpoints) {
   }
   c.engine().run();
   EXPECT_EQ(received, 64);
+}
+
+// ---------------------------------------------------------- slice_segments
+
+TEST(SliceSegments, ZeroLengthSliceIsEmptyAnywhere) {
+  const std::vector<hw::PhysSegment> segs{{0x1000, 64}, {0x8000, 32}};
+  EXPECT_TRUE(bcl::slice_segments(segs, 0, 0).empty());
+  EXPECT_TRUE(bcl::slice_segments(segs, 64, 0).empty());
+  // A zero-length slice never walks far enough to notice `off` is past the
+  // end of the list.
+  EXPECT_TRUE(bcl::slice_segments(segs, 1000, 0).empty());
+}
+
+TEST(SliceSegments, SliceSpansThreeSegments) {
+  const std::vector<hw::PhysSegment> segs{
+      {0x1000, 16}, {0x2000, 8}, {0x3000, 16}};
+  // [12, 32): tail of seg 0, all of seg 1, head of seg 2.
+  const auto out = bcl::slice_segments(segs, 12, 20);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].addr, 0x1000u + 12);
+  EXPECT_EQ(out[0].len, 4u);
+  EXPECT_EQ(out[1].addr, 0x2000u);
+  EXPECT_EQ(out[1].len, 8u);
+  EXPECT_EQ(out[2].addr, 0x3000u);
+  EXPECT_EQ(out[2].len, 8u);
+  std::size_t total = 0;
+  for (const auto& s : out) total += s.len;
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(SliceSegments, OffsetBeyondTotalThrows) {
+  const std::vector<hw::PhysSegment> segs{{0x1000, 16}, {0x2000, 16}};
+  EXPECT_THROW(bcl::slice_segments(segs, 32, 1), std::out_of_range);
+  EXPECT_THROW(bcl::slice_segments(segs, 100, 1), std::out_of_range);
+  // In range but too long is also out of range.
+  EXPECT_THROW(bcl::slice_segments(segs, 24, 16), std::out_of_range);
 }
 
 }  // namespace

@@ -3,9 +3,12 @@
 // and element counts.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <random>
 #include <tuple>
 #include <vector>
 
+#include "bcl/coll/engine.hpp"
 #include "cluster/cluster.hpp"
 
 namespace {
@@ -213,6 +216,118 @@ TEST_P(BarrierSweep, NobodyLeavesBeforeTheLastArrives) {
 INSTANTIATE_TEST_SUITE_P(Sizes, BarrierSweep, ::testing::Values(2, 3, 5, 8),
                          [](const auto& info) {
                            return "n" + std::to_string(info.param);
+                         });
+
+// -------------------------------------------- NIC vs host cross-validation
+//
+// The NIC collective engine must be indistinguishable from the host-level
+// algorithms except in timing: over randomized shapes, roots, ops, and
+// integer-valued payloads (exactly representable, so the combine order
+// cannot perturb the result), both paths must produce byte-identical data.
+
+struct CollOutputs {
+  std::vector<std::vector<std::byte>> bcast;      // per rank
+  std::vector<std::byte> reduce_at_root;
+  std::vector<std::vector<std::byte>> allreduce;  // per rank
+  std::uint64_t nic_posts = 0;  // collective posts seen by the NIC engines
+};
+
+CollOutputs run_trial(bool nic, int nprocs, std::uint32_t nodes,
+                      std::size_t count, int root, Mpi::Op op,
+                      const std::vector<std::vector<double>>& inputs,
+                      const std::vector<double>& bcast_payload) {
+  WorldConfig cfg = world_cfg(nodes);
+  cfg.mpi.nic_collectives = nic;
+  World w{cfg, nprocs};
+  const std::size_t bytes = count * sizeof(double);
+  CollOutputs out;
+  out.bcast.resize(static_cast<std::size_t>(nprocs));
+  out.allreduce.resize(static_cast<std::size_t>(nprocs));
+  w.run([&](World& world, int rank) -> Task<void> {
+    auto& me = world.mpi(rank);
+    auto sbuf = me.process().alloc(std::max<std::size_t>(bytes, 8));
+    auto rbuf = me.process().alloc(std::max<std::size_t>(bytes, 8));
+    auto bbuf = me.process().alloc(std::max<std::size_t>(bytes, 8));
+    co_await me.barrier();
+    if (rank == root) me.write_doubles(bbuf, bcast_payload);
+    co_await me.bcast(bbuf, bytes, root);
+    out.bcast[static_cast<std::size_t>(rank)].resize(bytes);
+    me.process().peek(bbuf, 0, out.bcast[static_cast<std::size_t>(rank)]);
+    me.write_doubles(sbuf, inputs[static_cast<std::size_t>(rank)]);
+    co_await me.reduce(sbuf, rbuf, count, root, op);
+    if (rank == root) {
+      out.reduce_at_root.resize(bytes);
+      me.process().peek(rbuf, 0, out.reduce_at_root);
+    }
+    co_await me.allreduce(sbuf, rbuf, count, op);
+    out.allreduce[static_cast<std::size_t>(rank)].resize(bytes);
+    me.process().peek(rbuf, 0,
+                      out.allreduce[static_cast<std::size_t>(rank)]);
+  });
+  for (int r = 0; r < nprocs; ++r) {
+    out.nic_posts += w.endpoint(r).mcp().coll().stats().posts;
+  }
+  return out;
+}
+
+class NicHostCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(NicHostCrossCheck, ByteIdenticalRandomizedShapes) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u + 13u);
+  std::uniform_int_distribution<int> nprocs_d(2, 9);
+  std::uniform_int_distribution<std::size_t> count_d(1, 300);
+  std::uniform_int_distribution<int> op_d(0, 3);
+  std::uniform_int_distribution<int> val_d(-3, 3);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int nprocs = nprocs_d(rng);
+    std::uniform_int_distribution<std::uint32_t> nodes_d(
+        2, static_cast<std::uint32_t>(nprocs));
+    const std::uint32_t nodes = nodes_d(rng);
+    const std::size_t count = count_d(rng);
+    const int root = std::uniform_int_distribution<int>(0, nprocs - 1)(rng);
+    const auto op = static_cast<Mpi::Op>(op_d(rng));
+    // Small non-zero integers: exact under every op, including products.
+    std::vector<std::vector<double>> inputs(
+        static_cast<std::size_t>(nprocs));
+    for (auto& v : inputs) {
+      v.resize(count);
+      for (auto& x : v) {
+        int raw = val_d(rng);
+        if (raw == 0) raw = 1;
+        x = static_cast<double>(raw);
+      }
+    }
+    std::vector<double> payload(count);
+    for (auto& x : payload) x = static_cast<double>(val_d(rng));
+
+    const auto nic = run_trial(true, nprocs, nodes, count, root, op, inputs,
+                               payload);
+    const auto host = run_trial(false, nprocs, nodes, count, root, op,
+                                inputs, payload);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " n=" +
+                 std::to_string(nprocs) + " nodes=" + std::to_string(nodes) +
+                 " count=" + std::to_string(count) + " root=" +
+                 std::to_string(root) + " op=" +
+                 std::to_string(static_cast<int>(op)));
+    // The offloaded run really ran on the NICs; the control run never did.
+    EXPECT_GT(nic.nic_posts, 0u);
+    EXPECT_EQ(host.nic_posts, 0u);
+    EXPECT_EQ(nic.reduce_at_root, host.reduce_at_root);
+    for (int r = 0; r < nprocs; ++r) {
+      EXPECT_EQ(nic.bcast[static_cast<std::size_t>(r)],
+                host.bcast[static_cast<std::size_t>(r)])
+          << "bcast rank " << r;
+      EXPECT_EQ(nic.allreduce[static_cast<std::size_t>(r)],
+                host.allreduce[static_cast<std::size_t>(r)])
+          << "allreduce rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NicHostCrossCheck,
+                         ::testing::Values(1, 2, 3, 4),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
                          });
 
 }  // namespace
