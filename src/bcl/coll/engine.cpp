@@ -62,16 +62,12 @@ BclErr CollectiveEngine::register_group(GroupDescriptor desc) {
   if (groups_.count(id) != 0) return BclErr::kNoResources;
   groups_.emplace(id, std::move(desc));
   // Replay packets from peers that raced ahead of our registration.
-  std::vector<hw::Packet> matched;
-  for (auto it = pre_reg_.begin(); it != pre_reg_.end();) {
-    if ((it->channel & 0xffff) == id) {
-      matched.push_back(std::move(*it));
-      it = pre_reg_.erase(it);
-    } else {
-      ++it;
-    }
+  const auto parked = pre_reg_.find(id);
+  if (parked != pre_reg_.end()) {
+    std::vector<hw::Packet> matched = std::move(parked->second);
+    pre_reg_.erase(parked);
+    for (auto& p : matched) eng_.spawn_daemon(replay(std::move(p)));
   }
-  for (auto& p : matched) eng_.spawn_daemon(replay(std::move(p)));
   return BclErr::kOk;
 }
 
@@ -81,6 +77,7 @@ sim::Task<void> CollectiveEngine::replay(hw::Packet p) {
 
 void CollectiveEngine::unregister_group(std::uint16_t id) {
   groups_.erase(id);
+  pre_reg_.erase(id);  // late stragglers must not hold a parking slot
 }
 
 GroupDescriptor* CollectiveEngine::find_group(std::uint16_t id) {
@@ -250,10 +247,20 @@ sim::Task<void> CollectiveEngine::handle_packet(hw::Packet p) {
   const std::uint16_t root = static_cast<std::uint16_t>(p.channel >> 16);
   const auto it = groups_.find(gid);
   if (it == groups_.end()) {
-    // A peer beat our registration: park the packet for replay (bounded so
-    // a group that never registers cannot hoard SRAM forever).
-    if (pre_reg_.size() < 4 * cfg_.coll_max_groups) {
-      pre_reg_.push_back(std::move(p));
+    // A peer beat our registration: park the packet for replay.  The
+    // budget is per group id — and distinct parked ids are bounded like
+    // descriptor slots — so one group that is slow to register (or never
+    // registers) cannot exhaust the pool for unrelated groups.
+    auto parked = pre_reg_.find(gid);
+    if (parked == pre_reg_.end()) {
+      if (pre_reg_.size() >= cfg_.coll_max_groups) {
+        ++stats_.drops;
+        co_return;
+      }
+      parked = pre_reg_.emplace(gid, std::vector<hw::Packet>{}).first;
+    }
+    if (parked->second.size() < cfg_.coll_park_per_group) {
+      parked->second.push_back(std::move(p));
     } else {
       ++stats_.drops;
     }
@@ -436,20 +443,28 @@ sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
     q.route_pos = 0;
     emit(std::move(q));
   }
-  if (!p.payload.empty()) {
+  if (!p.payload.empty() && !pd.failed) {
     if (p.offset + p.payload.size() > g.result_buf.len) {
+      // This member registered a smaller result buffer than the root's
+      // payload.  Fail the operation visibly — a silent drop would leave
+      // the polling host waiting forever — and let the remaining
+      // fragments drain below so the pending entry is reclaimed.
       ++stats_.drops;
-      co_return;
+      pd.failed = true;
+      co_await complete(g, seq, CollKind::kBcast, pd.root, 0, false);
+    } else {
+      co_await nic_.dma_scatter(
+          p.payload,
+          slice_segments(g.result_segs, p.offset, p.payload.size()),
+          cfg_.dma_lead_bytes);
     }
-    co_await nic_.dma_scatter(
-        p.payload,
-        slice_segments(g.result_segs, p.offset, p.payload.size()),
-        cfg_.dma_lead_bytes);
   }
   ++pd.frags_seen;
   if (pd.frags_seen == p.frag_count) {
-    co_await complete(g, seq, CollKind::kBcast, pd.root,
-                      static_cast<std::size_t>(p.msg_bytes), true);
+    if (!pd.failed) {
+      co_await complete(g, seq, CollKind::kBcast, pd.root,
+                        static_cast<std::size_t>(p.msg_bytes), true);
+    }
     erase({g.id, seq});
   }
 }
@@ -473,8 +488,8 @@ sim::Task<void> CollectiveEngine::complete(GroupDescriptor& g,
     }
   }
   if (port != nullptr) {
-    co_await port->coll_events().send(CollEvent{g.id, seq, kind, root, len,
-                                                ok});
+    co_await port->coll_events(g.id).send(CollEvent{g.id, seq, kind, root,
+                                                    len, ok});
   }
 }
 

@@ -77,6 +77,7 @@ class CollectiveEngine {
     int have = 0;             // self post + completed child subtrees
     bool local_posted = false;
     bool sent_up = false;     // this subtree already reported / forwarded
+    bool failed = false;      // failure completion already emitted
     std::vector<double> acc;  // reduce accumulator (NIC SRAM)
     bool acc_init = false;
     std::vector<hw::Packet> stash;  // partials arriving before the post
@@ -132,8 +133,10 @@ class CollectiveEngine {
   std::map<std::uint16_t, GroupDescriptor> groups_;
   std::map<Key, Pending> pending_;
   // Packets for groups not yet registered on this NIC (a peer raced ahead);
-  // replayed on registration, bounded to keep a lost group from leaking.
-  std::vector<hw::Packet> pre_reg_;
+  // replayed on registration.  Budgeted per group id (and the number of
+  // distinct parked ids is bounded) so a group that never registers cannot
+  // starve unrelated groups racing their registration.
+  std::map<std::uint16_t, std::vector<hw::Packet>> pre_reg_;
   std::size_t sram_bytes_ = 0;
   Stats stats_;
 };

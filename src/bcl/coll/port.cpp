@@ -53,18 +53,24 @@ sim::Task<Result<std::unique_ptr<CollPort>>> CollPort::create(
 
 CollPort::~CollPort() {
   ep_.mcp().coll().unregister_group(id_);
+  ep_.port().drain_coll_events(id_);
   ep_.driver().kernel().pindown().unpin(ep_.process(), buf_.vaddr,
                                         buf_.len);
   ep_.process().free(buf_);
 }
 
 sim::Task<CollEvent> CollPort::wait_event(std::uint64_t seq) {
+  const auto it = held_.find(seq);
+  if (it != held_.end()) {
+    const CollEvent ev = it->second;
+    held_.erase(it);
+    co_return ev;
+  }
   for (;;) {
-    CollEvent ev = co_await ep_.port().coll_events().recv();
+    CollEvent ev = co_await ep_.port().coll_events(id_).recv();
     co_await ep_.process().cpu().busy(ep_.cost().recv_event_poll);
     if (ev.seq == seq) co_return ev;
-    // A stale event can only mean the caller broke the everyone-calls-
-    // everything-in-order discipline; skipping keeps the queue draining.
+    held_.emplace(ev.seq, ev);  // a later wait will claim it
   }
 }
 
@@ -86,8 +92,8 @@ sim::Task<BclErr> CollPort::barrier() {
   const auto r =
       co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
   if (!r.ok()) co_return r.err;
-  (void)co_await wait_event(seq);
-  co_return BclErr::kOk;
+  const CollEvent ev = co_await wait_event(seq);
+  co_return ev.ok ? BclErr::kOk : BclErr::kTooBig;
 }
 
 sim::Task<BclErr> CollPort::bcast(const osk::UserBuffer& buf,
@@ -105,11 +111,14 @@ sim::Task<BclErr> CollPort::bcast(const osk::UserBuffer& buf,
     const auto r =
         co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
     if (!r.ok()) co_return r.err;
-    (void)co_await wait_event(seq);
+    const CollEvent ev = co_await wait_event(seq);
+    if (!ev.ok) co_return BclErr::kTooBig;
   } else {
     // Receivers only poll: the data lands in the pinned result buffer by
-    // NIC DMA, announced by a single completion event.
-    (void)co_await wait_event(seq);
+    // NIC DMA, announced by a single completion event.  A failed event
+    // means the root's payload overflowed our result buffer.
+    const CollEvent ev = co_await wait_event(seq);
+    if (!ev.ok) co_return BclErr::kTooBig;
     co_await copy_from_result(buf, len);
   }
   co_return BclErr::kOk;
@@ -132,7 +141,8 @@ sim::Task<BclErr> CollPort::reduce(const osk::UserBuffer& src,
   const auto r =
       co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
   if (!r.ok()) co_return r.err;
-  (void)co_await wait_event(seq);
+  const CollEvent ev = co_await wait_event(seq);
+  if (!ev.ok) co_return BclErr::kTooBig;
   if (root == my_index_) co_await copy_from_result(dst, bytes);
   co_return BclErr::kOk;
 }
@@ -156,7 +166,8 @@ sim::Task<BclErr> CollPort::allreduce(const osk::UserBuffer& src,
     const auto r =
         co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
     if (!r.ok()) co_return r.err;
-    (void)co_await wait_event(seq);
+    const CollEvent ev = co_await wait_event(seq);
+    if (!ev.ok) co_return BclErr::kTooBig;
   }
   // Phase 2: member 0 re-broadcasts straight out of the result buffer —
   // no host round trip between the reduction and the fan-out.
@@ -174,7 +185,8 @@ sim::Task<BclErr> CollPort::allreduce(const osk::UserBuffer& src,
                                                            ep_.port(), a);
       if (!r.ok()) co_return r.err;
     }
-    (void)co_await wait_event(seq);
+    const CollEvent ev = co_await wait_event(seq);
+    if (!ev.ok) co_return BclErr::kTooBig;
   }
   co_await copy_from_result(dst, bytes);
   co_return BclErr::kOk;

@@ -10,6 +10,7 @@
 // with several ranks per node (mini-MPI) funnel through a per-node leader.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -56,7 +57,9 @@ class CollPort {
  private:
   CollPort(Endpoint& ep, std::uint16_t id, std::uint16_t my_index, int n,
            osk::UserBuffer buf);
-  // Polls the collective event queue until operation `seq` completes.
+  // Polls this group's collective event queue until operation `seq`
+  // completes.  Events for other sequence numbers (completions can ride
+  // unordered packets) are held, not dropped.
   sim::Task<CollEvent> wait_event(std::uint64_t seq);
   sim::Task<void> copy_from_result(const osk::UserBuffer& dst,
                                    std::size_t len);
@@ -67,6 +70,7 @@ class CollPort {
   int n_;
   osk::UserBuffer buf_;  // pinned group result buffer
   std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, CollEvent> held_;  // completions awaiting their wait
 };
 
 }  // namespace bcl::coll

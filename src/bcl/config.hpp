@@ -59,6 +59,7 @@ struct CostConfig {
   sim::Time coll_combine_per_element = sim::Time::ns(9.0);
   std::size_t coll_max_groups = 64;         // descriptor slots in NIC SRAM
   std::size_t coll_buf_bytes = 64 * 1024;   // per-group pinned result buffer
+  std::size_t coll_park_per_group = 64;     // pre-registration parking slots
 
   // -- channels ------------------------------------------------------------------
   std::uint32_t max_ports = 8;

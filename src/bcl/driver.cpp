@@ -300,6 +300,11 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_coll_post(
     err = BclErr::kBadPid;
   } else if (args.len > g->result_buf.len) {
     err = BclErr::kTooBig;  // the pinned result buffer must hold it
+  } else if (args.kind == coll::CollKind::kReduce &&
+             args.len % sizeof(double) != 0) {
+    // Reductions combine whole doubles; a ragged length would make the
+    // NIC accumulator read past its last element.
+    err = BclErr::kBadBuffer;
   } else if (args.len > 0 && !args.from_result_buf &&
              kernel_.validate_buffer(proc, args.vaddr, args.len) !=
                  osk::KernErr::kOk) {

@@ -28,10 +28,32 @@ Port::Port(sim::Engine& eng, PortId id, osk::Process& proc,
            const CostConfig& cfg)
     : id_{id},
       proc_{proc},
+      eng_{eng},
+      event_queue_depth_{cfg.event_queue_depth},
       send_events_{eng, cfg.event_queue_depth},
       recv_events_{eng, cfg.event_queue_depth},
-      coll_events_{eng, cfg.event_queue_depth},
       normal_(cfg.normal_channels),
       open_(cfg.open_channels) {}
+
+sim::Channel<coll::CollEvent>& Port::coll_events(std::uint16_t group) {
+  auto it = coll_events_.find(group);
+  if (it == coll_events_.end()) {
+    it = coll_events_
+             .emplace(group, std::make_unique<sim::Channel<coll::CollEvent>>(
+                                 eng_, event_queue_depth_))
+             .first;
+  }
+  return *it->second;
+}
+
+void Port::drain_coll_events(std::uint16_t group) {
+  const auto it = coll_events_.find(group);
+  if (it == coll_events_.end()) return;
+  // Drain rather than erase: a completion daemon may still be parked on
+  // the channel's semaphores, so the channel object must stay alive for
+  // the port's lifetime.
+  while (it->second->try_recv()) {
+  }
+}
 
 }  // namespace bcl

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "bcl/channel.hpp"
@@ -30,10 +32,16 @@ class Port {
   // Completion queues: written by the MCP via DMA, polled by the library.
   sim::Channel<SendEvent>& send_events() { return send_events_; }
   sim::Channel<RecvEvent>& recv_events() { return recv_events_; }
-  // Collective completions get their own queue: the EADI progress daemon
-  // drains recv_events_, so interleaving them there would let it swallow
-  // collective completions that CollPort is polling for.
-  sim::Channel<coll::CollEvent>& coll_events() { return coll_events_; }
+  // Collective completions get one queue per registered group (created on
+  // first use): the EADI progress daemon drains recv_events_, so
+  // interleaving them there would let it swallow collective completions —
+  // and several groups share one port (split/dup communicators reuse the
+  // endpoint), so a single queue would let one group's CollPort consume
+  // another group's events.
+  sim::Channel<coll::CollEvent>& coll_events(std::uint16_t group);
+  // Discards events still queued for `group` so a later group reusing the
+  // id starts clean (called when the group's CollPort is destroyed).
+  void drain_coll_events(std::uint16_t group);
 
   SystemChannelState& system() { return system_; }
   NormalChannelState& normal(std::uint16_t i) {
@@ -57,9 +65,12 @@ class Port {
  private:
   PortId id_;
   osk::Process& proc_;
+  sim::Engine& eng_;
+  std::size_t event_queue_depth_;
   sim::Channel<SendEvent> send_events_;
   sim::Channel<RecvEvent> recv_events_;
-  sim::Channel<coll::CollEvent> coll_events_;
+  std::map<std::uint16_t, std::unique_ptr<sim::Channel<coll::CollEvent>>>
+      coll_events_;
   SystemChannelState system_;
   std::vector<NormalChannelState> normal_;
   std::vector<OpenChannelState> open_;

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "bcl/coll/engine.hpp"
+#include "bcl/coll/port.hpp"
+#include "bcl/driver.hpp"
 #include "cluster/cluster.hpp"
 
 namespace {
@@ -329,5 +331,159 @@ INSTANTIATE_TEST_SUITE_P(Seeds, NicHostCrossCheck,
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// --------------------------------------------- multi-group event demux
+//
+// Several groups share one port (split/dup communicators reuse the
+// endpoint), and their operation sequence numbers collide (each group
+// counts from 1).  Completion events must reach the CollPort of the group
+// they belong to even when members process the groups in different orders.
+
+TEST(CollEngineGroups, TwoGroupsOnOnePortDemuxEvents) {
+  using bcl::coll::CollPort;
+  constexpr std::uint16_t kG1 = 11;
+  constexpr std::uint16_t kG2 = 22;
+  constexpr std::size_t kLen = 512;
+  World w{world_cfg(2), 2};
+  const std::vector<bcl::PortId> members{w.endpoint(0).id(),
+                                         w.endpoint(1).id()};
+  w.run([&members](World& world, int rank) -> Task<void> {
+    auto& ep = world.endpoint(rank);
+    auto g1 = co_await CollPort::create(ep, kG1, members, 4096);
+    auto g2 = co_await CollPort::create(ep, kG2, members, 4096);
+    EXPECT_TRUE(g1.ok());
+    EXPECT_TRUE(g2.ok());
+    if (!g1.ok() || !g2.ok()) co_return;
+    auto b1 = ep.process().alloc(kLen);
+    auto b2 = ep.process().alloc(kLen);
+    if (rank == 0) {
+      // Root broadcasts on group 1 first, then group 2; both are seq 1
+      // within their group.
+      ep.process().fill_pattern(b1, 1);
+      ep.process().fill_pattern(b2, 2);
+      EXPECT_EQ(co_await g1.value->bcast(b1, kLen, 0), bcl::BclErr::kOk);
+      EXPECT_EQ(co_await g2.value->bcast(b2, kLen, 0), bcl::BclErr::kOk);
+    } else {
+      // The receiver polls the groups in the OPPOSITE order: group 1's
+      // completion lands on the port while we wait for group 2's.
+      EXPECT_EQ(co_await g2.value->bcast(b2, kLen, 0), bcl::BclErr::kOk);
+      EXPECT_EQ(co_await g1.value->bcast(b1, kLen, 0), bcl::BclErr::kOk);
+      EXPECT_TRUE(ep.process().check_pattern(b1, 1));
+      EXPECT_TRUE(ep.process().check_pattern(b2, 2));
+    }
+    ep.process().free(b1);
+    ep.process().free(b2);
+  });
+}
+
+// A member whose registered result buffer is smaller than the root's
+// broadcast payload must observe a failed completion — not hang waiting
+// for fragments the engine could never place.
+TEST(CollEngineGroups, OversizedBcastFailsSmallMemberInsteadOfHanging) {
+  using bcl::coll::CollPort;
+  constexpr std::uint16_t kGid = 33;
+  constexpr std::size_t kBig = 8192;
+  constexpr std::size_t kSmall = 1024;
+  World w{world_cfg(2), 2};
+  const std::vector<bcl::PortId> members{w.endpoint(0).id(),
+                                         w.endpoint(1).id()};
+  bool receiver_returned = false;
+  w.run([&](World& world, int rank) -> Task<void> {
+    auto& ep = world.endpoint(rank);
+    const std::size_t mine = rank == 0 ? kBig : kSmall;
+    auto port = co_await CollPort::create(ep, kGid, members, mine);
+    EXPECT_TRUE(port.ok());
+    if (!port.ok()) co_return;
+    auto buf = ep.process().alloc(mine);
+    if (rank == 0) {
+      ep.process().fill_pattern(buf, 9);
+      EXPECT_EQ(co_await port.value->bcast(buf, kBig, 0), bcl::BclErr::kOk);
+    } else {
+      EXPECT_EQ(co_await port.value->bcast(buf, kSmall, 0),
+                bcl::BclErr::kTooBig);
+      receiver_returned = true;
+    }
+    ep.process().free(buf);
+  });
+  EXPECT_TRUE(receiver_returned);
+}
+
+// The coll_post trap must reject reduce lengths that are not whole
+// doubles: the NIC accumulator is sized in doubles, so a ragged length
+// would read past its last element.
+TEST(CollEngineGroups, UnalignedReducePostRejected) {
+  using bcl::coll::CollPort;
+  constexpr std::uint16_t kGid = 44;
+  World w{world_cfg(2), 2};
+  const std::vector<bcl::PortId> members{w.endpoint(0).id(),
+                                         w.endpoint(1).id()};
+  w.run([&members](World& world, int rank) -> Task<void> {
+    if (rank != 0) co_return;
+    auto& ep = world.endpoint(rank);
+    auto port = co_await CollPort::create(ep, kGid, members, 4096);
+    EXPECT_TRUE(port.ok());
+    if (!port.ok()) co_return;
+    auto buf = ep.process().alloc(64);
+    bcl::CollPostArgs a;
+    a.group_id = kGid;
+    a.kind = bcl::coll::CollKind::kReduce;
+    a.root = 0;
+    a.seq = 1;
+    a.vaddr = buf.vaddr;
+    a.len = 12;  // not a multiple of sizeof(double)
+    const auto r =
+        co_await ep.driver().ioctl_coll_post(ep.process(), ep.port(), a);
+    EXPECT_EQ(r.err, bcl::BclErr::kBadBuffer);
+    ep.process().free(buf);
+  });
+}
+
+// Split communicators share endpoints with the parent: sub-group and
+// world-group collectives interleave on the same ports, with the faster
+// half racing ahead into world operations while the slower half still
+// waits on its own group.  Everything must stay correct (and terminate).
+TEST(CollEngineGroups, SplitCommunicatorsShareEndpointsSafely) {
+  constexpr int kProcs = 4;
+  constexpr std::size_t kCount = 32;
+  constexpr std::size_t kBcastBytes = 2048;
+  World w{world_cfg(4), kProcs};
+  w.run([](World& world, int rank) -> Task<void> {
+    auto& mpi = world.mpi(rank);
+    auto sub = co_await mpi.split(rank % 2, rank);
+    EXPECT_NE(sub, nullptr);
+    if (sub == nullptr) co_return;
+    auto sbuf = mpi.process().alloc(kCount * sizeof(double));
+    auto rbuf = mpi.process().alloc(kCount * sizeof(double));
+    auto bbuf = mpi.process().alloc(kBcastBytes);
+    for (int iter = 0; iter < 3; ++iter) {
+      std::vector<double> v(kCount, static_cast<double>(rank + 1));
+      mpi.write_doubles(sbuf, v);
+      co_await sub->allreduce(sbuf, rbuf, kCount);
+      // {0,2} sums ranks+1 = 1+3; {1,3} sums 2+4.
+      const double expect_sub = rank % 2 == 0 ? 4.0 : 6.0;
+      for (const double x : mpi.read_doubles(rbuf, kCount)) {
+        EXPECT_DOUBLE_EQ(x, expect_sub) << "rank " << rank;
+      }
+      // World bcast right behind: its completion can reach a port whose
+      // sub-communicator group is still mid-operation.
+      if (rank == 0) mpi.process().fill_pattern(bbuf, 40 + iter);
+      co_await mpi.bcast(bbuf, kBcastBytes, 0);
+      EXPECT_TRUE(mpi.process().check_pattern(bbuf, 40 + iter))
+          << "rank " << rank;
+      co_await mpi.allreduce(sbuf, rbuf, kCount);
+      for (const double x : mpi.read_doubles(rbuf, kCount)) {
+        EXPECT_DOUBLE_EQ(x, 10.0) << "rank " << rank;  // 1+2+3+4
+      }
+    }
+    mpi.process().free(sbuf);
+    mpi.process().free(rbuf);
+    mpi.process().free(bbuf);
+  });
+  std::uint64_t posts = 0;
+  for (int r = 0; r < kProcs; ++r) {
+    posts += w.endpoint(r).mcp().coll().stats().posts;
+  }
+  EXPECT_GT(posts, 0u);  // the offload path really ran
+}
 
 }  // namespace
