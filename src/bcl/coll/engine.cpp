@@ -30,6 +30,10 @@ CollectiveEngine::CollectiveEngine(sim::Engine& eng, hw::Nic& nic, Mcp& mcp,
     metrics->counter(prefix + "drops", [this] { return stats_.drops; });
     metrics->counter(prefix + "sram_exhausted",
                      [this] { return stats_.sram_exhausted; });
+    metrics->counter(prefix + "op_timeouts",
+                     [this] { return stats_.op_timeouts; });
+    metrics->counter(prefix + "groups_failed",
+                     [this] { return stats_.groups_failed; });
     metrics->gauge(prefix + "sram_bytes", [this] {
       return static_cast<double>(sram_bytes_);
     });
@@ -151,6 +155,75 @@ void CollectiveEngine::erase(const Key& key) {
   pending_.erase(it);
 }
 
+CollectiveEngine::Pending& CollectiveEngine::touch_pending(
+    const GroupDescriptor& g, std::uint64_t seq) {
+  const Key key{g.id, seq};
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    it = pending_.emplace(key, Pending{}).first;
+    if (cfg_.coll_op_timeout > sim::Time::zero()) {
+      eng_.spawn_daemon(watchdog(g.id, seq));
+    }
+  }
+  return it->second;
+}
+
+sim::Task<void> CollectiveEngine::watchdog(std::uint16_t gid,
+                                           std::uint64_t seq) {
+  co_await eng_.sleep(cfg_.coll_op_timeout);
+  if (pending_.find({gid, seq}) == pending_.end()) co_return;  // completed
+  GroupDescriptor* g = find_group(gid);
+  if (g == nullptr) co_return;  // unregistered meanwhile
+  ++stats_.op_timeouts;
+  co_await fail_group(*g);
+}
+
+sim::Task<void> CollectiveEngine::on_peer_failure(hw::NodeId node) {
+  std::vector<std::uint16_t> ids;
+  for (const auto& [id, g] : groups_) {
+    if (g.failed) continue;
+    for (const PortId& m : g.members) {
+      if (m.node == node) {
+        ids.push_back(id);
+        break;
+      }
+    }
+  }
+  for (const std::uint16_t id : ids) {
+    GroupDescriptor* g = find_group(id);
+    if (g != nullptr && !g->failed) co_await fail_group(*g);
+  }
+}
+
+sim::Task<void> CollectiveEngine::fail_group(GroupDescriptor& g) {
+  if (g.failed) co_return;
+  g.failed = true;
+  ++stats_.groups_failed;
+  // Flood the canonical tree so members that never exchange a packet with
+  // the dead node (or with us) still learn within tree-depth hops.
+  if (g.parent >= 0) {
+    emit(make_packet(g, g.parent, CollWire::kFail, 0, 0, CollOp::kSum));
+  }
+  for (const int child : g.children) {
+    emit(make_packet(g, child, CollWire::kFail, 0, 0, CollOp::kSum));
+  }
+  // Fail every in-flight operation of the group.
+  std::vector<std::pair<std::uint64_t, Pending>> doomed;
+  for (const auto& [key, pd] : pending_) {
+    if (key.first == g.id) doomed.emplace_back(key.second, pd);
+  }
+  for (const auto& [seq, pd] : doomed) {
+    erase({g.id, seq});
+    co_await complete(g, seq, pd.kind, pd.root, 0, false,
+                      BclErr::kPeerUnreachable);
+  }
+  // One group-wide failure notification (seq 0): a member may be blocked
+  // on a sequence that never produced a pending entry here (e.g. a
+  // broadcast receiver whose root died before sending).
+  co_await complete(g, 0, CollKind::kBarrier, 0, 0, false,
+                    BclErr::kPeerUnreachable);
+}
+
 sim::Task<void> CollectiveEngine::post_pump() {
   for (;;) {
     CollPost post = co_await posts_.recv();
@@ -169,9 +242,15 @@ sim::Task<void> CollectiveEngine::handle_post(CollPost post) {
   if (trace_) {
     trace_->flow_step(comp(), "coll", coll_flow_key(g->id, post.seq));
   }
+  if (g->failed) {
+    // The group lost a member; every subsequent op fails fast.
+    co_await complete(*g, post.seq, post.kind, post.root, 0, false,
+                      BclErr::kPeerUnreachable);
+    co_return;
+  }
   switch (post.kind) {
     case CollKind::kBarrier: {
-      Pending& pd = pending_[{g->id, post.seq}];
+      Pending& pd = touch_pending(*g, post.seq);
       pd.kind = CollKind::kBarrier;
       pd.local_posted = true;
       ++pd.have;
@@ -179,7 +258,7 @@ sim::Task<void> CollectiveEngine::handle_post(CollPost post) {
       break;
     }
     case CollKind::kReduce: {
-      Pending& pd = pending_[{g->id, post.seq}];
+      Pending& pd = touch_pending(*g, post.seq);
       pd.kind = CollKind::kReduce;
       pd.root = post.root;
       pd.op = post.op;
@@ -269,9 +348,18 @@ sim::Task<void> CollectiveEngine::handle_packet(hw::Packet p) {
   GroupDescriptor& g = it->second;
   const std::uint64_t seq = p.msg_id;
   if (trace_) trace_->flow_step(comp(), "coll", coll_flow_key(gid, seq));
-  switch (static_cast<CollWire>(p.op_flags >> 8)) {
+  const auto wire = static_cast<CollWire>(p.op_flags >> 8);
+  if (wire == CollWire::kFail) {
+    co_await fail_group(g);  // no-op if already failed (stops the flood)
+    co_return;
+  }
+  if (g.failed) {
+    ++stats_.drops;  // the group is dead; its traffic is noise
+    co_return;
+  }
+  switch (wire) {
     case CollWire::kArrive: {
-      Pending& pd = pending_[{gid, seq}];
+      Pending& pd = touch_pending(g, seq);
       pd.kind = CollKind::kBarrier;
       ++pd.have;
       co_await handle_barrier_arrive(g, pd, seq);
@@ -281,13 +369,13 @@ sim::Task<void> CollectiveEngine::handle_packet(hw::Packet p) {
       co_await handle_barrier_release(g, seq);
       break;
     case CollWire::kData: {
-      Pending& pd = pending_[{gid, seq}];
+      Pending& pd = touch_pending(g, seq);
       pd.root = root;
       co_await handle_bcast_packet(g, pd, seq, std::move(p));
       break;
     }
     case CollWire::kPartial: {
-      Pending& pd = pending_[{gid, seq}];
+      Pending& pd = touch_pending(g, seq);
       pd.root = root;
       co_await handle_reduce_packet(g, pd, seq, std::move(p));
       break;
@@ -451,7 +539,8 @@ sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
       // fragments drain below so the pending entry is reclaimed.
       ++stats_.drops;
       pd.failed = true;
-      co_await complete(g, seq, CollKind::kBcast, pd.root, 0, false);
+      co_await complete(g, seq, CollKind::kBcast, pd.root, 0, false,
+                        BclErr::kTooBig);
     } else {
       co_await nic_.dma_scatter(
           p.payload,
@@ -472,7 +561,8 @@ sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
 sim::Task<void> CollectiveEngine::complete(GroupDescriptor& g,
                                            std::uint64_t seq, CollKind kind,
                                            std::uint16_t root,
-                                           std::size_t len, bool ok) {
+                                           std::size_t len, bool ok,
+                                           BclErr err) {
   Port* port = mcp_.find_port(g.members[g.my_index].port);
   co_await nic_.lanai().use(cfg_.mcp_event_proc);
   co_await eng_.sleep(cfg_.event_dma);
@@ -489,7 +579,7 @@ sim::Task<void> CollectiveEngine::complete(GroupDescriptor& g,
   }
   if (port != nullptr) {
     co_await port->coll_events(g.id).send(CollEvent{g.id, seq, kind, root,
-                                                    len, ok});
+                                                    len, ok, err});
   }
 }
 

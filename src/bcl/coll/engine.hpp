@@ -52,6 +52,12 @@ class CollectiveEngine {
   // Called by Mcp::handle_data for packets carrying SendOp::kColl.
   sim::Task<void> handle_packet(hw::Packet p);
 
+  // A reliability session exhausted its retry budget toward `node`: fail
+  // every group with a member there (kPeerUnreachable completions, kFail
+  // flooded over the tree so members that never talk to the dead node
+  // learn within tree-depth hops).
+  sim::Task<void> on_peer_failure(hw::NodeId node);
+
   struct Stats {
     std::uint64_t posts = 0;
     std::uint64_t packets_in = 0;
@@ -61,6 +67,8 @@ class CollectiveEngine {
     std::uint64_t completions = 0;
     std::uint64_t drops = 0;         // unknown group after replay budget
     std::uint64_t sram_exhausted = 0;
+    std::uint64_t op_timeouts = 0;   // watchdog-expired pending operations
+    std::uint64_t groups_failed = 0;
   };
   const Stats& stats() const { return stats_; }
   std::size_t sram_bytes() const { return sram_bytes_; }
@@ -109,8 +117,16 @@ class CollectiveEngine {
                                    const hw::Packet& p);
   sim::Task<void> complete(GroupDescriptor& g, std::uint64_t seq,
                            CollKind kind, std::uint16_t root, std::size_t len,
-                           bool ok);
+                           bool ok, BclErr err = BclErr::kOk);
   sim::Task<void> replay(hw::Packet p);
+  // Looks up or creates the pending entry for (g.id, seq); creation arms
+  // the per-operation watchdog (cfg.coll_op_timeout).
+  Pending& touch_pending(const GroupDescriptor& g, std::uint64_t seq);
+  sim::Task<void> watchdog(std::uint16_t gid, std::uint64_t seq);
+  // First failure wins: marks the group failed, floods kFail over the
+  // canonical tree, fails every pending op, and emits one group-wide
+  // failure event (seq 0) so hosts blocked on any sequence unblock.
+  sim::Task<void> fail_group(GroupDescriptor& g);
 
   Neighborhood neighbors(const GroupDescriptor& g, int root) const;
   hw::Packet make_packet(const GroupDescriptor& g, int dst_member,

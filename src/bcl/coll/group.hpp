@@ -38,6 +38,7 @@ enum class CollWire : std::uint8_t {
   kRelease = 2,  // barrier: root decision, parent -> children
   kData = 3,     // broadcast fragment, parent -> children
   kPartial = 4,  // reduce: combined subtree partial, child -> parent
+  kFail = 5,     // group failure (unreachable member), flooded over the tree
 };
 
 inline constexpr std::uint16_t coll_op_flags(CollWire wire) {
@@ -97,6 +98,10 @@ struct GroupDescriptor {
   osk::UserBuffer result_buf{};
   std::vector<hw::PhysSegment> result_segs;
 
+  // Set once a member becomes unreachable; every subsequent operation on
+  // the group completes immediately with kPeerUnreachable.
+  bool failed = false;
+
   int size() const { return static_cast<int>(members.size()); }
 };
 
@@ -104,11 +109,12 @@ struct GroupDescriptor {
 // (one per member per operation).
 struct CollEvent {
   std::uint16_t group = 0;
-  std::uint64_t seq = 0;
+  std::uint64_t seq = 0;  // 0 = group-wide failure notification
   CollKind kind = CollKind::kBarrier;
   std::uint16_t root = 0;
   std::size_t len = 0;  // payload bytes delivered (bcast / reduce at root)
   bool ok = true;
+  BclErr err = BclErr::kOk;  // why ok is false
 };
 
 // What ioctl_coll_post PIOs into the NIC after validation: the local

@@ -60,6 +60,10 @@ CollPort::~CollPort() {
 }
 
 sim::Task<CollEvent> CollPort::wait_event(std::uint64_t seq) {
+  if (failed_) {
+    co_return CollEvent{id_, seq, CollKind::kBarrier, 0, 0, false,
+                        BclErr::kPeerUnreachable};
+  }
   const auto it = held_.find(seq);
   if (it != held_.end()) {
     const CollEvent ev = it->second;
@@ -69,6 +73,12 @@ sim::Task<CollEvent> CollPort::wait_event(std::uint64_t seq) {
   for (;;) {
     CollEvent ev = co_await ep_.port().coll_events(id_).recv();
     co_await ep_.process().cpu().busy(ep_.cost().recv_event_poll);
+    if (!ev.ok && ev.seq == 0) {
+      // Group-wide failure: unblocks this wait whatever sequence it was
+      // parked on, and fails every later operation fast.
+      failed_ = true;
+      co_return ev;
+    }
     if (ev.seq == seq) co_return ev;
     held_.emplace(ev.seq, ev);  // a later wait will claim it
   }
@@ -93,7 +103,7 @@ sim::Task<BclErr> CollPort::barrier() {
       co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
   if (!r.ok()) co_return r.err;
   const CollEvent ev = co_await wait_event(seq);
-  co_return ev.ok ? BclErr::kOk : BclErr::kTooBig;
+  co_return ev.ok ? BclErr::kOk : event_err(ev);
 }
 
 sim::Task<BclErr> CollPort::bcast(const osk::UserBuffer& buf,
@@ -112,13 +122,14 @@ sim::Task<BclErr> CollPort::bcast(const osk::UserBuffer& buf,
         co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
     if (!r.ok()) co_return r.err;
     const CollEvent ev = co_await wait_event(seq);
-    if (!ev.ok) co_return BclErr::kTooBig;
+    if (!ev.ok) co_return event_err(ev);
   } else {
     // Receivers only poll: the data lands in the pinned result buffer by
     // NIC DMA, announced by a single completion event.  A failed event
-    // means the root's payload overflowed our result buffer.
+    // means the root's payload overflowed our result buffer (or the
+    // group lost a member).
     const CollEvent ev = co_await wait_event(seq);
-    if (!ev.ok) co_return BclErr::kTooBig;
+    if (!ev.ok) co_return event_err(ev);
     co_await copy_from_result(buf, len);
   }
   co_return BclErr::kOk;
@@ -142,7 +153,7 @@ sim::Task<BclErr> CollPort::reduce(const osk::UserBuffer& src,
       co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
   if (!r.ok()) co_return r.err;
   const CollEvent ev = co_await wait_event(seq);
-  if (!ev.ok) co_return BclErr::kTooBig;
+  if (!ev.ok) co_return event_err(ev);
   if (root == my_index_) co_await copy_from_result(dst, bytes);
   co_return BclErr::kOk;
 }
@@ -167,7 +178,7 @@ sim::Task<BclErr> CollPort::allreduce(const osk::UserBuffer& src,
         co_await ep_.driver().ioctl_coll_post(ep_.process(), ep_.port(), a);
     if (!r.ok()) co_return r.err;
     const CollEvent ev = co_await wait_event(seq);
-    if (!ev.ok) co_return BclErr::kTooBig;
+    if (!ev.ok) co_return event_err(ev);
   }
   // Phase 2: member 0 re-broadcasts straight out of the result buffer —
   // no host round trip between the reduction and the fan-out.
@@ -186,7 +197,7 @@ sim::Task<BclErr> CollPort::allreduce(const osk::UserBuffer& src,
       if (!r.ok()) co_return r.err;
     }
     const CollEvent ev = co_await wait_event(seq);
-    if (!ev.ok) co_return BclErr::kTooBig;
+    if (!ev.ok) co_return event_err(ev);
   }
   co_await copy_from_result(dst, bytes);
   co_return BclErr::kOk;

@@ -36,6 +36,9 @@ class CollPort {
   int index() const { return my_index_; }
   int size() const { return n_; }
   std::size_t max_bytes() const { return buf_.len; }
+  // True once the engine reported a group-wide failure (a member became
+  // unreachable); every subsequent operation returns kPeerUnreachable.
+  bool failed() const { return failed_; }
 
   // Every member calls every operation, in the same order (the shared
   // sequence number is derived locally from that discipline, exactly like
@@ -63,6 +66,10 @@ class CollPort {
   sim::Task<CollEvent> wait_event(std::uint64_t seq);
   sim::Task<void> copy_from_result(const osk::UserBuffer& dst,
                                    std::size_t len);
+  // The error a failed completion carries to the caller.
+  static BclErr event_err(const CollEvent& ev) {
+    return ev.err != BclErr::kOk ? ev.err : BclErr::kTooBig;
+  }
 
   Endpoint& ep_;
   std::uint16_t id_;
@@ -70,6 +77,7 @@ class CollPort {
   int n_;
   osk::UserBuffer buf_;  // pinned group result buffer
   std::uint64_t next_seq_ = 1;
+  bool failed_ = false;
   std::map<std::uint64_t, CollEvent> held_;  // completions awaiting their wait
 };
 

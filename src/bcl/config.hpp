@@ -47,8 +47,25 @@ struct CostConfig {
   // -- reliability (go-back-N per node pair) -------------------------------------
   bool reliable = true;
   int window = 16;
-  sim::Time rto = sim::Time::us(300);
+  sim::Time rto = sim::Time::us(300);  // fixed/initial RTO (pre-estimator)
   int ack_every = 1;  // cumulative ack frequency
+  // Jacobson/Karn adaptive RTO: RTO = clamp(SRTT + 4*RTTVAR, rto_min,
+  // rto_max); cfg.rto is used until the first RTT sample arrives.
+  bool adaptive_rto = true;
+  sim::Time rto_min = sim::Time::us(50);
+  sim::Time rto_max = sim::Time::us(4000);
+  // Fast retransmit after this many duplicate cumulative acks (0 disables).
+  int dupack_k = 3;
+  // Consecutive timeouts without progress before the peer is declared
+  // unreachable (kPeerUnreachable); 0 retries forever, as before.
+  int max_retries = 12;
+  // Exponential backoff on successive timeouts: RTO doubles per level up to
+  // this cap, plus uniform jitter to de-synchronize retransmit storms.
+  int rto_backoff_cap = 6;
+  double rto_backoff_jitter = 0.10;
+  // Initial sequence number of every session (tx and rx).  Tunable so the
+  // uint32 wraparound path is testable end to end.
+  std::uint32_t first_seq = 1;
 
   // -- NIC-resident collectives (coll::CollectiveEngine) -------------------------
   // The engine's per-packet handler is far lighter than the full reliable
@@ -60,6 +77,11 @@ struct CostConfig {
   std::size_t coll_max_groups = 64;         // descriptor slots in NIC SRAM
   std::size_t coll_buf_bytes = 64 * 1024;   // per-group pinned result buffer
   std::size_t coll_park_per_group = 64;     // pre-registration parking slots
+  // Watchdog on every pending collective op: if it has not completed after
+  // this long the whole group is failed (kPeerUnreachable) — the only way a
+  // collective involving a fail-stopped member that nobody sends to can
+  // unblock.  Zero disables the watchdog.
+  sim::Time coll_op_timeout = sim::Time::ms(25);
 
   // -- channels ------------------------------------------------------------------
   std::uint32_t max_ports = 8;

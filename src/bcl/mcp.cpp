@@ -35,6 +35,7 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
       nic_{nic},
       cfg_{cfg},
       trace_{trace},
+      metrics_{metrics},
       requests_{eng, cfg.request_queue_depth},
       tx_mutex_{eng} {
   if (metrics != nullptr) {
@@ -66,6 +67,20 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
     metrics->gauge(prefix + "tx_in_flight", [this] {
       return static_cast<double>(tx_in_flight());
     });
+    // Reliability-session aggregates under their own <nic>.rel.* prefix;
+    // per-peer estimator gauges are registered as sessions appear.
+    const std::string rel = nic_.name() + ".rel.";
+    metrics->counter(rel + "stray_acks", [this] { return stats_.stray_acks; });
+    metrics->counter(rel + "fast_retransmits",
+                     [this] { return fast_retransmits(); });
+    metrics->counter(rel + "peer_failures",
+                     [this] { return stats_.peer_failures; });
+    metrics->gauge(rel + "sessions", [this] {
+      return static_cast<double>(tx_sessions_.size());
+    });
+    metrics->gauge(rel + "unreachable_peers", [this] {
+      return static_cast<double>(unreachable_peers());
+    });
   }
   coll_ = std::make_unique<coll::CollectiveEngine>(eng, nic, *this, cfg,
                                                    trace, metrics);
@@ -82,7 +97,9 @@ sim::Task<void> Mcp::coll_send(hw::Packet p) {
   auto guard = co_await tx_mutex_.scoped();
   p.id = next_packet_id_++;
   if (cfg_.reliable) {
-    co_await tx_session(p.dst_node).send(std::move(p));
+    // kPeerUnreachable is deliberately swallowed: the failure hook has
+    // already failed every group containing the dead peer.
+    (void)co_await tx_session(p.dst_node).send(std::move(p));
   } else {
     co_await nic_.transmit(std::move(p));
   }
@@ -100,12 +117,53 @@ Port* Mcp::find_port(std::uint32_t port_no) {
 TxSession& Mcp::tx_session(hw::NodeId dst) {
   auto& s = tx_sessions_[dst];
   if (!s) {
-    s = std::make_unique<TxSession>(eng_, nic_, cfg_.window, cfg_.rto);
+    // Per-session deterministic jitter stream, distinct per ordered pair.
+    const std::uint64_t seed =
+        (static_cast<std::uint64_t>(nic_.node()) << 32) ^
+        static_cast<std::uint64_t>(dst) ^ 0x5DEECE66Dull;
+    s = std::make_unique<TxSession>(eng_, nic_, cfg_, seed);
+    s->set_failure_hook([this, dst] {
+      ++stats_.peer_failures;
+      eng_.spawn_daemon(announce_peer_failure(dst));
+    });
+    register_session_metrics(dst, *s);
   }
   return *s;
 }
 
-RxSession& Mcp::rx_session(hw::NodeId src) { return rx_sessions_[src]; }
+TxSession* Mcp::find_tx_session(hw::NodeId dst) {
+  const auto it = tx_sessions_.find(dst);
+  return it == tx_sessions_.end() ? nullptr : it->second.get();
+}
+
+void Mcp::register_session_metrics(hw::NodeId dst, TxSession& s) {
+  if (metrics_ == nullptr) return;
+  const std::string prefix =
+      nic_.name() + ".rel.peer" + std::to_string(dst) + ".";
+  metrics_->gauge(prefix + "srtt_us", [&s] { return s.srtt().to_us(); });
+  metrics_->gauge(prefix + "rto_us", [&s] { return s.rto().to_us(); });
+  metrics_->gauge(prefix + "backoff",
+                  [&s] { return static_cast<double>(s.backoff_level()); });
+  metrics_->gauge(prefix + "in_flight",
+                  [&s] { return static_cast<double>(s.in_flight()); });
+  metrics_->gauge(prefix + "unreachable",
+                  [&s] { return s.peer_unreachable() ? 1.0 : 0.0; });
+  metrics_->counter(prefix + "fast_retransmits",
+                    [&s] { return s.fast_retransmits(); });
+  metrics_->counter(prefix + "rtt_samples", [&s] { return s.rtt_samples(); });
+}
+
+sim::Task<void> Mcp::announce_peer_failure(hw::NodeId dst) {
+  co_await coll_->on_peer_failure(dst);
+  for (auto& [no, port] : ports_) {
+    co_await deliver_send_event(
+        port, SendEvent{0, PortId{dst, 0}, false, BclErr::kPeerUnreachable});
+  }
+}
+
+RxSession& Mcp::rx_session(hw::NodeId src) {
+  return rx_sessions_.try_emplace(src, cfg_.first_seq).first->second;
+}
 
 std::uint64_t Mcp::retransmissions() const {
   std::uint64_t n = 0;
@@ -125,9 +183,21 @@ std::uint64_t Mcp::window_stalls() const {
   return n;
 }
 
+std::uint64_t Mcp::fast_retransmits() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, s] : tx_sessions_) n += s->fast_retransmits();
+  return n;
+}
+
 std::size_t Mcp::tx_in_flight() const {
   std::size_t n = 0;
   for (const auto& [node, s] : tx_sessions_) n += s->in_flight();
+  return n;
+}
+
+std::size_t Mcp::unreachable_peers() const {
+  std::size_t n = 0;
+  for (const auto& [node, s] : tx_sessions_) n += s->peer_unreachable() ? 1 : 0;
   return n;
 }
 
@@ -192,7 +262,16 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
       co_await nic_.lanai().use(cfg_.mcp_tx_proc);
     }
     if (cfg_.reliable) {
-      co_await tx_session(d.dst.node).send(std::move(p));
+      const BclErr err = co_await tx_session(d.dst.node).send(std::move(p));
+      if (err != BclErr::kOk) {
+        // Retry budget exhausted: abandon the remaining fragments and fail
+        // the send through the event queue instead of blocking forever.
+        if (d.notify_sender) {
+          co_await deliver_send_event(find_port(d.src.port),
+                                      SendEvent{d.msg_id, d.dst, false, err});
+        }
+        co_return;
+      }
     } else {
       co_await nic_.transmit(std::move(p));
     }
@@ -211,10 +290,23 @@ sim::Task<void> Mcp::rx_pump() {
     hw::Packet p = co_await nic_.rx().recv();
     if (p.proto != kProto) continue;  // not ours
     switch (p.kind) {
-      case hw::PacketKind::kAck:
+      case hw::PacketKind::kAck: {
         co_await nic_.lanai().use(cfg_.mcp_ack_proc);
-        tx_session(p.src_node).on_ack(p.ack);
+        TxSession* s = find_tx_session(p.src_node);
+        if (s == nullptr) {
+          ++stats_.stray_acks;  // late/stray ack: no session, don't make one
+          break;
+        }
+        s->on_ack(p.ack);
+        if (trace_) {
+          const std::string track = nic_.name() + ".rel";
+          trace_->counter(track, "srtt_us", s->srtt().to_us());
+          trace_->counter(track, "rto_us", s->rto().to_us());
+          trace_->counter(track, "backoff",
+                          static_cast<double>(s->backoff_level()));
+        }
         break;
+      }
       case hw::PacketKind::kData:
       case hw::PacketKind::kCtrl: {
         ++stats_.data_packets_in;

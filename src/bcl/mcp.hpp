@@ -64,6 +64,11 @@ class Mcp {
   sim::Task<void> coll_send(hw::Packet p);
 
   TxSession& tx_session(hw::NodeId dst);
+  // Lookup without creating: acks must never instantiate a session (a
+  // stray or late ack for a peer we never sent to would otherwise grow
+  // tx_sessions_ unboundedly).
+  TxSession* find_tx_session(hw::NodeId dst);
+  std::size_t tx_session_count() const { return tx_sessions_.size(); }
 
   struct Stats {
     std::uint64_t data_packets_in = 0;
@@ -73,12 +78,16 @@ class Mcp {
     std::uint64_t acks_sent = 0;
     std::uint64_t messages_sent = 0;
     std::uint64_t rma_reads_served = 0;
+    std::uint64_t stray_acks = 0;      // acks with no matching tx session
+    std::uint64_t peer_failures = 0;   // sessions declared unreachable
   };
   const Stats& stats() const { return stats_; }
   std::uint64_t retransmissions() const;
   std::uint64_t timeouts() const;
   std::uint64_t window_stalls() const;
+  std::uint64_t fast_retransmits() const;
   std::size_t tx_in_flight() const;
+  std::size_t unreachable_peers() const;
 
  private:
   sim::Task<void> tx_pump();
@@ -91,12 +100,18 @@ class Mcp {
   sim::Task<void> deliver_recv_event(Port& port, RecvEvent ev);
   sim::Task<void> deliver_send_event(Port* port, SendEvent ev);
   RxSession& rx_session(hw::NodeId src);
+  // Retry budget exhausted toward `dst`: fail the collective groups that
+  // include it and post a kPeerUnreachable notification event (msg_id 0)
+  // to every local port's send-event queue.
+  sim::Task<void> announce_peer_failure(hw::NodeId dst);
+  void register_session_metrics(hw::NodeId dst, TxSession& s);
   std::string comp() const;
 
   sim::Engine& eng_;
   hw::Nic& nic_;
   const CostConfig& cfg_;
   sim::Trace* trace_;
+  sim::MetricRegistry* metrics_ = nullptr;
   sim::Channel<SendDescriptor> requests_;
   sim::Mutex tx_mutex_;
   std::map<std::uint32_t, Port*> ports_;

@@ -20,6 +20,8 @@ const char* to_string(BclErr e) {
       return "open channel not bound";
     case BclErr::kNoResources:
       return "out of resources";
+    case BclErr::kPeerUnreachable:
+      return "peer unreachable";
   }
   return "?";
 }

@@ -1,29 +1,71 @@
 #include "bcl/reliable.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace bcl {
 
-sim::Task<void> TxSession::send(hw::Packet p) {
+TxSession::TxSession(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
+                     std::uint64_t seed)
+    : eng_{eng},
+      nic_{nic},
+      cfg_{cfg},
+      window_{eng, cfg.window},
+      rng_{seed},
+      next_seq_{cfg.first_seq},
+      last_ack_{cfg.first_seq - 1} {}
+
+sim::Task<BclErr> TxSession::send(hw::Packet p) {
+  if (unreachable_) co_return BclErr::kPeerUnreachable;
   if (!window_.try_acquire()) {
     ++window_stalls_;  // go-back-N window full: the MCP tx path blocks here
     co_await window_.acquire();
+    // fail_peer() releases parked senders; they must not transmit.
+    if (unreachable_) co_return BclErr::kPeerUnreachable;
   }
   p.seq = next_seq_++;
   if (unacked_.empty()) last_progress_ = eng_.now();
-  unacked_.push_back(p);  // retransmit copy
+  unacked_.push_back({p, eng_.now(), false});  // retransmit copy
   arm_timer();
   co_await nic_.transmit(std::move(p));
+  co_return BclErr::kOk;
 }
 
 void TxSession::on_ack(std::uint32_t ack) {
+  if (unreachable_) return;
   std::int64_t released = 0;
-  while (!unacked_.empty() && unacked_.front().seq <= ack) {
+  bool have_sample = false;
+  sim::Time sample = sim::Time::zero();
+  while (!unacked_.empty() && seq_leq(unacked_.front().pkt.seq, ack)) {
+    // Karn's rule: only packets that were never retransmitted produce RTT
+    // samples (the newest released one is the tightest measurement).
+    if (!unacked_.front().retransmitted) {
+      sample = eng_.now() - unacked_.front().sent_at;
+      have_sample = true;
+    }
     unacked_.pop_front();
     ++released;
   }
   if (released > 0) {
+    if (have_sample) note_rtt(sample);
     last_progress_ = eng_.now();
+    last_ack_ = ack;
+    dup_acks_ = 0;
+    backoff_level_ = 0;
+    consecutive_timeouts_ = 0;
     window_.release(released);
+  } else if (!unacked_.empty() && ack == last_ack_) {
+    // Duplicate cumulative ack: the receiver is re-acking because packets
+    // arrive out of order past a hole.  k of them and we resend the window
+    // now instead of waiting out the RTO.
+    if (cfg_.dupack_k > 0 && ++dup_acks_ >= cfg_.dupack_k &&
+        !retransmitting_) {
+      dup_acks_ = 0;
+      ++fast_retransmits_;
+      eng_.spawn_daemon(retransmit_window());
+    }
   }
+  // else: stale ack from before last_ack_ (late duplicate on the wire).
 }
 
 void TxSession::arm_timer() {
@@ -33,23 +75,89 @@ void TxSession::arm_timer() {
 }
 
 sim::Task<void> TxSession::timer() {
-  co_await eng_.sleep(rto_);
-  timer_armed_ = false;
-  if (unacked_.empty()) co_return;  // all acked; let the engine drain
-  if (eng_.now() - last_progress_ >= rto_ && !retransmitting_) {
-    ++timeouts_;
-    retransmitting_ = true;
-    // Go-back-N: resend the whole outstanding window in order.
-    const std::size_t n = unacked_.size();
-    for (std::size_t i = 0; i < n && i < unacked_.size(); ++i) {
-      hw::Packet copy = unacked_[i];
-      ++retransmissions_;
-      co_await nic_.transmit(std::move(copy));
+  for (;;) {
+    const sim::Time wait = effective_rto();
+    co_await eng_.sleep(wait);
+    if (unacked_.empty() || unreachable_) break;  // let the engine drain
+    if (eng_.now() - last_progress_ >= wait && !retransmitting_) {
+      ++timeouts_;
+      if (cfg_.max_retries > 0 &&
+          ++consecutive_timeouts_ > cfg_.max_retries) {
+        fail_peer();
+        break;
+      }
+      co_await retransmit_window();
+      if (backoff_level_ < cfg_.rto_backoff_cap) ++backoff_level_;
     }
-    last_progress_ = eng_.now();
-    retransmitting_ = false;
   }
-  arm_timer();
+  timer_armed_ = false;
+}
+
+sim::Task<void> TxSession::retransmit_window() {
+  if (retransmitting_ || unreachable_ || unacked_.empty()) co_return;
+  retransmitting_ = true;
+  // Snapshot before the first suspension point; mark everything outstanding
+  // as retransmitted up front so acks racing the resend obey Karn's rule.
+  std::vector<std::uint32_t> seqs;
+  seqs.reserve(unacked_.size());
+  for (auto& o : unacked_) {
+    seqs.push_back(o.pkt.seq);
+    o.retransmitted = true;
+  }
+  for (const std::uint32_t s : seqs) {
+    if (unreachable_) break;
+    const auto it =
+        std::find_if(unacked_.begin(), unacked_.end(),
+                     [s](const Outstanding& o) { return o.pkt.seq == s; });
+    if (it == unacked_.end()) continue;  // acked while we were suspended
+    hw::Packet copy = it->pkt;
+    ++retransmissions_;
+    co_await nic_.transmit(std::move(copy));
+  }
+  last_progress_ = eng_.now();
+  retransmitting_ = false;
+}
+
+sim::Time TxSession::rto() const {
+  if (!cfg_.adaptive_rto || !have_srtt_) return cfg_.rto;
+  sim::Time r = srtt_ + rttvar_ * 4.0;
+  if (r < cfg_.rto_min) r = cfg_.rto_min;
+  if (r > cfg_.rto_max) r = cfg_.rto_max;
+  return r;
+}
+
+sim::Time TxSession::effective_rto() {
+  sim::Time r = rto();
+  for (int i = 0; i < backoff_level_ && r < cfg_.rto_max; ++i) r = r * 2.0;
+  if (r > cfg_.rto_max) r = cfg_.rto_max;
+  if (cfg_.rto_backoff_jitter > 0.0) {
+    r = r * (1.0 + cfg_.rto_backoff_jitter * rng_.uniform());
+  }
+  return r;
+}
+
+void TxSession::note_rtt(sim::Time sample) {
+  ++rtt_samples_;
+  if (!have_srtt_) {
+    have_srtt_ = true;
+    srtt_ = sample;
+    rttvar_ = sample * 0.5;
+    return;
+  }
+  const sim::Time err = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+  rttvar_ = rttvar_ * 0.75 + err * 0.25;
+  srtt_ = srtt_ * 0.875 + sample * 0.125;
+}
+
+void TxSession::fail_peer() {
+  if (unreachable_) return;
+  unreachable_ = true;
+  const auto freed = static_cast<std::int64_t>(unacked_.size());
+  unacked_.clear();
+  // Wake every sender parked on the window; they observe unreachable_ and
+  // fail their sends instead of transmitting into the void.
+  window_.release(freed + static_cast<std::int64_t>(window_.waiting()) + 1);
+  if (failure_hook_) failure_hook_();
 }
 
 }  // namespace bcl

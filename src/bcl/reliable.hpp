@@ -2,59 +2,122 @@
 // on the NIC ("BCL performs data checking and guarantees reliable
 // transmission in the on-card control program", section 5.1).
 //
-// TxSession: sliding window, cumulative acks, timeout retransmission.
+// TxSession: sliding window, cumulative acks, adaptive (Jacobson) RTO with
+// exponential backoff, dup-ack fast retransmit, and a max-retry budget that
+// declares the peer unreachable instead of retrying forever.
 // RxSession: in-order acceptance; out-of-order and corrupted packets drop.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 
+#include "bcl/config.hpp"
+#include "bcl/types.hpp"
 #include "hw/nic.hpp"
 #include "hw/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace bcl {
 
+// RFC 1982 serial-number arithmetic over the uint32 sequence space: a < b
+// iff the signed distance from b to a is negative.  Plain `<=` breaks the
+// cumulative-ack comparison the moment next_seq_ wraps past UINT32_MAX.
+inline constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
 class TxSession {
  public:
-  TxSession(sim::Engine& eng, hw::Nic& nic, int window, sim::Time rto)
-      : eng_{eng}, nic_{nic}, rto_{rto}, window_{eng, window} {}
+  // Invoked exactly once, when the retry budget is exhausted and the
+  // session transitions to unreachable.
+  using FailureHook = std::function<void()>;
+
+  TxSession(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
+            std::uint64_t seed = 1);
+
+  void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
 
   // Stamps the next sequence number, records a retransmit copy, and
-  // transmits.  Blocks while the window is full.
-  sim::Task<void> send(hw::Packet p);
+  // transmits.  Blocks while the window is full.  Returns kPeerUnreachable
+  // (without transmitting) once the retry budget has been exhausted.
+  sim::Task<BclErr> send(hw::Packet p);
 
-  // Cumulative acknowledgement: releases everything with seq <= ack.
+  // Cumulative acknowledgement: releases everything with seq <= ack
+  // (serial order).  A duplicate cumulative ack means the receiver dropped
+  // something out of order; cfg.dupack_k of them trigger a fast retransmit.
   void on_ack(std::uint32_t ack);
 
   std::size_t in_flight() const { return unacked_.size(); }
+  bool peer_unreachable() const { return unreachable_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t window_stalls() const { return window_stalls_; }
+  std::uint64_t fast_retransmits() const { return fast_retransmits_; }
+  std::uint64_t rtt_samples() const { return rtt_samples_; }
+  int backoff_level() const { return backoff_level_; }
+  // Estimator state (zero until the first sample when adaptive).
+  sim::Time srtt() const { return srtt_; }
+  sim::Time rttvar() const { return rttvar_; }
+  // The base RTO currently in force (estimator output or fixed cfg.rto),
+  // before backoff and jitter.
+  sim::Time rto() const;
 
  private:
+  struct Outstanding {
+    hw::Packet pkt;
+    sim::Time sent_at = sim::Time::zero();
+    bool retransmitted = false;  // Karn: never sample RTT from these
+  };
+
   void arm_timer();
   sim::Task<void> timer();
+  // Go-back-N: resend the whole outstanding window in order.  Snapshots the
+  // window's sequence numbers before the first co_await — on_ack pops the
+  // deque from the front while we are suspended in nic_.transmit, so
+  // iterating by index would skip live packets or resend freed slots.
+  sim::Task<void> retransmit_window();
+  sim::Time effective_rto();
+  void note_rtt(sim::Time sample);
+  void fail_peer();
 
   sim::Engine& eng_;
   hw::Nic& nic_;
-  sim::Time rto_;
+  const CostConfig& cfg_;
   sim::Semaphore window_;
-  std::deque<hw::Packet> unacked_;  // retransmit copies, seq order
-  std::uint32_t next_seq_ = 1;
+  sim::Rng rng_;  // backoff jitter (per-session deterministic stream)
+  std::deque<Outstanding> unacked_;  // retransmit copies, seq order
+  std::uint32_t next_seq_;
+  std::uint32_t last_ack_;  // newest cumulative ack that released data
+  int dup_acks_ = 0;
+  int backoff_level_ = 0;
+  int consecutive_timeouts_ = 0;
+  bool have_srtt_ = false;
+  sim::Time srtt_ = sim::Time::zero();
+  sim::Time rttvar_ = sim::Time::zero();
   sim::Time last_progress_ = sim::Time::zero();
   bool timer_armed_ = false;
   bool retransmitting_ = false;
+  bool unreachable_ = false;
+  FailureHook failure_hook_;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t window_stalls_ = 0;
+  std::uint64_t fast_retransmits_ = 0;
+  std::uint64_t rtt_samples_ = 0;
 };
 
 class RxSession {
  public:
+  explicit RxSession(std::uint32_t first_seq = 1) : expected_{first_seq} {}
+
   // True if the packet is the next expected one (accept it); false means
   // drop (duplicate or out of order after a loss).
   bool accept(std::uint32_t seq) {
@@ -62,11 +125,13 @@ class RxSession {
     ++expected_;
     return true;
   }
-  // Highest in-order sequence received (cumulative ack value).
+  // Highest in-order sequence received (cumulative ack value).  Well
+  // defined across wraparound because the sender compares with serial
+  // arithmetic, not magnitude.
   std::uint32_t ack_value() const { return expected_ - 1; }
 
  private:
-  std::uint32_t expected_ = 1;
+  std::uint32_t expected_;
 };
 
 }  // namespace bcl

@@ -54,6 +54,7 @@ enum class BclErr : std::uint8_t {
   kNotPosted,    // normal channel has no posted receive
   kNotBound,     // open channel has no bound window
   kNoResources,  // queue/pin-table exhaustion
+  kPeerUnreachable,  // reliability retry budget exhausted (fail-stop peer)
 };
 
 const char* to_string(BclErr e);
@@ -71,6 +72,7 @@ struct SendEvent {
   std::uint64_t msg_id = 0;
   PortId dst{};
   bool ok = true;
+  BclErr err = BclErr::kOk;  // why ok is false (kPeerUnreachable, ...)
 };
 
 struct RecvEvent {

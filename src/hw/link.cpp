@@ -1,5 +1,6 @@
 #include "hw/link.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/metrics.hpp"
@@ -11,6 +12,9 @@ void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
   reg.counter(prefix + ".bytes", [&link] { return link.bytes(); });
   reg.counter(prefix + ".packets", [&link] { return link.packets(); });
   reg.counter(prefix + ".corrupted", [&link] { return link.corrupted(); });
+  reg.counter(prefix + ".dropped", [&link] { return link.dropped(); });
+  reg.counter(prefix + ".duplicated", [&link] { return link.duplicated(); });
+  reg.counter(prefix + ".reordered", [&link] { return link.reordered(); });
   reg.gauge(prefix + ".busy_us",
             [&link] { return link.busy_time().to_us(); });
   reg.gauge(prefix + ".queue", [&link] {
@@ -29,29 +33,81 @@ Link::Link(sim::Engine& eng, std::string name, const LinkConfig& cfg,
   eng_.spawn_daemon(pump());
 }
 
+void Link::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  std::sort(plan_.drop_nth.begin(), plan_.drop_nth.end());
+  fault_rng_ = sim::Rng{plan_.seed};
+}
+
+// Whether the fault plan discards the packet with this link ordinal.  The
+// random draw happens unconditionally (when drop_prob > 0) so the fault
+// stream stays aligned across runs that differ only in drop_nth.
+bool Link::plan_drops(std::uint64_t ordinal) {
+  const sim::Time now = eng_.now();
+  if (now >= plan_.fail_from && now < plan_.fail_until) return true;
+  bool drop = std::binary_search(plan_.drop_nth.begin(), plan_.drop_nth.end(),
+                                 ordinal);
+  if (plan_.drop_prob > 0.0 && fault_rng_.bernoulli(plan_.drop_prob)) {
+    drop = true;
+  }
+  return drop;
+}
+
 sim::Task<void> Link::pump() {
   for (;;) {
     Packet p = co_await in_.recv();
     const auto wire =
         cfg_.per_packet + sim::Time::bytes_at(p.wire_bytes(), cfg_.bandwidth);
     busy_ += wire;
-    ++packets_;
+    const std::uint64_t ordinal = packets_++;
     bytes_ += p.wire_bytes();
     if (cfg_.corrupt_prob > 0.0 && rng_.bernoulli(cfg_.corrupt_prob)) {
       p.corrupted = true;
       ++corrupted_;
     }
+    if (plan_.active()) {
+      if (plan_drops(ordinal)) {
+        // The packet still occupied the wire; it just never arrives.
+        ++dropped_;
+        co_await eng_.sleep(wire);
+        continue;
+      }
+      if (plan_.corrupt_prob > 0.0 && !p.corrupted &&
+          fault_rng_.bernoulli(plan_.corrupt_prob)) {
+        p.corrupted = true;
+        ++corrupted_;
+      }
+    }
     // Cut-through: hand the packet downstream once the header is past;
     // store-and-forward (NIC-terminal links): after the last byte.  Either
     // way the link stays occupied for the full serialization time, and FIFO
-    // order is preserved because the delivery offset is constant.
-    const auto forward_after =
+    // order is preserved because the delivery offset is constant — unless
+    // the fault plan stretches this packet's offset, which is exactly how
+    // reordering is injected.
+    auto forward_after =
         cfg_.cut_through
             ? cfg_.per_packet +
                   sim::Time::bytes_at(p.header_bytes, cfg_.bandwidth)
             : wire;
+    bool duplicate = false;
+    if (plan_.active()) {
+      if (plan_.reorder_prob > 0.0 &&
+          fault_rng_.bernoulli(plan_.reorder_prob)) {
+        forward_after = forward_after + plan_.reorder_delay;
+        ++reordered_;
+      }
+      if (plan_.dup_prob > 0.0 && fault_rng_.bernoulli(plan_.dup_prob)) {
+        duplicate = true;
+        ++duplicated_;
+      }
+    }
     // (shared_ptr because std::function requires a copyable callable.)
     auto pkt = std::make_shared<Packet>(std::move(p));
+    if (duplicate) {
+      auto copy = std::make_shared<Packet>(*pkt);
+      eng_.schedule_fn(eng_.now() + forward_after + cfg_.propagation + wire,
+                       [this, copy] { sink_(std::move(*copy)); });
+    }
     eng_.schedule_fn(eng_.now() + forward_after + cfg_.propagation,
                      [this, pkt] { sink_(std::move(*pkt)); });
     co_await eng_.sleep(wire);  // serialization / occupancy

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hw/packet.hpp"
 #include "sim/engine.hpp"
@@ -61,10 +62,38 @@ struct LinkConfig {
   std::size_t queue_depth = 4;
 };
 
+// Deterministic fault schedule for one link.  All random draws come from a
+// dedicated xoshiro stream seeded by `seed`, so a run replays bit-exactly
+// regardless of what the rest of the simulation does with its generators.
+struct FaultPlan {
+  double drop_prob = 0.0;     // packet vanishes after serialization
+  double dup_prob = 0.0;      // packet delivered twice
+  double reorder_prob = 0.0;  // packet delayed so a later one overtakes it
+  double corrupt_prob = 0.0;  // CRC-style payload corruption
+  // Extra delivery delay applied to reordered packets; anything serialized
+  // within this window passes them on the wire.
+  sim::Time reorder_delay = sim::Time::us(8);
+  // Deterministic drops by link-packet ordinal (0-based, sorted or not):
+  // lets a bench kill exactly the Nth packet for replayable single-loss
+  // experiments.
+  std::vector<std::uint64_t> drop_nth;
+  // Time-windowed fail-stop: every packet whose serialization starts in
+  // [fail_from, fail_until) is silently discarded.  Time::max() disables.
+  sim::Time fail_from = sim::Time::max();
+  sim::Time fail_until = sim::Time::max();
+  std::uint64_t seed = 1;
+
+  bool active() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0 ||
+           corrupt_prob > 0.0 || !drop_nth.empty() ||
+           fail_from != sim::Time::max();
+  }
+};
+
 class Link;
 
-// Registers "<prefix>.bytes/.packets/.corrupted/.busy_us/.queue" callback
-// metrics for one link.
+// Registers "<prefix>.bytes/.packets/.corrupted/.dropped/.duplicated/
+// .reordered/.busy_us/.queue" callback metrics for one link.
 void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
                            const std::string& prefix);
 
@@ -82,13 +111,21 @@ class Link {
   std::uint64_t packets() const { return packets_; }
   std::uint64_t bytes() const { return bytes_; }
   std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t reordered() const { return reordered_; }
   sim::Time busy_time() const { return busy_; }
   std::size_t queue_depth() const { return in_.size(); }
 
   void set_corrupt_prob(double p) { cfg_.corrupt_prob = p; }
+  // Installs (or replaces) the fault schedule; reseeds the fault stream so
+  // identical plans replay identically.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
 
  private:
   sim::Task<void> pump();
+  bool plan_drops(std::uint64_t ordinal);
 
   sim::Engine& eng_;
   std::string name_;
@@ -96,9 +133,14 @@ class Link {
   Sink sink_;
   sim::Channel<Packet> in_;
   sim::Rng rng_;
+  FaultPlan plan_;
+  sim::Rng fault_rng_{1};
   std::uint64_t packets_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
   sim::Time busy_ = sim::Time::zero();
 };
 

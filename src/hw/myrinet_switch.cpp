@@ -150,6 +150,11 @@ void MyrinetFabric::set_host_link_corrupt_prob(NodeId node, double p) {
   host_uplinks_.at(node)->set_corrupt_prob(p);
 }
 
+void MyrinetFabric::set_host_link_fault_plan(NodeId node,
+                                             const FaultPlan& plan) {
+  host_uplinks_.at(node)->set_fault_plan(plan);
+}
+
 void MyrinetFabric::register_metrics(sim::MetricRegistry& reg) const {
   for (const auto& l : links_) {
     register_link_metrics(reg, *l, "fabric.link." + l->name());

@@ -74,6 +74,8 @@ class MyrinetFabric : public Fabric {
 
   // Fault injection on the host->switch link of `node`.
   void set_host_link_corrupt_prob(NodeId node, double p);
+  void set_host_link_fault_plan(NodeId node, const FaultPlan& plan);
+  Link& host_uplink(NodeId node) { return *host_uplinks_.at(node); }
 
   CrossbarSwitch& switch_at(std::size_t i) { return *switches_[i]; }
   std::size_t switch_count() const { return switches_.size(); }

@@ -4,10 +4,28 @@
 // barrier/bcast/reduce/allreduce run on the MCPs (bcl::coll) with the host
 // only funnelling intra-node ranks through the local leader.
 #include <algorithm>
+#include <string>
 
 #include "minimpi/mpi.hpp"
 
 namespace minimpi {
+
+namespace {
+
+// NIC collective results: kPeerUnreachable can never resolve by waiting
+// (the group lost a member), so it surfaces as an exception the rank can
+// catch; any other failure here is a programming error in this layer.
+void check_coll(bcl::BclErr err, const char* what) {
+  if (err == bcl::BclErr::kOk) return;
+  if (err == bcl::BclErr::kPeerUnreachable) {
+    throw PeerUnreachableError(std::string("nic ") + what +
+                               ": peer unreachable");
+  }
+  throw std::runtime_error(std::string("nic ") + what + ": " +
+                           bcl::to_string(err));
+}
+
+}  // namespace
 
 double Mpi::apply(Op op, double a, double b) {
   switch (op) {
@@ -132,7 +150,7 @@ sim::Task<void> Mpi::nic_barrier() {
       if (r == rank_) continue;
       (void)co_await recv(slice(token, 0, 0), r, kNicUpTag + r);
     }
-    (void)co_await nic_.port->barrier();
+    check_coll(co_await nic_.port->barrier(), "barrier");
     for (const int r : nic_.local_ranks) {
       if (r == rank_) continue;
       co_await send(slice(token, 0, 0), 0, r, kNicDownTag + r);
@@ -154,7 +172,7 @@ sim::Task<void> Mpi::nic_bcast(const osk::UserBuffer& buf, std::size_t len,
       // The true root is a non-leader on this node: its payload funnels up.
       (void)co_await recv(buf, root, kNicUpTag + root);
     }
-    (void)co_await nic_.port->bcast(buf, len, mroot);
+    check_coll(co_await nic_.port->bcast(buf, len, mroot), "bcast");
     for (const int r : nic_.local_ranks) {
       if (r == rank_ || r == root) continue;
       co_await send(buf, len, r, kNicDownTag + r);
@@ -183,7 +201,9 @@ sim::Task<void> Mpi::nic_reduce(const osk::UserBuffer& sendbuf,
   auto contrib = scratch2(std::max<std::size_t>(bytes, 8));
   write_doubles(contrib, accum);
   const osk::UserBuffer dst = rank_ == root ? recvbuf : contrib;
-  (void)co_await nic_.port->reduce(contrib, dst, count, to_coll(op), mroot);
+  check_coll(co_await nic_.port->reduce(contrib, dst, count, to_coll(op),
+                                        mroot),
+             "reduce");
   if (nic_.member_of[static_cast<std::size_t>(rank_)] == mroot &&
       rank_ != root) {
     // The true root is a non-leader on this node: hand the result down.
@@ -204,7 +224,9 @@ sim::Task<void> Mpi::nic_allreduce(const osk::UserBuffer& sendbuf,
   const std::vector<double> accum = co_await gather_local(sendbuf, count, op);
   auto contrib = scratch2(std::max<std::size_t>(bytes, 8));
   write_doubles(contrib, accum);
-  (void)co_await nic_.port->allreduce(contrib, recvbuf, count, to_coll(op));
+  check_coll(co_await nic_.port->allreduce(contrib, recvbuf, count,
+                                           to_coll(op)),
+             "allreduce");
   for (const int r : nic_.local_ranks) {
     if (r == rank_) continue;
     co_await send(recvbuf, bytes, r, kNicDownTag + r);

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "eadi/eadi.hpp"
@@ -19,6 +21,16 @@ namespace minimpi {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+// Thrown out of a collective when the reliability layer declared a member's
+// node unreachable (retry budget exhausted): the operation can never
+// complete, so blocking would deadlock the rank.  Catchable per rank —
+// survivors of a fail-stopped peer decide their own shutdown policy.
+class PeerUnreachableError : public std::runtime_error {
+ public:
+  explicit PeerUnreachableError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct Status {
   int source = kAnySource;

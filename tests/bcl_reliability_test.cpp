@@ -2,10 +2,16 @@
 // on the NIC: corrupted links must not lose, duplicate, or reorder data.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "bcl/bcl.hpp"
+#include "bcl/reliable.hpp"
+#include "hw/memory.hpp"
 #include "hw/myrinet_switch.hpp"
+#include "hw/pci.hpp"
+#include "sim/queue.hpp"
 
 namespace {
 
@@ -205,6 +211,215 @@ TEST(BclReliability, BothDirectionsLossySimultaneously) {
   c.engine().run();
   EXPECT_EQ(got_a, 25);
   EXPECT_EQ(got_b, 25);
+}
+
+// ---------------------------------------------------------------------------
+// TxSession unit rig: a bare NIC wired to a bounded sink channel, so the
+// retransmission loop genuinely suspends inside nic.transmit mid-window.
+// ---------------------------------------------------------------------------
+
+class SinkFabric : public hw::Fabric {
+ public:
+  SinkFabric(sim::Engine& eng, std::size_t capacity) : ch{eng, capacity} {}
+  void attach(hw::NodeId, hw::Nic& nic) override { nic.wire(this, &ch); }
+  void stamp_route(hw::Packet&) const override {}
+  std::string name() const override { return "sink"; }
+  int hops(hw::NodeId, hw::NodeId) const override { return 1; }
+
+  sim::Channel<hw::Packet> ch;
+};
+
+struct TxRecord {
+  std::uint32_t seq;
+  Time at;
+};
+
+// Regression for the retransmit-window race: an ack that lands while the
+// timer coroutine is suspended inside nic.transmit pops the front of the
+// unacked deque.  Iterating the window by index then skips live packets or
+// resends freed slots; the snapshot walk must resend every still-unacked
+// sequence exactly once.
+TEST(TxSessionUnit, AckDuringRetransmissionResendsEachUnackedSeqOnce) {
+  sim::Engine eng;
+  hw::HostMemory mem{1u << 20};
+  hw::PciBus pci{eng, "pci", {}};
+  hw::Nic nic{eng, 0, "nic0", pci, mem, {}};
+  SinkFabric fab{eng, 1};  // one slot: the retransmit walk blocks per packet
+  fab.attach(0, nic);
+
+  bcl::CostConfig cost;
+  cost.window = 8;
+  cost.rto = Time::us(100);
+  cost.adaptive_rto = false;
+  cost.rto_backoff_jitter = 0.0;
+  cost.dupack_k = 0;    // isolate the timer-driven retransmit path
+  cost.max_retries = 0;  // no retry budget: the session must not fail here
+  bcl::TxSession s{eng, nic, cost};
+
+  std::vector<TxRecord> sent;
+  eng.spawn_daemon([](sim::Engine& eng, SinkFabric& fab,
+                      std::vector<TxRecord>& sent) -> Task<void> {
+    for (;;) {
+      hw::Packet p = co_await fab.ch.recv();
+      sent.push_back({p.seq, eng.now()});
+      co_await eng.sleep(Time::us(5));  // slow drain keeps the channel full
+    }
+  }(eng, fab, sent));
+  eng.spawn([](sim::Engine& eng, bcl::TxSession& s) -> Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      hw::Packet p;
+      p.dst_node = 1;
+      EXPECT_EQ(co_await s.send(std::move(p)), bcl::BclErr::kOk);
+    }
+    // The RTO fires at t=100us and the retransmission starts walking the
+    // window (one packet per 5us through the sink).  This ack lands while
+    // the walk is suspended: seqs 1-2 leave the window mid-retransmission.
+    co_await eng.sleep(Time::us(103) - eng.now());
+    s.on_ack(2);
+    co_await eng.sleep(Time::us(100));
+    s.on_ack(4);
+  }(eng, s));
+  eng.run();
+
+  const auto count = [&](std::uint32_t q) {
+    return std::count_if(sent.begin(), sent.end(),
+                         [q](const TxRecord& r) { return r.seq == q; });
+  };
+  // Each of the four sequences crossed the wire exactly twice: the original
+  // transmission and one retransmission — nothing skipped, nothing doubled.
+  EXPECT_EQ(sent.size(), 8u);
+  for (std::uint32_t q = 1; q <= 4; ++q) EXPECT_EQ(count(q), 2) << "seq " << q;
+  EXPECT_EQ(s.retransmissions(), 4u);
+  EXPECT_EQ(s.timeouts(), 1u);
+  EXPECT_EQ(s.in_flight(), 0u);
+  EXPECT_FALSE(s.peer_unreachable());
+}
+
+// ---------------------------------------------------------------------------
+// Sequence-number wraparound (RFC 1982 serial arithmetic).
+// ---------------------------------------------------------------------------
+
+TEST(SerialArithmetic, ComparesAcrossTheWrap) {
+  using bcl::seq_leq;
+  using bcl::seq_lt;
+  EXPECT_TRUE(seq_lt(0xFFFFFFFFu, 0u));
+  EXPECT_TRUE(seq_leq(0xFFFFFFFFu, 0u));
+  EXPECT_FALSE(seq_lt(0u, 0xFFFFFFFFu));
+  EXPECT_FALSE(seq_leq(0u, 0xFFFFFFFFu));
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0u, 0x10u));
+  EXPECT_TRUE(seq_leq(5u, 5u));
+  EXPECT_FALSE(seq_lt(5u, 5u));
+}
+
+TEST(RxSessionUnit, AcceptsInOrderAcrossTheWrap) {
+  bcl::RxSession rx{0xFFFFFFFEu};
+  EXPECT_TRUE(rx.accept(0xFFFFFFFEu));
+  EXPECT_FALSE(rx.accept(0xFFFFFFFEu));  // duplicate drops
+  EXPECT_TRUE(rx.accept(0xFFFFFFFFu));
+  EXPECT_EQ(rx.ack_value(), 0xFFFFFFFFu);
+  EXPECT_FALSE(rx.accept(2u));  // out of order past the wrap still drops
+  EXPECT_TRUE(rx.accept(0u));
+  EXPECT_EQ(rx.ack_value(), 0u);
+  EXPECT_TRUE(rx.accept(1u));
+  EXPECT_EQ(rx.ack_value(), 1u);
+}
+
+TEST(BclReliability, SequenceWraparoundSurvivesCorruption) {
+  // Sessions start four packets shy of UINT32_MAX, so the cumulative-ack
+  // comparison crosses the wrap while the link is still dropping packets.
+  ClusterConfig cfg = lossy_cluster(0.0);
+  cfg.cost.first_seq = 0xFFFFFFFFu - 3;
+  BclCluster c{cfg};
+  myrinet(c).set_host_link_corrupt_prob(0, 0.06);
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  constexpr int kMsgs = 40;
+  std::vector<unsigned> order;
+  c.engine().spawn([](Endpoint& tx, PortId dst) -> Task<void> {
+    auto buf = tx.process().alloc(256);
+    for (unsigned i = 0; i < kMsgs; ++i) {
+      const std::byte b[1] = {std::byte{static_cast<unsigned char>(i)}};
+      tx.process().poke(buf, 0, b);
+      auto r = co_await tx.send_system(dst, buf, 256);
+      EXPECT_EQ(r.err, BclErr::kOk);
+      (void)co_await tx.wait_send();
+    }
+  }(tx, rx.id()));
+  c.engine().spawn([](Endpoint& rx, std::vector<unsigned>& ord) -> Task<void> {
+    for (int i = 0; i < kMsgs; ++i) {
+      RecvEvent ev = co_await rx.wait_recv();
+      auto data = co_await rx.copy_out_system(ev);
+      ord.push_back(static_cast<unsigned>(data.at(0)));
+    }
+  }(rx, order));
+  c.engine().run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kMsgs));
+  for (unsigned i = 0; i < kMsgs; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_GT(c.node(0).mcp().retransmissions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stray acks must not materialize sessions.
+// ---------------------------------------------------------------------------
+
+TEST(BclReliability, StrayAckDoesNotCreateASession) {
+  BclCluster c{lossy_cluster(0.0)};
+  (void)c.open_endpoint(0);
+  hw::Packet p;
+  p.proto = bcl::Mcp::kProto;
+  p.kind = hw::PacketKind::kAck;
+  p.src_node = 1;
+  p.dst_node = 0;
+  p.ack = 17;
+  c.node(0).node().nic().deliver(std::move(p));
+  c.engine().spawn([](sim::Engine& eng) -> Task<void> {
+    co_await eng.sleep(Time::us(50));
+  }(c.engine()));
+  c.engine().run();
+  EXPECT_EQ(c.node(0).mcp().stats().stray_acks, 1u);
+  EXPECT_EQ(c.node(0).mcp().tx_session_count(), 0u);
+  EXPECT_EQ(c.node(0).mcp().retransmissions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stopped peer: the retry budget surfaces kPeerUnreachable instead of
+// retrying forever, and later sends fail fast.
+// ---------------------------------------------------------------------------
+
+TEST(BclReliability, FailStoppedPeerSurfacesUnreachable) {
+  ClusterConfig cfg = lossy_cluster(0.0);
+  cfg.cost.rto = Time::us(50);
+  cfg.cost.adaptive_rto = false;
+  cfg.cost.max_retries = 3;
+  BclCluster c{cfg};
+  hw::FaultPlan dead;
+  dead.fail_from = Time::zero();  // node 0's uplink never carries a packet
+  myrinet(c).set_host_link_fault_plan(0, dead);
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  int failures = 0;
+  c.engine().spawn([](Endpoint& tx, PortId dst, int& failures) -> Task<void> {
+    auto buf = tx.process().alloc(512);
+    auto r = co_await tx.send_system(dst, buf, 512);
+    EXPECT_EQ(r.err, BclErr::kOk);
+    auto staged = co_await tx.wait_send();  // staged on the NIC, ok so far
+    EXPECT_TRUE(staged.ok);
+    auto ev = co_await tx.wait_send();  // retry budget exhausted
+    EXPECT_FALSE(ev.ok);
+    EXPECT_EQ(ev.err, BclErr::kPeerUnreachable);
+    ++failures;
+    // Subsequent sends fail fast instead of re-arming timers.
+    (void)co_await tx.send_system(dst, buf, 512);
+    auto ev2 = co_await tx.wait_send();
+    EXPECT_FALSE(ev2.ok);
+    EXPECT_EQ(ev2.err, BclErr::kPeerUnreachable);
+    ++failures;
+  }(tx, rx.id(), failures));
+  c.engine().run();
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(c.node(0).mcp().stats().peer_failures, 1u);
+  EXPECT_EQ(c.node(0).mcp().unreachable_peers(), 1u);
+  EXPECT_EQ(rx.port().messages_received, 0u);
 }
 
 }  // namespace
