@@ -20,6 +20,9 @@ double ul_avg_send_us(int nbufs, std::size_t cache_pages) {
   bcl::ClusterConfig cfg;
   cfg.nodes = 2;
   cfg.node.mem_bytes = 64u << 20;
+  // This ablation measures per-send translation cost with a deliberately
+  // non-draining receiver (paper discard semantics); credits would stall it.
+  cfg.cost.flow_control = false;
   baseline::UlConfig ul;
   ul.cache_pages = cache_pages;
   baseline::UlCluster c{cfg, ul};
@@ -55,6 +58,7 @@ double bcl_avg_send_us(int nbufs) {
   bcl::ClusterConfig cfg;
   cfg.nodes = 2;
   cfg.node.mem_bytes = 64u << 20;
+  cfg.cost.flow_control = false;  // same discard semantics as ul_avg_send_us
   bcl::BclCluster c{cfg};
   auto& tx = c.open_endpoint(0);
   auto& rx = c.open_endpoint(1);

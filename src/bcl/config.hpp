@@ -67,6 +67,42 @@ struct CostConfig {
   // uint32 wraparound path is testable end to end.
   std::uint32_t first_seq = 1;
 
+  // -- credit-based flow control (system-channel pool protection) ----------------
+  // MPICH2-over-InfiniBand-style end-to-end credits: every remote
+  // system-channel send consumes one credit toward its destination port;
+  // the receiver returns credits as cumulative grants piggybacked on acks
+  // and data (plus standalone update packets when traffic is one-sided).
+  // When the pool is genuinely exhausted despite the credits (multiple
+  // senders, intranode competition) the MCP answers with an RNR-NACK and a
+  // backoff hint instead of silently discarding.  Off restores the paper's
+  // literal drop-on-overflow semantics.
+  bool flow_control = true;
+  // Initial per-sender grant, capped by the receiver's pool size (both
+  // ends derive the cap from this shared config at channel setup).
+  int fc_initial_credits = 16;
+  // Standalone credit updates are sent when a starved sender can make
+  // progress again or at least this many credits accumulated; smaller
+  // top-ups ride piggybacked on reverse traffic only.
+  int fc_credit_batch = 4;
+  // Backoff hint carried in RNR-NACKs: how long the sender's session holds
+  // retransmission before probing the pool again.
+  sim::Time fc_rnr_backoff = sim::Time::us(150);
+  // Default deadline for blocking sends waiting on credits; zero means
+  // block until credits arrive (Endpoint::send_deadline overrides per call).
+  sim::Time fc_send_deadline = sim::Time::zero();
+  // The kernel's credit check reads a host-memory credit word the MCP
+  // keeps fresh by DMA (no PIO read on the fast path).
+  sim::Time fc_check = sim::Time::us(0.05);
+  // User-space credit-wait loop: cost of one poll of the mapped credit
+  // word and the spacing between polls (receive-path rule: no traps).
+  sim::Time fc_poll = sim::Time::us(0.12);
+  sim::Time fc_poll_interval = sim::Time::us(2.0);
+  // A stalled sender asks the receiver for a fresh cumulative grant this
+  // often, healing lost credit updates under a lossy fabric.
+  sim::Time fc_probe_every = sim::Time::us(200);
+  // LANai work per flow-control packet (update/probe/grant bookkeeping).
+  sim::Time mcp_fc_proc = sim::Time::us(0.30);
+
   // -- NIC-resident collectives (coll::CollectiveEngine) -------------------------
   // The engine's per-packet handler is far lighter than the full reliable
   // send path: no descriptor fetch, no pin-table segments, the group state

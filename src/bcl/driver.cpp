@@ -30,7 +30,27 @@ Driver::Driver(osk::Kernel& kernel, Mcp& mcp, const CostConfig& cfg,
     m_rejects_ = &metrics->counter(prefix + "security_rejects");
     m_pio_words_ = &metrics->counter(prefix + "pio_words");
     m_send_bytes_ = &metrics->counter(prefix + "send_bytes");
+    metrics->counter(prefix + "credit_blocks",
+                     [this] { return credit_blocks_; });
+    // Under the pindown prefix next to the osk gauges: pages pinned by
+    // sends that failed late and were (or were not) released.
+    metrics->gauge("node" + std::to_string(kernel_.node().id()) +
+                       ".pindown.leaked_pages",
+                   [this] { return static_cast<double>(pinned_uncommitted_); });
   }
+}
+
+std::uint64_t Driver::page_span(osk::VirtAddr vaddr, std::size_t len) {
+  if (len == 0) len = 1;
+  const std::uint64_t first = vaddr / hw::kPageSize;
+  const std::uint64_t last = (vaddr + len - 1) / hw::kPageSize;
+  return last - first + 1;
+}
+
+void Driver::release_pins(osk::Process& proc, const SendArgs& args,
+                          std::uint64_t pages) {
+  kernel_.pindown().unpin(proc, args.vaddr, args.len);
+  pinned_uncommitted_ -= pages;
 }
 
 BclErr Driver::validate_send(osk::Process& proc, Port& port,
@@ -99,7 +119,9 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
   d.total_len = args.len;
   d.rma_offset = args.rma_offset;
   d.reply_channel = args.reply_channel;
-  if (args.op != SendOp::kRmaRead && args.len > 0) {
+  const bool pins_pages = args.op != SendOp::kRmaRead && args.len > 0;
+  const std::uint64_t pages = pins_pages ? page_span(args.vaddr, args.len) : 0;
+  if (pins_pages) {
     auto span = trace_ ? trace_->span(comp_of(kernel_), "translate-pin", msg_id)
                        : sim::Trace::Span{};
     bool pin_failed = false;
@@ -116,9 +138,27 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
       co_await kernel_.trap_exit(proc);
       co_return Result<std::uint64_t>{0, BclErr::kNoResources};
     }
+    pinned_uncommitted_ += pages;
   } else {
     // Zero-length / RMA read: the table search still happens.
     co_await proc.cpu().busy(kernel_.config().pindown.lookup);
+  }
+
+  // Credit check: remote system-channel sends consume one end-to-end
+  // credit.  The MCP keeps a host-memory credit word fresh by DMA, so the
+  // kernel reads host memory here, not NIC SRAM.  Refusing now (instead of
+  // launching a packet the receiver must RNR or drop) is the whole point:
+  // the pages pinned above are released, nothing touched the NIC.
+  const bool fc = cfg_.flow_control && args.op == SendOp::kSend &&
+                  args.channel.kind == ChanKind::kSystem;
+  if (fc) {
+    co_await proc.cpu().busy(cfg_.fc_check);
+    if (!mcp_.flow().try_consume(args.dst)) {
+      ++credit_blocks_;
+      if (pins_pages) release_pins(proc, args, pages);
+      co_await kernel_.trap_exit(proc);
+      co_return Result<std::uint64_t>{0, BclErr::kWouldBlock};
+    }
   }
 
   const int pio_words =
@@ -146,7 +186,18 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
   // picks it up only now — this matches the paper's stage accounting, where
   // the whole 4.17 us of kernel work precedes NIC processing (Fig. 7).
   // Blocking here models a full request ring.
-  co_await mcp_.requests().send(std::move(d));
+  if (args.nonblock) {
+    if (!mcp_.requests().try_send(std::move(d))) {
+      // Descriptor ring full: undo the credit and the pins — the caller
+      // asked never to park, and nothing reached the NIC.
+      if (fc) mcp_.flow().refund(args.dst);
+      if (pins_pages) release_pins(proc, args, pages);
+      co_return Result<std::uint64_t>{0, BclErr::kNoResources};
+    }
+  } else {
+    co_await mcp_.requests().send(std::move(d));
+  }
+  if (pins_pages) pinned_uncommitted_ -= pages;  // descriptor committed
   co_return Result<std::uint64_t>{msg_id, BclErr::kOk};
 }
 

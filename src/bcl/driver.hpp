@@ -28,6 +28,9 @@ struct SendArgs {
   SendOp op = SendOp::kSend;
   std::uint64_t rma_offset = 0;
   std::uint16_t reply_channel = 0;
+  // Nonblocking admission: a full request ring returns kNoResources
+  // instead of parking the caller inside the (already exited) trap.
+  bool nonblock = false;
 };
 
 // ioctl(BCL_REGISTER_GROUP): join a NIC collective group.  `members` lists
@@ -94,11 +97,21 @@ class Driver {
 
   std::uint64_t sends_submitted() const { return sends_; }
   std::uint64_t security_rejects() const { return rejects_; }
+  std::uint64_t credit_blocks() const { return credit_blocks_; }
+  // Pages pinned by sends whose descriptors were never committed to the
+  // NIC: every late error path must release its pins, so this is zero
+  // whenever no send is mid-trap (asserted at teardown by the tests).
+  std::uint64_t leaked_pages() const { return pinned_uncommitted_; }
 
   osk::Kernel& kernel() { return kernel_; }
 
  private:
   BclErr validate_send(osk::Process& proc, Port& port, const SendArgs& args);
+  static std::uint64_t page_span(osk::VirtAddr vaddr, std::size_t len);
+  // Error path after translate_and_pin: drop the references this send
+  // added and settle the uncommitted-pages account.
+  void release_pins(osk::Process& proc, const SendArgs& args,
+                    std::uint64_t pages);
 
   osk::Kernel& kernel_;
   Mcp& mcp_;
@@ -108,6 +121,8 @@ class Driver {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t rejects_ = 0;
+  std::uint64_t credit_blocks_ = 0;
+  std::uint64_t pinned_uncommitted_ = 0;
   // Hot-path metric handles, resolved once at construction (null without a
   // registry).
   sim::Counter* m_sends_ = nullptr;

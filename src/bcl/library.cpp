@@ -40,6 +40,27 @@ sim::Task<Result<std::uint64_t>> Endpoint::send(PortId dst, ChannelRef ch,
                                                 const osk::UserBuffer& buf,
                                                 std::size_t len,
                                                 std::size_t off) {
+  co_return co_await send_impl(dst, ch, buf, len, off, cfg_.fc_send_deadline,
+                               false);
+}
+
+sim::Task<Result<std::uint64_t>> Endpoint::send_deadline(
+    PortId dst, ChannelRef ch, const osk::UserBuffer& buf, std::size_t len,
+    sim::Time deadline, std::size_t off) {
+  co_return co_await send_impl(dst, ch, buf, len, off, deadline, false);
+}
+
+sim::Task<Result<std::uint64_t>> Endpoint::try_send(PortId dst, ChannelRef ch,
+                                                    const osk::UserBuffer& buf,
+                                                    std::size_t len,
+                                                    std::size_t off) {
+  co_return co_await send_impl(dst, ch, buf, len, off, sim::Time::zero(),
+                               true);
+}
+
+sim::Task<Result<std::uint64_t>> Endpoint::send_impl(
+    PortId dst, ChannelRef ch, const osk::UserBuffer& buf, std::size_t len,
+    std::size_t off, sim::Time deadline, bool nonblock) {
   {
     auto span = trace_ ? trace_->span(comp(), "user-compose", 0)
                        : sim::Trace::Span{};
@@ -49,6 +70,8 @@ sim::Task<Result<std::uint64_t>> Endpoint::send(PortId dst, ChannelRef ch,
     co_return Result<std::uint64_t>{0, BclErr::kBadBuffer};
   }
   if (local(dst)) {
+    // Intranode transfers bypass the NIC (and its credit table); the
+    // shared-memory path applies its own backpressure.
     auto r = co_await intra_.send(*port_, dst, ch, buf.vaddr + off, len);
     co_return r;
   }
@@ -57,12 +80,37 @@ sim::Task<Result<std::uint64_t>> Endpoint::send(PortId dst, ChannelRef ch,
   args.channel = ch;
   args.vaddr = buf.vaddr + off;
   args.len = len;
-  auto r = co_await driver_.ioctl_send(proc_, *port_, args);
-  if (r.ok()) {
-    ++port_->messages_sent;
-    if (m_sends_) m_sends_->inc();
+  args.nonblock = nonblock;
+  const sim::Time start = eng_.now();
+  sim::Time last_probe = start;
+  for (;;) {
+    auto r = co_await driver_.ioctl_send(proc_, *port_, args);
+    if (r.ok()) {
+      ++port_->messages_sent;
+      if (m_sends_) m_sends_->inc();
+      co_return r;
+    }
+    if (r.err != BclErr::kWouldBlock || nonblock) co_return r;
+    // Out of credits: spin on the user-mapped credit word (receive-path
+    // rule: waiting involves no traps).  A stalled sender periodically
+    // probes the receiver for a fresh cumulative grant so a lost credit
+    // update cannot wedge the transfer.
+    auto span = trace_ ? trace_->span(comp(), "credit-wait", 0)
+                       : sim::Trace::Span{};
+    while (mcp_.flow().available(dst) == 0) {
+      if (deadline > sim::Time::zero() && eng_.now() - start >= deadline) {
+        co_return Result<std::uint64_t>{0, BclErr::kWouldBlock};
+      }
+      if (eng_.now() - last_probe >= cfg_.fc_probe_every) {
+        last_probe = eng_.now();
+        mcp_.fc_probe(dst);
+      }
+      co_await proc_.cpu().busy(cfg_.fc_poll);
+      co_await eng_.sleep(cfg_.fc_poll_interval);
+    }
+    // Credits visible again; retry the trap (another sender on this node
+    // may still win the race, in which case we loop back to waiting).
   }
-  co_return r;
 }
 
 sim::Task<SendEvent> Endpoint::wait_send() {
@@ -120,6 +168,10 @@ sim::Task<std::vector<std::byte>> Endpoint::copy_out_system(
   }
   co_await proc_.cpu().busy(cfg_.slot_release);
   sys.free_slots.push_back(ev.sys_slot);
+  // Slot-release doorbell: the MCP tops up the sender ledgers and pushes a
+  // standalone credit update to anyone starved (the piggyback path covers
+  // the common case where reverse traffic exists).
+  mcp_.credit_doorbell(port_->id().port);
   co_return out;
 }
 

@@ -35,10 +35,25 @@ class Endpoint {
 
   // -- send ----------------------------------------------------------------------
   // Sends buf[off, off+len) to (dst, channel).  Same-node destinations take
-  // the shared-memory path automatically.
+  // the shared-memory path automatically.  Out of send credits toward dst,
+  // the call blocks (polling the user-mapped credit word, no traps) until
+  // credits return — or until cfg.fc_send_deadline if that is nonzero, in
+  // which case it returns kWouldBlock.
   sim::Task<Result<std::uint64_t>> send(PortId dst, ChannelRef ch,
                                         const osk::UserBuffer& buf,
                                         std::size_t len, std::size_t off = 0);
+  // Same, with an explicit per-call credit-wait deadline (zero = forever).
+  sim::Task<Result<std::uint64_t>> send_deadline(PortId dst, ChannelRef ch,
+                                                 const osk::UserBuffer& buf,
+                                                 std::size_t len,
+                                                 sim::Time deadline,
+                                                 std::size_t off = 0);
+  // Nonblocking: kWouldBlock when no credits are available right now,
+  // kNoResources when the request ring is full.  Never parks the caller.
+  sim::Task<Result<std::uint64_t>> try_send(PortId dst, ChannelRef ch,
+                                            const osk::UserBuffer& buf,
+                                            std::size_t len,
+                                            std::size_t off = 0);
   // Convenience: system channel.
   sim::Task<Result<std::uint64_t>> send_system(PortId dst,
                                                const osk::UserBuffer& buf,
@@ -80,6 +95,11 @@ class Endpoint {
  private:
   bool local(PortId dst) const { return dst.node == port_->id().node; }
   std::string comp() const;
+  sim::Task<Result<std::uint64_t>> send_impl(PortId dst, ChannelRef ch,
+                                             const osk::UserBuffer& buf,
+                                             std::size_t len, std::size_t off,
+                                             sim::Time deadline,
+                                             bool nonblock);
 
   sim::Engine& eng_;
   const CostConfig& cfg_;

@@ -82,6 +82,38 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
       return static_cast<double>(unreachable_peers());
     });
   }
+  flow_ = std::make_unique<FlowController>(eng, cfg, nic_.name(), trace,
+                                           metrics);
+  if (metrics != nullptr) {
+    // Flow-control aggregates under their own <nic>.fc.* prefix (the
+    // credit_rtt_us summary is registered by the FlowController itself).
+    const std::string fc = nic_.name() + ".fc.";
+    metrics->counter(fc + "stalls", [this] { return flow_->stalls(); });
+    metrics->counter(fc + "credits_consumed",
+                     [this] { return flow_->credits_consumed(); });
+    metrics->counter(fc + "grants_rx", [this] { return flow_->grants_rx(); });
+    metrics->counter(fc + "credits_granted",
+                     [this] { return stats_.fc_credits_granted; });
+    metrics->counter(fc + "rnr_nacks_tx",
+                     [this] { return stats_.rnr_nacks_tx; });
+    metrics->counter(fc + "rnr_nacks_rx",
+                     [this] { return stats_.rnr_nacks_rx; });
+    metrics->counter(fc + "credit_updates_tx",
+                     [this] { return stats_.fc_updates_tx; });
+    metrics->counter(fc + "credit_updates_rx",
+                     [this] { return stats_.fc_updates_rx; });
+    metrics->counter(fc + "probes_tx", [this] { return stats_.fc_probes_tx; });
+    metrics->counter(fc + "probes_rx", [this] { return stats_.fc_probes_rx; });
+    metrics->gauge(fc + "send_credits",
+                   [this] { return flow_->total_available(); });
+    metrics->gauge(fc + "rx_outstanding", [this] {
+      double n = 0;
+      for (const auto& [key, rc] : rx_credits_) {
+        n += static_cast<double>(rc.limit - rc.delivered);
+      }
+      return n;
+    });
+  }
   coll_ = std::make_unique<coll::CollectiveEngine>(eng, nic, *this, cfg,
                                                    trace, metrics);
   eng_.spawn_daemon(tx_pump());
@@ -248,6 +280,7 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
     p.frag_count = frags;
     p.msg_bytes = d.total_len;
     p.offset = d.rma_offset + off;
+    attach_grant(p);  // credits for the reverse direction ride on data
 
     if (len > 0 && d.op != SendOp::kRmaRead) {
       auto span = trace_ ? trace_->span(comp(), "nic-dma-host-to-nic", d.msg_id)
@@ -292,6 +325,7 @@ sim::Task<void> Mcp::rx_pump() {
     switch (p.kind) {
       case hw::PacketKind::kAck: {
         co_await nic_.lanai().use(cfg_.mcp_ack_proc);
+        apply_grant(p);
         TxSession* s = find_tx_session(p.src_node);
         if (s == nullptr) {
           ++stats_.stray_acks;  // late/stray ack: no session, don't make one
@@ -307,8 +341,50 @@ sim::Task<void> Mcp::rx_pump() {
         }
         break;
       }
+      case hw::PacketKind::kNack: {
+        // Receiver-not-ready: the peer's pool was full.  Not a loss signal
+        // — hand the session the hold hint instead of a timeout.
+        co_await nic_.lanai().use(cfg_.mcp_ack_proc);
+        if (p.corrupted) {
+          ++stats_.crc_drops;
+          break;
+        }
+        apply_grant(p);
+        ++stats_.rnr_nacks_rx;
+        if (TxSession* s = find_tx_session(p.src_node)) {
+          s->on_rnr(p.ack, sim::Time::us(static_cast<double>(p.nack_hint_us)));
+        }
+        break;
+      }
       case hw::PacketKind::kData:
       case hw::PacketKind::kCtrl: {
+        const auto op = static_cast<SendOp>(p.op_flags & 0xff);
+        if (op == SendOp::kFcUpdate || op == SendOp::kFcProbe) {
+          // Session-less flow-control packets: idempotent cumulative
+          // state carriers, never sequenced through the rx session.
+          co_await nic_.lanai().use(cfg_.mcp_fc_proc);
+          if (p.corrupted) {
+            ++stats_.crc_drops;
+            break;
+          }
+          apply_grant(p);
+          if (op == SendOp::kFcProbe) {
+            ++stats_.fc_probes_rx;
+            if (cfg_.flow_control) {
+              if (Port* port = find_port(p.dst_port)) {
+                auto& rc = rx_credit(p.dst_port, p.src_node);
+                fc_top_up(*port, rc);
+                if (!rc.update_queued) {
+                  rc.update_queued = true;
+                  eng_.spawn_daemon(send_fc_update(p.dst_port, p.src_node));
+                }
+              }
+            }
+          } else {
+            ++stats_.fc_updates_rx;
+          }
+          break;
+        }
         ++stats_.data_packets_in;
         {
           auto span = trace_ ? trace_->span(comp(), "mcp-rx-proc", p.msg_id)
@@ -320,6 +396,7 @@ sim::Task<void> Mcp::rx_pump() {
           ++stats_.crc_drops;
           break;
         }
+        apply_grant(p);  // reverse-traffic piggyback for our sender side
         if (cfg_.reliable) {
           auto& rx = rx_session(p.src_node);
           if (!rx.accept(p.seq)) {
@@ -333,10 +410,17 @@ sim::Task<void> Mcp::rx_pump() {
           const bool do_ack = (ack % static_cast<std::uint32_t>(
                                          cfg_.ack_every)) == 0 ||
                               p.frag_index + 1 == p.frag_count;
-          co_await handle_data(std::move(p));
+          if (!co_await handle_data(std::move(p))) {
+            // No pool slot for an in-sequence message: roll the session
+            // back so the paced retransmission is accepted later, and tell
+            // the sender explicitly instead of acking data we discarded.
+            rx.regress();
+            co_await send_rnr(src, rx.ack_value());
+            break;
+          }
           if (do_ack) co_await send_ack(src, ack);
         } else {
-          co_await handle_data(std::move(p));
+          (void)co_await handle_data(std::move(p));
         }
         break;
       }
@@ -346,23 +430,23 @@ sim::Task<void> Mcp::rx_pump() {
   }
 }
 
-sim::Task<void> Mcp::handle_data(hw::Packet p) {
+sim::Task<bool> Mcp::handle_data(hw::Packet p) {
   // Collective packets carry the SendOp in the low op_flags byte (the
   // channel field holds the group id, not a ChannelRef) — demux first.
   if ((p.op_flags & 0xff) ==
       static_cast<std::uint16_t>(SendOp::kColl)) {
     co_await coll_->handle_packet(std::move(p));
-    co_return;
+    co_return true;
   }
   if (p.kind == hw::PacketKind::kCtrl &&
       static_cast<SendOp>(p.op_flags) == SendOp::kRmaRead) {
     co_await handle_rma_read(p);
-    co_return;
+    co_return true;
   }
   Port* port = find_port(p.dst_port);
   if (port == nullptr) {
     ++stats_.no_port_drops;
-    co_return;
+    co_return true;
   }
   if (trace_) trace_->flow_step(comp(), "msg", flow_key(p.src_node, p.msg_id));
   const ChannelRef ch = ChannelRef::decode(p.channel);
@@ -370,12 +454,25 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
   switch (ch.kind) {
     case ChanKind::kSystem: {
       auto& sys = port->system();
-      if (!sys.configured() || p.payload.size() > sys.slot_bytes ||
-          sys.free_slots.empty()) {
+      if (!sys.configured() || p.payload.size() > sys.slot_bytes) {
+        ++port->sys_drops;
+        co_return true;
+      }
+      if (sys.free_slots.empty()) {
+        if (cfg_.flow_control && cfg_.reliable) {
+          // Credits should make this unreachable for a single sender, but
+          // overcommitted pools (several senders, intranode competition)
+          // can still run dry: answer receiver-not-ready, never discard.
+          ++port->rnr_events;
+          co_return false;
+        }
         // Paper: "The incoming message will be discarded if there is no
         // free buffer in the pool."
         ++port->sys_drops;
-        co_return;
+        co_return true;
+      }
+      if (cfg_.flow_control) {
+        ++rx_credit(port->id().port, p.src_node).delivered;
       }
       const int slot = sys.free_slots.front();
       sys.free_slots.pop_front();
@@ -396,12 +493,12 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
     case ChanKind::kNormal: {
       if (ch.index >= port->normal_count()) {
         ++port->not_posted_drops;
-        co_return;
+        co_return true;
       }
       auto& st = port->normal(ch.index);
       if (!st.posted || p.offset + p.payload.size() > st.buf.len) {
         ++port->not_posted_drops;
-        co_return;
+        co_return true;
       }
       if (!p.payload.empty()) {
         auto segs = slice_segments(st.segs, p.offset, p.payload.size());
@@ -425,12 +522,12 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
       co_await nic_.lanai().use(cfg_.mcp_rma_proc);
       if (ch.index >= port->open_count()) {
         ++port->rma_errors;
-        co_return;
+        co_return true;
       }
       auto& st = port->open(ch.index);
       if (!st.bound || p.offset + p.payload.size() > st.buf.len) {
         ++port->rma_errors;
-        co_return;
+        co_return true;
       }
       if (!p.payload.empty()) {
         auto segs = slice_segments(st.segs, p.offset, p.payload.size());
@@ -442,6 +539,7 @@ sim::Task<void> Mcp::handle_data(hw::Packet p) {
       break;
     }
   }
+  co_return true;
 }
 
 sim::Task<void> Mcp::handle_rma_read(const hw::Packet& p) {
@@ -483,7 +581,138 @@ sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack) {
   p.kind = hw::PacketKind::kAck;
   p.ack = ack;
   p.header_bytes = 16;
+  attach_grant(p);  // the main piggyback path for credit return
   co_await nic_.lanai().use(cfg_.mcp_ack_proc);
+  co_await nic_.transmit(std::move(p));
+}
+
+sim::Task<void> Mcp::send_rnr(hw::NodeId dst, std::uint32_t ack) {
+  ++stats_.rnr_nacks_tx;
+  hw::Packet p;
+  p.id = next_packet_id_++;
+  p.dst_node = dst;
+  p.proto = kProto;
+  p.kind = hw::PacketKind::kNack;
+  p.ack = ack;  // cumulative: everything the pool did take stays acked
+  p.nack_hint_us = static_cast<std::uint32_t>(cfg_.fc_rnr_backoff.to_us());
+  p.header_bytes = 16;
+  attach_grant(p);  // current limit aboard: heals any lost earlier grant
+  co_await nic_.lanai().use(cfg_.mcp_ack_proc);
+  co_await nic_.transmit(std::move(p));
+}
+
+Mcp::RxCredit& Mcp::rx_credit(std::uint32_t port_no, hw::NodeId src) {
+  auto [it, inserted] = rx_credits_.try_emplace(RxCreditKey{port_no, src});
+  if (inserted) it->second.limit = flow_->initial();
+  return it->second;
+}
+
+std::uint32_t Mcp::fc_top_up(Port& port, RxCredit& rc) {
+  // Per-sender window: raise this ledger's outstanding allowance toward
+  // min(initial, slots free right now).  The cap keeps any single sender
+  // from overrunning the pool on its own (its allowance never exceeds
+  // what is free), but deliberately ignores the other ledgers: bounding
+  // grants by free slots minus every OTHER ledger's outstanding allowance
+  // deadlocks once idle senders hoard their unused initial grants — the
+  // sum goes permanently non-positive and the one active sender starves.
+  // The resulting cross-sender overcommit is what the RNR-NACK path
+  // absorbs: a burst that collectively outruns the pool is NACKed and
+  // retried, never dropped.
+  const std::uint32_t outstanding = rc.limit - rc.delivered;
+  const auto free_slots =
+      static_cast<std::uint32_t>(port.system().free_slots.size());
+  const std::uint32_t cap = std::min(flow_->initial(), free_slots);
+  if (outstanding >= cap) return 0;
+  const std::uint32_t grant = cap - outstanding;
+  rc.limit += grant;
+  stats_.fc_credits_granted += grant;
+  return grant;
+}
+
+void Mcp::attach_grant(hw::Packet& p) {
+  if (!cfg_.flow_control) return;
+  for (auto& [key, rc] : rx_credits_) {
+    if (key.second != p.dst_node) continue;
+    Port* port = find_port(key.first);
+    if (port == nullptr) continue;
+    fc_top_up(*port, rc);
+    // One grant per packet; other ports' ledgers ride later packets or
+    // standalone updates.
+    p.credit_port = static_cast<std::uint16_t>(key.first);
+    p.credit_limit = rc.limit;
+    return;
+  }
+}
+
+void Mcp::apply_grant(const hw::Packet& p) {
+  if (!cfg_.flow_control || p.credit_port == kFcNoGrant) return;
+  flow_->on_grant(PortId{p.src_node, p.credit_port}, p.credit_limit);
+}
+
+void Mcp::credit_doorbell(std::uint32_t port_no) {
+  if (!cfg_.flow_control) return;
+  Port* port = find_port(port_no);
+  if (port == nullptr) return;
+  // Rotate the scan start across doorbells so the standalone updates (and
+  // the sender wakeups they trigger) don't always favor the
+  // lowest-numbered sender when several are starved at once.
+  std::vector<std::pair<const RxCreditKey, RxCredit>*> ledgers;
+  for (auto& entry : rx_credits_) {
+    if (entry.first.first == port_no) ledgers.push_back(&entry);
+  }
+  if (ledgers.empty()) return;
+  const std::size_t start = fc_rr_next_[port_no]++ % ledgers.size();
+  for (std::size_t i = 0; i < ledgers.size(); ++i) {
+    auto& [key, rc] = *ledgers[(start + i) % ledgers.size()];
+    const bool starved = rc.limit == rc.delivered;
+    const std::uint32_t granted = fc_top_up(*port, rc);
+    // Push a standalone update when the sender could not make progress
+    // (its next packet would be the grant's only ride back) or when a
+    // whole batch accumulated; smaller grants wait for piggyback rides.
+    if (granted > 0 && !rc.update_queued &&
+        (starved ||
+         granted >= static_cast<std::uint32_t>(
+                        std::max(1, cfg_.fc_credit_batch)))) {
+      rc.update_queued = true;
+      eng_.spawn_daemon(send_fc_update(key.first, key.second));
+    }
+  }
+}
+
+sim::Task<void> Mcp::send_fc_update(std::uint32_t port_no, hw::NodeId dst) {
+  const auto it = rx_credits_.find(RxCreditKey{port_no, dst});
+  if (it == rx_credits_.end()) co_return;
+  it->second.update_queued = false;  // a later doorbell may queue the next
+  ++stats_.fc_updates_tx;
+  hw::Packet p;
+  p.id = next_packet_id_++;
+  p.dst_node = dst;
+  p.proto = kProto;
+  p.kind = hw::PacketKind::kCtrl;
+  p.op_flags = static_cast<std::uint16_t>(SendOp::kFcUpdate);
+  p.credit_port = static_cast<std::uint16_t>(port_no);
+  p.credit_limit = it->second.limit;
+  p.header_bytes = 16;
+  co_await nic_.lanai().use(cfg_.mcp_fc_proc);
+  co_await nic_.transmit(std::move(p));
+}
+
+void Mcp::fc_probe(PortId dst) {
+  if (!cfg_.flow_control) return;
+  eng_.spawn_daemon(send_fc_probe(dst));
+}
+
+sim::Task<void> Mcp::send_fc_probe(PortId dst) {
+  ++stats_.fc_probes_tx;
+  hw::Packet p;
+  p.id = next_packet_id_++;
+  p.dst_node = dst.node;
+  p.dst_port = dst.port;
+  p.proto = kProto;
+  p.kind = hw::PacketKind::kCtrl;
+  p.op_flags = static_cast<std::uint16_t>(SendOp::kFcProbe);
+  p.header_bytes = 16;
+  co_await nic_.lanai().use(cfg_.mcp_fc_proc);
   co_await nic_.transmit(std::move(p));
 }
 

@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "bcl/config.hpp"
+#include "bcl/flowctl.hpp"
 #include "bcl/port.hpp"
 #include "bcl/reliable.hpp"
 #include "bcl/types.hpp"
@@ -56,6 +58,19 @@ class Mcp {
   // The NIC-resident collective engine (barrier/bcast/reduce offload).
   coll::CollectiveEngine& coll() { return *coll_; }
 
+  // Sender-side credit table (read by the kernel on the send trap and by
+  // the library's credit-wait poll loop).
+  FlowController& flow() { return *flow_; }
+
+  // Library-side doorbell: a system-channel pool slot was just released;
+  // top up the ledgers for `port_no` and push a standalone credit update
+  // to any sender that was starved (or accumulated a batch).
+  void credit_doorbell(std::uint32_t port_no);
+  // A stalled sender-side library asks the receiver for a fresh cumulative
+  // grant (stand-in for reading the remote credit word; heals lost
+  // updates).  Fire-and-forget.
+  void fc_probe(PortId dst);
+
   // Engine-originated transmit: stamps a packet id and pushes the packet
   // through the per-destination go-back-N session.  Charges the engine's
   // lightweight per-packet cost (the full send path's descriptor fetch and
@@ -80,8 +95,31 @@ class Mcp {
     std::uint64_t rma_reads_served = 0;
     std::uint64_t stray_acks = 0;      // acks with no matching tx session
     std::uint64_t peer_failures = 0;   // sessions declared unreachable
+    // Flow control.
+    std::uint64_t rnr_nacks_tx = 0;    // pool full: NACKed instead of dropped
+    std::uint64_t rnr_nacks_rx = 0;
+    std::uint64_t fc_updates_tx = 0;   // standalone credit-update packets
+    std::uint64_t fc_updates_rx = 0;
+    std::uint64_t fc_probes_tx = 0;
+    std::uint64_t fc_probes_rx = 0;
+    std::uint64_t fc_credits_granted = 0;  // cumulative limit advance
   };
   const Stats& stats() const { return stats_; }
+  // Diagnostic snapshot of the receiver-side ledgers:
+  // (local port, sending node) -> (cumulative limit, cumulative delivered).
+  struct RxCreditSnapshot {
+    std::uint32_t port = 0;
+    hw::NodeId src = 0;
+    std::uint32_t limit = 0;
+    std::uint32_t delivered = 0;
+  };
+  std::vector<RxCreditSnapshot> rx_credit_snapshot() const {
+    std::vector<RxCreditSnapshot> out;
+    for (const auto& [key, rc] : rx_credits_) {
+      out.push_back({key.first, key.second, rc.limit, rc.delivered});
+    }
+    return out;
+  }
   std::uint64_t retransmissions() const;
   std::uint64_t timeouts() const;
   std::uint64_t window_stalls() const;
@@ -90,13 +128,37 @@ class Mcp {
   std::size_t unreachable_peers() const;
 
  private:
+  // Receiver-side credit ledger, one per (local port, sending node):
+  // cumulative allowance vs cumulative deliveries into the pool.
+  struct RxCredit {
+    std::uint32_t limit = 0;
+    std::uint32_t delivered = 0;
+    bool update_queued = false;  // a standalone update daemon is in flight
+  };
+  using RxCreditKey = std::pair<std::uint32_t, hw::NodeId>;
+
   sim::Task<void> tx_pump();
   sim::Task<void> rx_pump();
   sim::Task<void> send_message_locked(SendDescriptor d);
   sim::Task<void> send_message(const SendDescriptor& d);
-  sim::Task<void> handle_data(hw::Packet p);
+  // False means receiver-not-ready: the system pool had no slot and flow
+  // control is on, so the caller must regress the rx session and NACK
+  // instead of acking a silently discarded message.
+  sim::Task<bool> handle_data(hw::Packet p);
   sim::Task<void> handle_rma_read(const hw::Packet& p);
   sim::Task<void> send_ack(hw::NodeId dst, std::uint32_t ack);
+  sim::Task<void> send_rnr(hw::NodeId dst, std::uint32_t ack);
+  sim::Task<void> send_fc_update(std::uint32_t port_no, hw::NodeId dst);
+  sim::Task<void> send_fc_probe(PortId dst);
+  RxCredit& rx_credit(std::uint32_t port_no, hw::NodeId src);
+  // Raise the ledger's limit toward the per-sender window (capped by the
+  // slots free right now); returns the number of fresh credits granted.
+  std::uint32_t fc_top_up(Port& port, RxCredit& rc);
+  // Attach the current cumulative grant for p.dst_node to an outbound
+  // packet (acks, data, NACKs) — the piggyback path of credit return.
+  void attach_grant(hw::Packet& p);
+  // An inbound packet may carry a grant for our sender side.
+  void apply_grant(const hw::Packet& p);
   sim::Task<void> deliver_recv_event(Port& port, RecvEvent ev);
   sim::Task<void> deliver_send_event(Port* port, SendEvent ev);
   RxSession& rx_session(hw::NodeId src);
@@ -119,6 +181,11 @@ class Mcp {
   std::map<hw::NodeId, RxSession> rx_sessions_;
   std::uint64_t next_packet_id_ = 1;
   std::unique_ptr<coll::CollectiveEngine> coll_;
+  std::unique_ptr<FlowController> flow_;
+  std::map<RxCreditKey, RxCredit> rx_credits_;
+  // Per-port round-robin cursor for the doorbell's ledger scan (fairness
+  // across senders competing for the same pool's freed slots).
+  std::map<std::uint32_t, std::size_t> fc_rr_next_;
   Stats stats_;
   // Hot-path metric handles (null without a registry).
   sim::Counter* m_dma_tx_bytes_ = nullptr;

@@ -22,6 +22,8 @@ const char* to_string(BclErr e) {
       return "out of resources";
     case BclErr::kPeerUnreachable:
       return "peer unreachable";
+    case BclErr::kWouldBlock:
+      return "no send credits (would block)";
   }
   return "?";
 }

@@ -57,6 +57,7 @@ class Port {
 
   // -- statistics ---------------------------------------------------------------
   std::uint64_t sys_drops = 0;       // pool exhausted (paper: discard)
+  std::uint64_t rnr_events = 0;      // pool exhausted, RNR-NACK sent instead
   std::uint64_t not_posted_drops = 0;
   std::uint64_t rma_errors = 0;
   std::uint64_t messages_received = 0;

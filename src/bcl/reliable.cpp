@@ -59,13 +59,49 @@ void TxSession::on_ack(std::uint32_t ack) {
     // arrive out of order past a hole.  k of them and we resend the window
     // now instead of waiting out the RTO.
     if (cfg_.dupack_k > 0 && ++dup_acks_ >= cfg_.dupack_k &&
-        !retransmitting_) {
+        !retransmitting_ && eng_.now() >= rnr_hold_until_) {
       dup_acks_ = 0;
       ++fast_retransmits_;
       eng_.spawn_daemon(retransmit_window());
     }
   }
   // else: stale ack from before last_ack_ (late duplicate on the wire).
+}
+
+void TxSession::on_rnr(std::uint32_t ack, sim::Time hold) {
+  if (unreachable_) return;
+  ++rnr_events_;
+  // The NACK still carries a cumulative ack: release the prefix the
+  // receiver did take.  No RTT sample — the reply timing reflects pool
+  // pressure, not path delay (same spirit as Karn's rule).
+  std::int64_t released = 0;
+  while (!unacked_.empty() && seq_leq(unacked_.front().pkt.seq, ack)) {
+    unacked_.pop_front();
+    ++released;
+  }
+  if (released > 0) {
+    last_ack_ = ack;
+    window_.release(released);
+  }
+  // An RNR proves the peer is alive and responsive: the retry budget,
+  // backoff ladder, and dup-ack count all restart.  A merely-slow receiver
+  // can therefore never ripen into kPeerUnreachable.
+  consecutive_timeouts_ = 0;
+  backoff_level_ = 0;
+  dup_acks_ = 0;
+  last_progress_ = eng_.now();
+  if (hold <= sim::Time::zero()) hold = cfg_.fc_rnr_backoff;
+  rnr_hold_until_ = eng_.now() + hold;
+  if (!rnr_wait_armed_ && !unacked_.empty()) {
+    rnr_wait_armed_ = true;
+    eng_.spawn_daemon(rnr_resume(hold));
+  }
+}
+
+sim::Task<void> TxSession::rnr_resume(sim::Time hold) {
+  co_await eng_.sleep(hold);
+  rnr_wait_armed_ = false;
+  if (!unacked_.empty() && !unreachable_) co_await retransmit_window();
 }
 
 void TxSession::arm_timer() {
@@ -79,6 +115,10 @@ sim::Task<void> TxSession::timer() {
     const sim::Time wait = effective_rto();
     co_await eng_.sleep(wait);
     if (unacked_.empty() || unreachable_) break;  // let the engine drain
+    // Inside a receiver-not-ready hold the quiet is intentional: the
+    // rnr_resume daemon owns the paced resend, and counting the silence
+    // as timeouts would burn the retry budget against a live peer.
+    if (eng_.now() < rnr_hold_until_) continue;
     if (eng_.now() - last_progress_ >= wait && !retransmitting_) {
       ++timeouts_;
       if (cfg_.max_retries > 0 &&

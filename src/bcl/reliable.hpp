@@ -55,6 +55,12 @@ class TxSession {
   // something out of order; cfg.dupack_k of them trigger a fast retransmit.
   void on_ack(std::uint32_t ack);
 
+  // Receiver-not-ready NACK: releases the acked prefix like on_ack, then
+  // holds retransmission for `hold` instead of backing off exponentially.
+  // The peer is demonstrably alive, so the retry budget and backoff level
+  // reset — a slow receiver must never be misdiagnosed as unreachable.
+  void on_rnr(std::uint32_t ack, sim::Time hold);
+
   std::size_t in_flight() const { return unacked_.size(); }
   bool peer_unreachable() const { return unreachable_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
@@ -62,6 +68,7 @@ class TxSession {
   std::uint64_t window_stalls() const { return window_stalls_; }
   std::uint64_t fast_retransmits() const { return fast_retransmits_; }
   std::uint64_t rtt_samples() const { return rtt_samples_; }
+  std::uint64_t rnr_events() const { return rnr_events_; }
   int backoff_level() const { return backoff_level_; }
   // Estimator state (zero until the first sample when adaptive).
   sim::Time srtt() const { return srtt_; }
@@ -79,6 +86,10 @@ class TxSession {
 
   void arm_timer();
   sim::Task<void> timer();
+  // One-shot daemon armed by on_rnr: sleeps out the receiver's hold hint,
+  // then resends the window (the NACK regressed the rx session, so the
+  // held packets must be replayed for the transfer to finish).
+  sim::Task<void> rnr_resume(sim::Time hold);
   // Go-back-N: resend the whole outstanding window in order.  Snapshots the
   // window's sequence numbers before the first co_await — on_ack pops the
   // deque from the front while we are suspended in nic_.transmit, so
@@ -106,12 +117,18 @@ class TxSession {
   bool timer_armed_ = false;
   bool retransmitting_ = false;
   bool unreachable_ = false;
+  // Receiver-not-ready hold window: the timer must not count these quiet
+  // periods as timeouts, and fast retransmit must not fire into the full
+  // pool that just NACKed us.
+  sim::Time rnr_hold_until_ = sim::Time::zero();
+  bool rnr_wait_armed_ = false;
   FailureHook failure_hook_;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t window_stalls_ = 0;
   std::uint64_t fast_retransmits_ = 0;
   std::uint64_t rtt_samples_ = 0;
+  std::uint64_t rnr_events_ = 0;
 };
 
 class RxSession {
@@ -129,6 +146,13 @@ class RxSession {
   // defined across wraparound because the sender compares with serial
   // arithmetic, not magnitude.
   std::uint32_t ack_value() const { return expected_ - 1; }
+
+  // Undoes the most recent accept(): the packet was in sequence but the
+  // receiver could not take it (pool exhausted, RNR-NACKed), so its
+  // retransmission must be acceptable later.  Only valid immediately after
+  // the accept it reverts, which the MCP's strictly serial rx pump
+  // guarantees.
+  void regress() { --expected_; }
 
  private:
   std::uint32_t expected_;

@@ -56,6 +56,7 @@ void NodeStack::register_port_metrics(sim::MetricRegistry& m, Port& port) {
             [p] { return p->messages_received; });
   m.counter(prefix + "messages_sent", [p] { return p->messages_sent; });
   m.counter(prefix + "sys_drops", [p] { return p->sys_drops; });
+  m.counter(prefix + "rnr_events", [p] { return p->rnr_events; });
   m.counter(prefix + "not_posted_drops",
             [p] { return p->not_posted_drops; });
   m.counter(prefix + "rma_errors", [p] { return p->rma_errors; });

@@ -55,6 +55,7 @@ enum class BclErr : std::uint8_t {
   kNotBound,     // open channel has no bound window
   kNoResources,  // queue/pin-table exhaustion
   kPeerUnreachable,  // reliability retry budget exhausted (fail-stop peer)
+  kWouldBlock,   // no send credits toward the destination right now
 };
 
 const char* to_string(BclErr e);
@@ -87,7 +88,20 @@ struct RecvEvent {
 // the low byte of Packet::op_flags carries the SendOp and the high byte a
 // coll::CollWire opcode, so the MCP can demultiplex before touching the
 // channel field (which collective packets reuse for the group id).
-enum class SendOp : std::uint8_t { kSend = 0, kRmaWrite, kRmaRead, kColl };
+// kFcUpdate/kFcProbe are MCP-internal flow-control packets: session-less
+// (no sequence number), idempotent carriers of a cumulative credit grant
+// (update) or a request for one (probe).
+enum class SendOp : std::uint8_t {
+  kSend = 0,
+  kRmaWrite,
+  kRmaRead,
+  kColl,
+  kFcUpdate,
+  kFcProbe,
+};
+
+// Packet::credit_port value meaning "no credit grant aboard".
+inline constexpr std::uint16_t kFcNoGrant = 0xffff;
 
 // What the kernel module writes (via PIO) into the NIC request queue.
 struct SendDescriptor {

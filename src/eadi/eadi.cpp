@@ -80,9 +80,20 @@ sim::Task<void> Device::send_envelope(bcl::PortId dst, const Envelope& env,
     proc.poke(staging_[static_cast<std::size_t>(slot)], cfg_.envelope_bytes,
               payload);
   }
-  auto r = co_await ep_.send_system(
-      dst, staging_[static_cast<std::size_t>(slot)], total);
-  if (!r.ok()) throw std::runtime_error("eadi: system send failed");
+  auto r = co_await ep_.send_deadline(dst, bcl::ChannelRef{},
+                                      staging_[static_cast<std::size_t>(slot)],
+                                      total, cfg_.send_deadline);
+  if (!r.ok()) {
+    // Failed sends never get a completion event, so the slot must go back
+    // here or it leaks from the fixed staging pool.
+    (void)staging_free_.try_send(slot);
+    if (r.err == bcl::BclErr::kWouldBlock) {
+      // Credit deadline expired: the receiver is overloaded, not gone.
+      throw std::runtime_error(
+          "eadi: send credit deadline exceeded (receiver overloaded)");
+    }
+    throw std::runtime_error("eadi: system send failed");
+  }
   staging_by_msg_[r.value] = slot;
 }
 

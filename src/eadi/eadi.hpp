@@ -32,6 +32,11 @@ struct DeviceConfig {
   int staging_buffers = 8;
   double pack_bw = 850e6;  // envelope/eager packing memcpy
   sim::Time pack_setup = sim::Time::us(0.10);
+  // How long an envelope send may wait for flow-control credits toward an
+  // overloaded receiver before the device reports failure; zero blocks
+  // until credits arrive (the default — MPI/PVM sends have no deadline
+  // semantics of their own).
+  sim::Time send_deadline = sim::Time::zero();
 };
 
 struct RecvResult {
@@ -72,6 +77,25 @@ class Device {
                                              bcl::PortId src);
 
   std::uint64_t unexpected_peak() const { return unexpected_peak_; }
+
+  // Occupancy snapshot of the device's finite resources, for tests and
+  // stall diagnosis (a hung collective usually shows up here as an
+  // exhausted staging pool or channel list).
+  struct DebugCounts {
+    std::size_t staging_free = 0;
+    std::size_t staging_in_flight = 0;  // awaiting send completion
+    std::size_t free_channels = 0;
+    std::size_t posted = 0;
+    std::size_t unexpected = 0;
+    std::size_t tx_rendezvous = 0;
+    std::size_t rx_rendezvous = 0;
+  };
+  DebugCounts debug_counts() const {
+    return {staging_free_.size(),  staging_by_msg_.size(),
+            free_channels_.size(), posted_.size(),
+            unexpected_.size(),    tx_rendezvous_.size(),
+            rx_rendezvous_.size()};
+  }
 
  private:
   enum class Kind : std::uint8_t { kEager = 1, kRts, kCts };

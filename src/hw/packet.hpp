@@ -48,6 +48,16 @@ struct Packet {
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
 
+  // Flow control: cumulative credit grant piggybacked on any packet
+  // (0xffff in credit_port means "no grant aboard").  credit_limit is the
+  // receiver's absolute count of messages the source may ever have sent
+  // toward credit_port, so a lost grant is healed by any later packet.
+  // nack_hint_us rides on receiver-not-ready NACKs: how long the sender
+  // should hold off before retransmitting into the full pool.
+  std::uint16_t credit_port = 0xffff;
+  std::uint32_t credit_limit = 0;
+  std::uint32_t nack_hint_us = 0;
+
   std::vector<std::byte> payload;
 
   // Set by a lossy link; receivers detect it via the CRC check.

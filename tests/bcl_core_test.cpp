@@ -159,6 +159,9 @@ TEST(BclCore, UnpostedNormalChannelDropsAndCounts) {
 TEST(BclCore, SystemPoolExhaustionDiscardsPerPaper) {
   ClusterConfig cfg = small_cluster(2);
   cfg.cost.sys_slots = 4;
+  // This test asserts the paper's literal drop-on-overflow semantics; the
+  // credit subsystem (default-on) exists to prevent exactly this.
+  cfg.cost.flow_control = false;
   BclCluster c{cfg};
   auto& tx = c.open_endpoint(0);
   auto& rx = c.open_endpoint(1);

@@ -191,6 +191,10 @@ TEST_P(ConservationSweep, SentEqualsDeliveredPlusDropped) {
   cfg.nodes = 3;
   cfg.node.mem_bytes = 16u << 20;
   cfg.cost.sys_slots = pool_slots;
+  // Conservation of the paper's drop-on-overflow accounting: receivers
+  // stop draining, so with flow control on the senders would (correctly)
+  // park on credits forever instead of dropping.
+  cfg.cost.flow_control = false;
   BclCluster cluster{cfg};
   std::vector<Endpoint*> eps;
   for (std::uint32_t n = 0; n < 3; ++n) {
