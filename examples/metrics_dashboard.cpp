@@ -3,18 +3,25 @@
 // Sampler snapshotting gauges into a time series, and a Perfetto trace
 // with spans, counter tracks, and per-message flow arrows.
 //
-// Writes four files into the output directory (default "."):
-//   metrics.json  — registry snapshot (counters/gauges/summaries/histograms)
-//   metrics.prom  — the same registry in Prometheus text exposition
-//   metrics.csv   — the Sampler's gauge time series, one row per tick
-//   trace.json    — chrome://tracing / ui.perfetto.dev trace with flows
+// Writes six files into the output directory (default "."):
+//   metrics.json     — registry snapshot (counters/gauges/summaries/histograms)
+//   metrics.prom     — the same registry in Prometheus text exposition
+//   metrics.csv      — the Sampler's gauge time series, one row per tick
+//   trace.json       — chrome://tracing / ui.perfetto.dev trace with flows
+//   congestion.json  — per-link congestion gauges (utilization, queue wait,
+//                      wormhole blocking, occupancy high-water, retransmit
+//                      heat), ranked hottest-first
+//   postmortem.json  — a sample on-demand Postmortem snapshot of node 0
+//                      (the same dump a peer-unreachable diagnosis emits)
 //
 // Build & run:  cmake -B build && cmake --build build
 //               ./build/examples/metrics_dashboard [out_dir]
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bcl/bcl.hpp"
@@ -79,6 +86,28 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+// Per-link congestion gauges as JSON, hottest link first (same ranking the
+// post-mortem uses: retransmit heat, then queueing, then utilization).
+std::string congestion_json(const std::vector<hw::Fabric::LinkStats>& links) {
+  std::string out = "{\"links\": [";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto& l = links[i];
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n  {\"name\": \"%s\", \"util\": %.4f, \"busy_us\": %.3f, "
+        "\"queue_wait_us\": %.3f, \"blocked_us\": %.3f, \"queue_hwm\": %zu, "
+        "\"packets\": %llu, \"retx_packets\": %llu, \"dropped\": %llu}",
+        i == 0 ? "" : ",", l.name.c_str(), l.util, l.busy_us, l.queue_wait_us,
+        l.blocked_us, l.queue_hwm, static_cast<unsigned long long>(l.packets),
+        static_cast<unsigned long long>(l.retx_packets),
+        static_cast<unsigned long long>(l.dropped));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +142,24 @@ int main(int argc, char** argv) {
   write_file(out_dir + "/metrics.csv", cluster.sampler().to_csv());
   write_file(out_dir + "/trace.json", cluster.trace().to_chrome_json());
 
+  // Congestion gauges, ranked the way the post-mortem ranks them.
+  auto links = cluster.fabric().congestion_report();
+  std::sort(links.begin(), links.end(),
+            [](const hw::Fabric::LinkStats& a, const hw::Fabric::LinkStats& b) {
+              return std::make_tuple(a.retx_packets + a.dropped,
+                                     a.queue_wait_us + a.blocked_us, a.util) >
+                     std::make_tuple(b.retx_packets + b.dropped,
+                                     b.queue_wait_us + b.blocked_us, b.util);
+            });
+  write_file(out_dir + "/congestion.json", congestion_json(links));
+
+  // A sample post-mortem: the identical dump a real peer-unreachable or
+  // collective-timeout diagnosis would capture, taken on demand for node 0.
+  const bcl::Postmortem pm =
+      bcl::build_postmortem(cluster, 0, "sample-snapshot", /*peer=*/-1,
+                            "none (healthy run)", /*top_n=*/8);
+  write_file(out_dir + "/postmortem.json", pm.to_json() + "\n");
+
   std::size_t flows = cluster.trace().flow_events().size();
   std::printf("simulated %s of an %d-node cluster under load\n",
               cluster.engine().now().str().c_str(), kNodes);
@@ -121,10 +168,24 @@ int main(int argc, char** argv) {
   std::printf("  summaries:  %zu\n", cluster.metrics().summaries().size());
   std::printf("  histograms: %zu\n", cluster.metrics().histograms().size());
   std::printf("  sampler ticks: %zu\n", cluster.sampler().samples());
-  std::printf("  trace: %zu spans, %zu counter events, %zu flow events\n",
+  std::printf("  trace: %zu spans, %zu counter events, %zu flow events"
+              " (%llu dropped at cap)\n",
               cluster.trace().events().size(),
-              cluster.trace().counter_events().size(), flows);
+              cluster.trace().counter_events().size(), flows,
+              static_cast<unsigned long long>(
+                  cluster.trace().dropped_events()));
+  std::printf("  hottest links (util / queue_wait_us / hwm):\n");
+  for (std::size_t i = 0; i < links.size() && i < 3; ++i) {
+    std::printf("    %-10s %.1f%% / %.1f / %zu\n", links[i].name.c_str(),
+                100.0 * links[i].util, links[i].queue_wait_us,
+                links[i].queue_hwm);
+  }
+  std::printf("  flight recorder (node 0): %llu events, %zu retained\n",
+              static_cast<unsigned long long>(
+                  cluster.node(0).mcp().recorder().total()),
+              cluster.node(0).mcp().recorder().size());
   std::printf("wrote metrics.json / metrics.prom / metrics.csv / trace.json"
-              " to %s\n", out_dir.c_str());
+              " / congestion.json / postmortem.json to %s\n",
+              out_dir.c_str());
   return 0;
 }

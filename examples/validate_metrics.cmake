@@ -1,7 +1,10 @@
 # Runs metrics_dashboard and validates every export format:
-#   * metrics.json and trace.json parse with `python3 -m json.tool`
+#   * metrics.json, trace.json, congestion.json, and postmortem.json parse
+#     with `python3 -m json.tool`
 #   * metrics.csv starts with a "time_us,..." header and has data rows
 #   * metrics.prom carries "# TYPE bcl_..." exposition lines
+#   * congestion.json names links with utilization; postmortem.json carries
+#     the flight-recorder timeline and congestion-ranked links
 # Invoked as a ctest case:
 #   cmake -DDASHBOARD=<exe> -DOUT_DIR=<dir> -P validate_metrics.cmake
 
@@ -11,7 +14,8 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "metrics_dashboard failed with exit code ${rc}")
 endif()
 
-foreach(f metrics.json metrics.prom metrics.csv trace.json)
+foreach(f metrics.json metrics.prom metrics.csv trace.json
+        congestion.json postmortem.json)
   if(NOT EXISTS "${OUT_DIR}/${f}")
     message(FATAL_ERROR "missing export: ${OUT_DIR}/${f}")
   endif()
@@ -19,7 +23,7 @@ endforeach()
 
 find_program(PYTHON3 python3)
 if(PYTHON3)
-  foreach(f metrics.json trace.json)
+  foreach(f metrics.json trace.json congestion.json postmortem.json)
     execute_process(COMMAND "${PYTHON3}" -m json.tool "${OUT_DIR}/${f}"
                     OUTPUT_QUIET ERROR_VARIABLE err RESULT_VARIABLE jrc)
     if(NOT jrc EQUAL 0)
@@ -45,6 +49,18 @@ list(LENGTH prom_types prom_count)
 if(prom_count EQUAL 0)
   message(FATAL_ERROR "metrics.prom has no '# TYPE bcl_...' lines")
 endif()
+
+file(READ "${OUT_DIR}/congestion.json" congestion)
+if(NOT congestion MATCHES "\"util\"" OR NOT congestion MATCHES "\"queue_wait_us\"")
+  message(FATAL_ERROR "congestion.json is missing link gauges")
+endif()
+
+file(READ "${OUT_DIR}/postmortem.json" postmortem)
+foreach(key reason timeline top_links sessions)
+  if(NOT postmortem MATCHES "\"${key}\"")
+    message(FATAL_ERROR "postmortem.json is missing \"${key}\"")
+  endif()
+endforeach()
 
 message(STATUS "exports validated: json ok, csv ${csv_count} lines, "
                "${prom_count} prometheus series")

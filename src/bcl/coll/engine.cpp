@@ -7,6 +7,30 @@
 
 namespace bcl::coll {
 
+namespace {
+
+const char* kind_name(CollKind k) {
+  switch (k) {
+    case CollKind::kBarrier:
+      return "barrier";
+    case CollKind::kBcast:
+      return "bcast";
+    case CollKind::kReduce:
+      return "reduce";
+  }
+  return "?";
+}
+
+// Causal-ledger key of `member`'s participation in operation (g.id, seq).
+std::uint64_t member_key(const GroupDescriptor& g, std::uint64_t seq,
+                         int member) {
+  return coll_member_key(
+      g.id, seq,
+      static_cast<int>(g.members[static_cast<std::size_t>(member)].node));
+}
+
+}  // namespace
+
 CollectiveEngine::CollectiveEngine(sim::Engine& eng, hw::Nic& nic, Mcp& mcp,
                                    const CostConfig& cfg, sim::Trace* trace,
                                    sim::MetricRegistry* metrics)
@@ -171,10 +195,14 @@ CollectiveEngine::Pending& CollectiveEngine::touch_pending(
 sim::Task<void> CollectiveEngine::watchdog(std::uint16_t gid,
                                            std::uint64_t seq) {
   co_await eng_.sleep(cfg_.coll_op_timeout);
-  if (pending_.find({gid, seq}) == pending_.end()) co_return;  // completed
+  const auto pit = pending_.find({gid, seq});
+  if (pit == pending_.end()) co_return;  // completed
   GroupDescriptor* g = find_group(gid);
   if (g == nullptr) co_return;  // unregistered meanwhile
   ++stats_.op_timeouts;
+  // Record the expiry and fire the post-mortem hook while the victim op's
+  // state is still intact; fail_group tears it down next.
+  mcp_.report_coll_timeout(gid, seq, kind_name(pit->second.kind));
   co_await fail_group(*g);
 }
 
@@ -199,6 +227,8 @@ sim::Task<void> CollectiveEngine::fail_group(GroupDescriptor& g) {
   if (g.failed) co_return;
   g.failed = true;
   ++stats_.groups_failed;
+  mcp_.recorder().record(
+      {eng_.now(), FlightKind::kGroupFailed, 0, 0, 0, g.id});
   // Flood the canonical tree so members that never exchange a packet with
   // the dead node (or with us) still learn within tree-depth hops.
   if (g.parent >= 0) {
@@ -239,8 +269,16 @@ sim::Task<void> CollectiveEngine::handle_post(CollPost post) {
     ++stats_.drops;  // driver validated; only an unregister race lands here
     co_return;
   }
+  mcp_.recorder().record(
+      {eng_.now(), FlightKind::kCollPost, 0, post.seq, 0, g->id});
   if (trace_) {
     trace_->flow_step(comp(), "coll", coll_flow_key(g->id, post.seq));
+    // The local member's causal record: one per member per operation,
+    // linked into the fan-out tree at the emit sites below.
+    trace_->msg_begin(member_key(*g, post.seq, g->my_index),
+                      kind_name(post.kind),
+                      static_cast<int>(g->members[g->my_index].node), -1,
+                      post.len);
   }
   if (g->failed) {
     // The group lost a member; every subsequent op fails fast.
@@ -289,6 +327,12 @@ sim::Task<void> CollectiveEngine::handle_post(CollPost post) {
     case CollKind::kBcast: {
       // Only the root member posts a broadcast; everyone else just polls.
       const Neighborhood nb = neighbors(*g, post.root);
+      if (trace_) {
+        for (const int child : nb.children) {
+          trace_->msg_link(member_key(*g, post.seq, g->my_index),
+                           member_key(*g, post.seq, child));
+        }
+      }
       const std::uint32_t frags = static_cast<std::uint32_t>(
           std::max<std::uint64_t>(
               1, (post.len + cfg_.mtu - 1) / cfg_.mtu));
@@ -397,11 +441,19 @@ sim::Task<void> CollectiveEngine::handle_barrier_arrive(GroupDescriptor& g,
   if (g.parent < 0) {
     // Root: the whole group has arrived; release the tree.
     for (const int child : g.children) {
+      if (trace_) {
+        trace_->msg_link(member_key(g, seq, g.my_index),
+                         member_key(g, seq, child));
+      }
       emit(make_packet(g, child, CollWire::kRelease, seq, 0, pd.op));
     }
     co_await complete(g, seq, CollKind::kBarrier, 0, 0, true);
     erase({g.id, seq});
   } else {
+    if (trace_) {
+      trace_->msg_link(member_key(g, seq, g.parent),
+                       member_key(g, seq, g.my_index));
+    }
     emit(make_packet(g, g.parent, CollWire::kArrive, seq, 0, pd.op));
     // Completion arrives with the release from above.
   }
@@ -410,6 +462,10 @@ sim::Task<void> CollectiveEngine::handle_barrier_arrive(GroupDescriptor& g,
 sim::Task<void> CollectiveEngine::handle_barrier_release(GroupDescriptor& g,
                                                          std::uint64_t seq) {
   for (const int child : g.children) {
+    if (trace_) {
+      trace_->msg_link(member_key(g, seq, g.my_index),
+                       member_key(g, seq, child));
+    }
     emit(make_packet(g, child, CollWire::kRelease, seq, 0, CollOp::kSum));
   }
   co_await complete(g, seq, CollKind::kBarrier, 0, 0, true);
@@ -503,6 +559,10 @@ sim::Task<void> CollectiveEngine::advance_reduce(GroupDescriptor& g,
   } else {
     // Interior/leaf: hand the combined subtree partial to the parent; the
     // host is never touched.
+    if (trace_) {
+      trace_->msg_link(member_key(g, seq, nb.parent),
+                       member_key(g, seq, g.my_index));
+    }
     send_partial_up(g, nb.parent, seq, pd);
     co_await complete(g, seq, CollKind::kReduce, pd.root, 0, true);
   }
@@ -515,10 +575,21 @@ sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
                                                       hw::Packet p) {
   pd.kind = CollKind::kBcast;
   pd.len = static_cast<std::size_t>(p.msg_bytes);
+  if (trace_ && pd.frags_seen == 0) {
+    // Non-root members never post; their record starts at the first
+    // fragment (the parent edge arrived with msg_link, possibly earlier).
+    trace_->msg_begin(member_key(g, seq, g.my_index), "bcast",
+                      static_cast<int>(g.members[g.my_index].node), -1,
+                      static_cast<std::size_t>(p.msg_bytes));
+  }
   // Forward to children first (cut-through, straight from the packet
   // buffer), then scatter the fragment into the pinned result buffer.
   const Neighborhood nb = neighbors(g, pd.root);
   for (const int child : nb.children) {
+    if (trace_) {
+      trace_->msg_link(member_key(g, seq, g.my_index),
+                       member_key(g, seq, child));
+    }
     hw::Packet q = p;
     const PortId dst = g.members.at(static_cast<std::size_t>(child));
     q.dst_node = dst.node;
@@ -576,6 +647,7 @@ sim::Task<void> CollectiveEngine::complete(GroupDescriptor& g,
     } else {
       trace_->flow_step(comp(), "coll", coll_flow_key(g.id, seq));
     }
+    trace_->msg_end(member_key(g, seq, g.my_index), ok);
   }
   if (port != nullptr) {
     co_await port->coll_events(g.id).send(CollEvent{g.id, seq, kind, root,

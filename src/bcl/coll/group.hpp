@@ -57,6 +57,16 @@ inline constexpr std::uint64_t coll_flow_key(std::uint16_t group,
          (seq & ((1ull << 44) - 1));
 }
 
+// Causal-ledger key for one *member's* participation in operation (group,
+// seq): the operation key plus the member's node in bits 32..43.  Relies on
+// per-group sequence numbers staying below 2^32 (they start at the
+// registration origin and advance one per op).
+inline constexpr std::uint64_t coll_member_key(std::uint16_t group,
+                                               std::uint64_t seq, int node) {
+  return coll_flow_key(group, seq) |
+         ((static_cast<std::uint64_t>(node) + 1) << 32);
+}
+
 // -- k-ary tree arithmetic over relative indices --------------------------------
 inline constexpr int tree_rel(int index, int root, int n) {
   return (index - root + n) % n;

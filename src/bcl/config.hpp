@@ -119,6 +119,12 @@ struct CostConfig {
   // unblock.  Zero disables the watchdog.
   sim::Time coll_op_timeout = sim::Time::ms(25);
 
+  // -- observability -------------------------------------------------------------
+  // Per-NIC flight recorder: bounded ring of the last N protocol events
+  // (sends, retransmits, timeouts, credit stalls, collective posts) used by
+  // the post-mortem dump.  0 disables recording.
+  std::size_t flight_recorder_depth = 256;
+
   // -- channels ------------------------------------------------------------------
   std::uint32_t max_ports = 8;
   int sys_slots = 64;
@@ -149,6 +155,14 @@ struct ClusterConfig {
   // `sample_period` only controls the gauge-snapshot daemon, which is
   // started on demand via BclCluster::start_sampler().
   sim::Time sample_period = sim::Time::us(50);
+  // Bound on each Trace event buffer (spans / counters / flows / message
+  // ledger); overflow increments Trace::dropped_events().
+  std::size_t trace_event_cap = 1u << 20;
+  // Post-mortem dumps kept per cluster (a 64-node failure cascade fires the
+  // trigger on many NICs; keep the first few, count the rest) and how many
+  // congestion-ranked links each dump names.
+  std::size_t postmortem_max = 8;
+  std::size_t postmortem_top_links = 8;
 
   // Myrinet link defaults carry the per-packet wire overhead (route bytes,
   // CRC trailer, inter-packet gap) that calibrates the sustained 146 MB/s

@@ -140,7 +140,11 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
     }
     pinned_uncommitted_ += pages;
   } else {
-    // Zero-length / RMA read: the table search still happens.
+    // Zero-length / RMA read: the table search still happens, and it is
+    // part of the kernel's 4.17 us increment, so it gets the same stage.
+    auto span = trace_ ? trace_->span(comp_of(kernel_), "translate-pin",
+                                      msg_id)
+                       : sim::Trace::Span{};
     co_await proc.cpu().busy(kernel_.config().pindown.lookup);
   }
 
@@ -176,6 +180,11 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
   if (trace_) {
     trace_->flow_begin(comp_of(kernel_), "msg",
                        flow_key(kernel_.node().id(), msg_id));
+    // Causal ledger entry for the attribution pipeline; the begin time also
+    // absorbs any credit-wait the library parked for this node.
+    trace_->msg_begin(flow_key(kernel_.node().id(), msg_id), "send",
+                      static_cast<int>(kernel_.node().id()),
+                      static_cast<int>(args.dst.node), args.len);
   }
   {
     auto span = trace_ ? trace_->span(comp_of(kernel_), "trap-exit", msg_id)

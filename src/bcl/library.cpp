@@ -95,6 +95,7 @@ sim::Task<Result<std::uint64_t>> Endpoint::send_impl(
     // rule: waiting involves no traps).  A stalled sender periodically
     // probes the receiver for a fresh cumulative grant so a lost credit
     // update cannot wedge the transfer.
+    const sim::Time wait_start = eng_.now();
     auto span = trace_ ? trace_->span(comp(), "credit-wait", 0)
                        : sim::Trace::Span{};
     while (mcp_.flow().available(dst) == 0) {
@@ -107,6 +108,13 @@ sim::Task<Result<std::uint64_t>> Endpoint::send_impl(
       }
       co_await proc_.cpu().busy(cfg_.fc_poll);
       co_await eng_.sleep(cfg_.fc_poll_interval);
+    }
+    span.end();
+    if (trace_) {
+      // The stall predates the message id (the trap that assigns it comes
+      // next); park it per node and let msg_begin fold it into the record.
+      trace_->msg_credit_wait_pending(static_cast<int>(port_->id().node),
+                                      eng_.now() - wait_start);
     }
     // Credits visible again; retry the trap (another sender on this node
     // may still win the race, in which case we loop back to waiting).
@@ -136,7 +144,11 @@ sim::Task<RecvEvent> Endpoint::wait_recv() {
   if (m_recvs_) m_recvs_->inc();
   if (m_recv_polls_) m_recv_polls_->inc();
   if (m_recv_bytes_) m_recv_bytes_->add(ev.len);
-  if (trace_) trace_->flow_end(comp(), "msg", flow_key(ev.src.node, ev.msg_id));
+  if (trace_) {
+    trace_->flow_end(comp(), "msg", flow_key(ev.src.node, ev.msg_id));
+    // Receive-side completion closes the causal record.
+    trace_->msg_end(flow_key(ev.src.node, ev.msg_id));
+  }
   co_return ev;
 }
 
@@ -151,6 +163,7 @@ sim::Task<std::optional<RecvEvent>> Endpoint::try_recv() {
     if (m_recv_bytes_) m_recv_bytes_->add(ev->len);
     if (trace_) {
       trace_->flow_end(comp(), "msg", flow_key(ev->src.node, ev->msg_id));
+      trace_->msg_end(flow_key(ev->src.node, ev->msg_id));
     }
   }
   co_return ev;

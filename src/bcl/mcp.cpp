@@ -37,7 +37,8 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
       trace_{trace},
       metrics_{metrics},
       requests_{eng, cfg.request_queue_depth},
-      tx_mutex_{eng} {
+      tx_mutex_{eng},
+      recorder_{cfg.flight_recorder_depth} {
   if (metrics != nullptr) {
     const std::string prefix = nic_.name() + ".mcp.";
     m_dma_tx_bytes_ = &metrics->counter(prefix + "dma_tx_bytes");
@@ -63,6 +64,12 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
                      [this] { return window_stalls(); });
     metrics->gauge(prefix + "request_ring", [this] {
       return static_cast<double>(requests_.size());
+    });
+    metrics->gauge(prefix + "request_ring_hwm", [this] {
+      return static_cast<double>(req_ring_hwm_);
+    });
+    metrics->gauge(prefix + "rx_queue_hwm", [this] {
+      return static_cast<double>(rx_queue_hwm_);
     });
     metrics->gauge(prefix + "tx_in_flight", [this] {
       return static_cast<double>(tx_in_flight());
@@ -154,6 +161,7 @@ TxSession& Mcp::tx_session(hw::NodeId dst) {
         (static_cast<std::uint64_t>(nic_.node()) << 32) ^
         static_cast<std::uint64_t>(dst) ^ 0x5DEECE66Dull;
     s = std::make_unique<TxSession>(eng_, nic_, cfg_, seed);
+    s->set_telemetry(&recorder_, trace_, dst);
     s->set_failure_hook([this, dst] {
       ++stats_.peer_failures;
       eng_.spawn_daemon(announce_peer_failure(dst));
@@ -186,6 +194,11 @@ void Mcp::register_session_metrics(hw::NodeId dst, TxSession& s) {
 }
 
 sim::Task<void> Mcp::announce_peer_failure(hw::NodeId dst) {
+  if (diagnosis_hook_) {
+    diagnosis_hook_("peer-unreachable", static_cast<int>(dst),
+                    "go-back-N session " + nic_.name() + " -> node " +
+                        std::to_string(dst));
+  }
   co_await coll_->on_peer_failure(dst);
   for (auto& [no, port] : ports_) {
     co_await deliver_send_event(
@@ -233,9 +246,40 @@ std::size_t Mcp::unreachable_peers() const {
   return n;
 }
 
+std::vector<Mcp::SessionSnapshot> Mcp::session_snapshot() const {
+  std::vector<SessionSnapshot> out;
+  out.reserve(tx_sessions_.size());
+  for (const auto& [node, s] : tx_sessions_) {
+    SessionSnapshot snap;
+    snap.peer = node;
+    snap.srtt_us = s->srtt().to_us();
+    snap.rto_us = s->rto().to_us();
+    snap.backoff = s->backoff_level();
+    snap.in_flight = s->in_flight();
+    snap.retransmissions = s->retransmissions();
+    snap.timeouts = s->timeouts();
+    snap.fast_retransmits = s->fast_retransmits();
+    snap.window_stalls = s->window_stalls();
+    snap.unreachable = s->peer_unreachable();
+    out.push_back(snap);
+  }
+  return out;
+}
+
+void Mcp::report_coll_timeout(std::uint16_t gid, std::uint64_t seq,
+                              const char* what) {
+  recorder_.record({eng_.now(), FlightKind::kCollTimeout, 0, seq, 0, gid});
+  if (diagnosis_hook_) {
+    diagnosis_hook_("collective-timeout", -1,
+                    std::string(what) + " group " + std::to_string(gid) +
+                        " seq " + std::to_string(seq));
+  }
+}
+
 sim::Task<void> Mcp::tx_pump() {
   for (;;) {
     SendDescriptor d = co_await requests_.recv();
+    req_ring_hwm_ = std::max(req_ring_hwm_, requests_.size() + 1);
     co_await send_message_locked(std::move(d));
   }
 }
@@ -299,6 +343,7 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
       if (err != BclErr::kOk) {
         // Retry budget exhausted: abandon the remaining fragments and fail
         // the send through the event queue instead of blocking forever.
+        if (trace_) trace_->msg_end(flow_key(nic_.node(), d.msg_id), false);
         if (d.notify_sender) {
           co_await deliver_send_event(find_port(d.src.port),
                                       SendEvent{d.msg_id, d.dst, false, err});
@@ -321,6 +366,7 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
 sim::Task<void> Mcp::rx_pump() {
   for (;;) {
     hw::Packet p = co_await nic_.rx().recv();
+    rx_queue_hwm_ = std::max(rx_queue_hwm_, nic_.rx().size() + 1);
     if (p.proto != kProto) continue;  // not ours
     switch (p.kind) {
       case hw::PacketKind::kAck: {

@@ -12,13 +12,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bcl/config.hpp"
 #include "bcl/flowctl.hpp"
 #include "bcl/port.hpp"
+#include "bcl/recorder.hpp"
 #include "bcl/reliable.hpp"
 #include "bcl/types.hpp"
 #include "hw/nic.hpp"
@@ -127,6 +130,39 @@ class Mcp {
   std::size_t tx_in_flight() const;
   std::size_t unreachable_peers() const;
 
+  // -- flight recorder / post-mortem -----------------------------------------
+  // Fired when this NIC diagnoses a failure worth a post-mortem: a peer
+  // declared unreachable (reason "peer-unreachable", peer >= 0) or a
+  // collective watchdog expiry (reason "collective-timeout", peer -1).
+  // `victim` names the operation that died.  The cluster installs a hook
+  // that assembles a bcl::Postmortem from the fabric and session state.
+  using DiagnosisHook = std::function<void(
+      const std::string& reason, int peer, const std::string& victim)>;
+  void set_diagnosis_hook(DiagnosisHook h) { diagnosis_hook_ = std::move(h); }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+  // Collective watchdog expiry: record it and fire the diagnosis hook
+  // before the group is torn down (called by the collective engine).
+  void report_coll_timeout(std::uint16_t gid, std::uint64_t seq,
+                           const char* what);
+  // Go-back-N session state at a point in time (post-mortem ledger).
+  struct SessionSnapshot {
+    hw::NodeId peer = 0;
+    double srtt_us = 0;
+    double rto_us = 0;
+    int backoff = 0;
+    std::size_t in_flight = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t window_stalls = 0;
+    bool unreachable = false;
+  };
+  std::vector<SessionSnapshot> session_snapshot() const;
+  // Queue-occupancy high-water marks, observed at dequeue time.
+  std::size_t request_ring_hwm() const { return req_ring_hwm_; }
+  std::size_t rx_queue_hwm() const { return rx_queue_hwm_; }
+
  private:
   // Receiver-side credit ledger, one per (local port, sending node):
   // cumulative allowance vs cumulative deliveries into the pool.
@@ -187,6 +223,10 @@ class Mcp {
   // across senders competing for the same pool's freed slots).
   std::map<std::uint32_t, std::size_t> fc_rr_next_;
   Stats stats_;
+  FlightRecorder recorder_;
+  DiagnosisHook diagnosis_hook_;
+  std::size_t req_ring_hwm_ = 0;
+  std::size_t rx_queue_hwm_ = 0;
   // Hot-path metric handles (null without a registry).
   sim::Counter* m_dma_tx_bytes_ = nullptr;
   sim::Counter* m_dma_rx_bytes_ = nullptr;

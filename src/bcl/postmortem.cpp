@@ -1,0 +1,206 @@
+#include "bcl/postmortem.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "bcl/stack.hpp"
+
+namespace bcl {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+bool is_retx_kind(FlightKind k) {
+  return k == FlightKind::kRetransmit || k == FlightKind::kTimeout ||
+         k == FlightKind::kFastRetransmit;
+}
+
+}  // namespace
+
+std::string Postmortem::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"reason\": \"" << json_escape(reason) << "\",\n";
+  os << "  \"time_us\": " << num(time_us) << ",\n";
+  os << "  \"node\": " << node << ",\n";
+  os << "  \"peer\": " << peer << ",\n";
+  os << "  \"victim\": \"" << json_escape(victim) << "\",\n";
+
+  os << "  \"top_links\": [";
+  for (std::size_t i = 0; i < top_links.size(); ++i) {
+    const auto& l = top_links[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"name\": \"" << json_escape(l.name) << "\", \"util\": "
+       << num(l.util) << ", \"busy_us\": " << num(l.busy_us)
+       << ", \"queue_wait_us\": " << num(l.queue_wait_us)
+       << ", \"blocked_us\": " << num(l.blocked_us)
+       << ", \"queue_hwm\": " << l.queue_hwm << ", \"packets\": "
+       << l.packets << ", \"retx_packets\": " << l.retx_packets
+       << ", \"dropped\": " << l.dropped << "}";
+  }
+  os << (top_links.empty() ? "]" : "\n  ]") << ",\n";
+
+  os << "  \"suspect_links\": [";
+  for (std::size_t i = 0; i < suspect_links.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(suspect_links[i]) << "\"";
+  }
+  os << "],\n";
+
+  os << "  \"sessions\": [";
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& s = sessions[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"peer\": " << s.peer << ", \"srtt_us\": " << num(s.srtt_us)
+       << ", \"rto_us\": " << num(s.rto_us) << ", \"backoff\": " << s.backoff
+       << ", \"in_flight\": " << s.in_flight << ", \"retransmissions\": "
+       << s.retransmissions << ", \"timeouts\": " << s.timeouts
+       << ", \"fast_retransmits\": " << s.fast_retransmits
+       << ", \"window_stalls\": " << s.window_stalls << ", \"unreachable\": "
+       << (s.unreachable ? "true" : "false") << "}";
+  }
+  os << (sessions.empty() ? "]" : "\n  ]") << ",\n";
+
+  os << "  \"send_credits\": [";
+  for (std::size_t i = 0; i < send_credits.size(); ++i) {
+    const auto& c = send_credits[i];
+    os << (i ? ", " : "") << "{\"node\": " << c.dst.node << ", \"port\": "
+       << c.dst.port << ", \"limit\": " << c.limit << ", \"used\": "
+       << c.used << "}";
+  }
+  os << "],\n";
+
+  os << "  \"recv_credits\": [";
+  for (std::size_t i = 0; i < recv_credits.size(); ++i) {
+    const auto& c = recv_credits[i];
+    os << (i ? ", " : "") << "{\"port\": " << c.port << ", \"src\": "
+       << c.src << ", \"limit\": " << c.limit << ", \"delivered\": "
+       << c.delivered << "}";
+  }
+  os << "],\n";
+
+  os << "  \"retransmit_storm\": {\"start_us\": " << num(storm.start_us)
+     << ", \"end_us\": " << num(storm.end_us) << ", \"events\": "
+     << storm.events << "},\n";
+
+  os << "  \"timeline\": [";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const auto& e = timeline[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"t_us\": " << num(e.t.to_us()) << ", \"event\": \""
+       << to_string(e.kind) << "\", \"peer\": " << e.peer
+       << ", \"msg_id\": " << e.msg_id << ", \"seq\": " << e.seq
+       << ", \"aux\": " << e.aux << "}";
+  }
+  os << (timeline.empty() ? "]" : "\n  ]") << "\n";
+  os << "}";
+  return os.str();
+}
+
+Postmortem build_postmortem(BclCluster& cluster, hw::NodeId node,
+                            const std::string& reason, int peer,
+                            const std::string& victim, std::size_t top_n) {
+  Postmortem pm;
+  pm.reason = reason;
+  pm.time_us = cluster.engine().now().to_us();
+  pm.node = node;
+  pm.peer = peer;
+  pm.victim = victim;
+
+  // Congestion table: hottest links first.  Retransmit and drop traffic is
+  // the strongest failure signal, queueing and blocking time break ties.
+  auto links = cluster.fabric().congestion_report();
+  std::sort(links.begin(), links.end(),
+            [](const hw::Fabric::LinkStats& a, const hw::Fabric::LinkStats& b) {
+              const auto ka = std::make_tuple(a.retx_packets + a.dropped,
+                                              a.queue_wait_us + a.blocked_us,
+                                              a.util);
+              const auto kb = std::make_tuple(b.retx_packets + b.dropped,
+                                              b.queue_wait_us + b.blocked_us,
+                                              b.util);
+              if (ka != kb) return ka > kb;
+              return a.name < b.name;  // deterministic order among idle links
+            });
+  if (links.size() > top_n) links.resize(top_n);
+  pm.top_links = std::move(links);
+
+  std::set<std::string> suspects;
+  for (auto& s : cluster.fabric().links_of(node)) suspects.insert(s);
+  if (peer >= 0) {
+    for (auto& s :
+         cluster.fabric().links_of(static_cast<hw::NodeId>(peer))) {
+      suspects.insert(s);
+    }
+  }
+  pm.suspect_links.assign(suspects.begin(), suspects.end());
+
+  Mcp& mcp = cluster.node(node).mcp();
+  pm.sessions = mcp.session_snapshot();
+  pm.send_credits = mcp.flow().snapshot();
+  pm.recv_credits = mcp.rx_credit_snapshot();
+  pm.timeline = mcp.recorder().snapshot();
+
+  bool first = true;
+  for (const auto& e : pm.timeline) {
+    if (!is_retx_kind(e.kind)) continue;
+    const double t = e.t.to_us();
+    if (first) {
+      pm.storm.start_us = t;
+      first = false;
+    }
+    pm.storm.end_us = t;
+    ++pm.storm.events;
+  }
+  return pm;
+}
+
+std::string postmortems_json(const std::vector<Postmortem>& dumps,
+                             std::uint64_t dropped) {
+  std::ostringstream os;
+  os << "{\n\"postmortems\": [";
+  for (std::size_t i = 0; i < dumps.size(); ++i) {
+    os << (i ? ",\n" : "\n") << dumps[i].to_json();
+  }
+  os << (dumps.empty() ? "]" : "\n]") << ",\n\"suppressed\": " << dropped
+     << "\n}\n";
+  return os.str();
+}
+
+}  // namespace bcl

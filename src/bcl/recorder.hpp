@@ -1,0 +1,98 @@
+// Per-NIC flight recorder: a bounded ring of the last N protocol events
+// (sends, retransmit episodes, timeouts, credit stalls, collective posts
+// and failures).  The MCP writes into it on the hot path at O(1) cost; the
+// post-mortem dump (bcl/postmortem.hpp) snapshots it when a peer is
+// declared unreachable or a collective times out, preserving the timeline
+// that led to the failure — the retransmit storm, not just its aftermath.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/packet.hpp"
+#include "sim/time.hpp"
+
+namespace bcl {
+
+enum class FlightKind : std::uint8_t {
+  kSend = 0,        // data packet handed to the wire (msg_id, seq)
+  kRetransmit,      // go-back-N resend of one packet
+  kTimeout,         // RTO fired (aux = backoff level)
+  kFastRetransmit,  // dup-ack threshold crossed
+  kRnr,             // receiver-not-ready NACK received (aux = hold us)
+  kWindowStall,     // send blocked on the full window
+  kAckRx,           // cumulative ack received (seq = ack value)
+  kCreditGrant,     // flow-control grant applied (aux = new limit)
+  kCollPost,        // collective op posted (msg_id = seq, aux = group)
+  kCollTimeout,     // collective watchdog fired (msg_id = seq, aux = group)
+  kGroupFailed,     // collective group torn down (aux = group)
+  kPeerFailed,      // retry budget exhausted; peer declared unreachable
+};
+
+inline const char* to_string(FlightKind k) {
+  switch (k) {
+    case FlightKind::kSend: return "send";
+    case FlightKind::kRetransmit: return "retransmit";
+    case FlightKind::kTimeout: return "timeout";
+    case FlightKind::kFastRetransmit: return "fast-retransmit";
+    case FlightKind::kRnr: return "rnr";
+    case FlightKind::kWindowStall: return "window-stall";
+    case FlightKind::kAckRx: return "ack-rx";
+    case FlightKind::kCreditGrant: return "credit-grant";
+    case FlightKind::kCollPost: return "coll-post";
+    case FlightKind::kCollTimeout: return "coll-timeout";
+    case FlightKind::kGroupFailed: return "group-failed";
+    case FlightKind::kPeerFailed: return "peer-failed";
+  }
+  return "?";
+}
+
+struct FlightEvent {
+  sim::Time t;
+  FlightKind kind = FlightKind::kSend;
+  hw::NodeId peer = 0;
+  std::uint64_t msg_id = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t aux = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity) : cap_{capacity} {
+    ring_.reserve(cap_);
+  }
+
+  void record(FlightEvent e) {
+    if (cap_ == 0) return;
+    if (ring_.size() < cap_) {
+      ring_.push_back(e);
+    } else {
+      ring_[head_] = e;
+      head_ = (head_ + 1) % cap_;
+    }
+    ++total_;
+  }
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t size() const { return ring_.size(); }
+  // Total events ever recorded (size() once the ring wrapped).
+  std::uint64_t total() const { return total_; }
+
+  // Events in arrival order, oldest first.
+  std::vector<FlightEvent> snapshot() const {
+    std::vector<FlightEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t cap_;
+  std::size_t head_ = 0;  // oldest element once the ring is full
+  std::uint64_t total_ = 0;
+  std::vector<FlightEvent> ring_;
+};
+
+}  // namespace bcl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "sim/trace.hpp"
+
 namespace bcl {
 
 TxSession::TxSession(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
@@ -19,11 +21,13 @@ sim::Task<BclErr> TxSession::send(hw::Packet p) {
   if (unreachable_) co_return BclErr::kPeerUnreachable;
   if (!window_.try_acquire()) {
     ++window_stalls_;  // go-back-N window full: the MCP tx path blocks here
+    rec(FlightKind::kWindowStall, p.msg_id);
     co_await window_.acquire();
     // fail_peer() releases parked senders; they must not transmit.
     if (unreachable_) co_return BclErr::kPeerUnreachable;
   }
   p.seq = next_seq_++;
+  rec(FlightKind::kSend, p.msg_id, p.seq);
   if (unacked_.empty()) last_progress_ = eng_.now();
   unacked_.push_back({p, eng_.now(), false});  // retransmit copy
   arm_timer();
@@ -54,6 +58,7 @@ void TxSession::on_ack(std::uint32_t ack) {
     backoff_level_ = 0;
     consecutive_timeouts_ = 0;
     window_.release(released);
+    rec(FlightKind::kAckRx, 0, ack, static_cast<std::uint64_t>(released));
   } else if (!unacked_.empty() && ack == last_ack_) {
     // Duplicate cumulative ack: the receiver is re-acking because packets
     // arrive out of order past a hole.  k of them and we resend the window
@@ -62,6 +67,7 @@ void TxSession::on_ack(std::uint32_t ack) {
         !retransmitting_ && eng_.now() >= rnr_hold_until_) {
       dup_acks_ = 0;
       ++fast_retransmits_;
+      rec(FlightKind::kFastRetransmit, 0, ack);
       eng_.spawn_daemon(retransmit_window());
     }
   }
@@ -71,6 +77,8 @@ void TxSession::on_ack(std::uint32_t ack) {
 void TxSession::on_rnr(std::uint32_t ack, sim::Time hold) {
   if (unreachable_) return;
   ++rnr_events_;
+  rec(FlightKind::kRnr, 0, ack,
+      static_cast<std::uint64_t>(hold.to_us() > 0 ? hold.to_us() : 0));
   // The NACK still carries a cumulative ack: release the prefix the
   // receiver did take.  No RTT sample — the reply timing reflects pool
   // pressure, not path delay (same spirit as Karn's rule).
@@ -121,6 +129,8 @@ sim::Task<void> TxSession::timer() {
     if (eng_.now() < rnr_hold_until_) continue;
     if (eng_.now() - last_progress_ >= wait && !retransmitting_) {
       ++timeouts_;
+      rec(FlightKind::kTimeout, 0, 0,
+          static_cast<std::uint64_t>(backoff_level_));
       if (cfg_.max_retries > 0 &&
           ++consecutive_timeouts_ > cfg_.max_retries) {
         fail_peer();
@@ -151,7 +161,12 @@ sim::Task<void> TxSession::retransmit_window() {
                      [s](const Outstanding& o) { return o.pkt.seq == s; });
     if (it == unacked_.end()) continue;  // acked while we were suspended
     hw::Packet copy = it->pkt;
+    copy.retransmitted = true;  // per-link retransmit heat
     ++retransmissions_;
+    rec(FlightKind::kRetransmit, copy.msg_id, s);
+    if (trace_ != nullptr) {
+      trace_->msg_retransmit(flow_key(nic_.node(), copy.msg_id));
+    }
     co_await nic_.transmit(std::move(copy));
   }
   last_progress_ = eng_.now();
@@ -192,6 +207,8 @@ void TxSession::note_rtt(sim::Time sample) {
 void TxSession::fail_peer() {
   if (unreachable_) return;
   unreachable_ = true;
+  rec(FlightKind::kPeerFailed, 0, 0,
+      static_cast<std::uint64_t>(unacked_.size()));
   const auto freed = static_cast<std::int64_t>(unacked_.size());
   unacked_.clear();
   // Wake every sender parked on the window; they observe unreachable_ and

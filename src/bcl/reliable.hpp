@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "bcl/config.hpp"
+#include "bcl/recorder.hpp"
 #include "bcl/types.hpp"
 #include "hw/nic.hpp"
 #include "hw/packet.hpp"
@@ -21,6 +22,10 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+
+namespace sim {
+class Trace;
+}
 
 namespace bcl {
 
@@ -44,6 +49,16 @@ class TxSession {
             std::uint64_t seed = 1);
 
   void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
+
+  // Observability taps (both optional): protocol events go into the NIC's
+  // flight recorder; retransmit episodes are attributed to the victim
+  // message's MsgRecord in the trace.  `peer` labels the recorder entries.
+  void set_telemetry(FlightRecorder* rec, sim::Trace* trace,
+                     hw::NodeId peer) {
+    recorder_ = rec;
+    trace_ = trace;
+    peer_ = peer;
+  }
 
   // Stamps the next sequence number, records a retransmit copy, and
   // transmits.  Blocks while the window is full.  Returns kPeerUnreachable
@@ -98,6 +113,12 @@ class TxSession {
   sim::Time effective_rto();
   void note_rtt(sim::Time sample);
   void fail_peer();
+  void rec(FlightKind kind, std::uint64_t msg_id = 0, std::uint32_t seq = 0,
+           std::uint64_t aux = 0) {
+    if (recorder_ != nullptr) {
+      recorder_->record({eng_.now(), kind, peer_, msg_id, seq, aux});
+    }
+  }
 
   sim::Engine& eng_;
   hw::Nic& nic_;
@@ -123,6 +144,9 @@ class TxSession {
   sim::Time rnr_hold_until_ = sim::Time::zero();
   bool rnr_wait_armed_ = false;
   FailureHook failure_hook_;
+  FlightRecorder* recorder_ = nullptr;
+  sim::Trace* trace_ = nullptr;
+  hw::NodeId peer_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t window_stalls_ = 0;

@@ -96,8 +96,25 @@ BclCluster::BclCluster(const ClusterConfig& cfg)
         std::make_unique<NodeStack>(eng_, i, cfg_, &trace_, &metrics_));
     fabric_->attach(i, stacks_.back()->node().nic());
   }
-  // After attach: node links exist only once every NIC is wired in.
+  // After attach: node links exist only once every NIC is wired in (the
+  // Myrinet host links are created by attach itself, so the trace hookup
+  // must also wait until here).
   fabric_->register_metrics(metrics_);
+  fabric_->set_trace(&trace_);
+  trace_.set_event_cap(cfg_.trace_event_cap);
+  for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+    const hw::NodeId nid = i;
+    stacks_[i]->mcp().set_diagnosis_hook(
+        [this, nid](const std::string& reason, int peer,
+                    const std::string& victim) {
+          if (postmortems_.size() >= cfg_.postmortem_max) {
+            ++postmortems_suppressed_;
+            return;
+          }
+          postmortems_.push_back(build_postmortem(
+              *this, nid, reason, peer, victim, cfg_.postmortem_top_links));
+        });
+  }
 }
 
 }  // namespace bcl

@@ -10,6 +10,7 @@
 
 #include "bcl/config.hpp"
 #include "bcl/library.hpp"
+#include "bcl/postmortem.hpp"
 #include "hw/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
@@ -72,6 +73,17 @@ class BclCluster {
     return node(node_id).open_endpoint();
   }
 
+  // Post-mortem dumps collected so far (a diagnosis hook on every MCP fills
+  // this on peer-unreachable / collective-timeout, bounded by
+  // cfg.postmortem_max; the overflow count is kept separately).
+  const std::vector<Postmortem>& postmortems() const { return postmortems_; }
+  std::uint64_t postmortems_suppressed() const {
+    return postmortems_suppressed_;
+  }
+  std::string postmortems_json() const {
+    return bcl::postmortems_json(postmortems_, postmortems_suppressed_);
+  }
+
  private:
   ClusterConfig cfg_;
   sim::Engine eng_;
@@ -80,6 +92,8 @@ class BclCluster {
   sim::Sampler sampler_;
   std::unique_ptr<hw::Fabric> fabric_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
+  std::vector<Postmortem> postmortems_;
+  std::uint64_t postmortems_suppressed_ = 0;
 };
 
 }  // namespace bcl

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace hw {
 
@@ -20,6 +21,18 @@ void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
   reg.gauge(prefix + ".queue", [&link] {
     return static_cast<double>(link.queue_depth());
   });
+  // Congestion telemetry.
+  reg.counter(prefix + ".retx_packets",
+              [&link] { return link.retx_packets(); });
+  reg.gauge(prefix + ".queue_wait_us",
+            [&link] { return link.queue_wait().to_us(); });
+  reg.gauge(prefix + ".queue_hwm", [&link] {
+    return static_cast<double>(link.queue_hwm());
+  });
+  reg.gauge(prefix + ".blocked_us",
+            [&link] { return link.blocked_time().to_us(); });
+  reg.gauge(prefix + ".util",
+            [&link] { return link.windowed_utilization(); });
 }
 
 Link::Link(sim::Engine& eng, std::string name, const LinkConfig& cfg,
@@ -31,6 +44,37 @@ Link::Link(sim::Engine& eng, std::string name, const LinkConfig& cfg,
       in_{eng, cfg.queue_depth},
       rng_{seed} {
   eng_.spawn_daemon(pump());
+}
+
+double Link::utilization() const {
+  const sim::Time now = eng_.now();
+  return now > sim::Time::zero() ? busy_.to_us() / now.to_us() : 0.0;
+}
+
+double Link::windowed_utilization() const {
+  const sim::Time now = eng_.now();
+  const sim::Time span = now - win_t_;
+  const double util =
+      span > sim::Time::zero()
+          ? (busy_ - win_busy_).to_us() / span.to_us()
+          : 0.0;
+  win_busy_ = busy_;
+  win_t_ = now;
+  return util;
+}
+
+Fabric::LinkStats Link::stats() const {
+  Fabric::LinkStats s;
+  s.name = name_;
+  s.util = utilization();
+  s.busy_us = busy_.to_us();
+  s.queue_wait_us = queue_wait_.to_us();
+  s.blocked_us = blocked_.to_us();
+  s.queue_hwm = queue_hwm_;
+  s.packets = packets_;
+  s.retx_packets = retx_packets_;
+  s.dropped = dropped_;
+  return s;
 }
 
 void Link::set_fault_plan(FaultPlan plan) {
@@ -55,9 +99,26 @@ bool Link::plan_drops(std::uint64_t ordinal) {
 
 sim::Task<void> Link::pump() {
   for (;;) {
+    queue_hwm_ = std::max(queue_hwm_, in_.size());
     Packet p = co_await in_.recv();
+    queue_hwm_ = std::max(queue_hwm_, in_.size() + 1);
+    const sim::Time now = eng_.now();
+    const bool tracing = trace_ != nullptr && trace_->enabled();
+    // Flow-key-compatible tag so wire spans join the message's timeline.
+    const std::uint64_t tag =
+        ((std::uint64_t{p.src_node} + 1) << 48) | p.msg_id;
+    if (p.enqueued_at > sim::Time::zero() && now > p.enqueued_at) {
+      queue_wait_ += now - p.enqueued_at;
+      if (tracing) {
+        trace_->interval(p.enqueued_at, now, "link." + name_, "link-queue",
+                         tag);
+      }
+    }
+    if (p.retransmitted) ++retx_packets_;
     const auto wire =
         cfg_.per_packet + sim::Time::bytes_at(p.wire_bytes(), cfg_.bandwidth);
+    if (tracing) trace_->interval(now, now + wire, "link." + name_, "wire",
+                                  tag);
     busy_ += wire;
     const std::uint64_t ordinal = packets_++;
     bytes_ += p.wire_bytes();

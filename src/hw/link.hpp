@@ -21,6 +21,7 @@
 
 namespace sim {
 class MetricRegistry;
+class Trace;
 }
 
 namespace hw {
@@ -31,6 +32,20 @@ class Nic;
 class Fabric {
  public:
   virtual ~Fabric() = default;
+
+  // Congestion snapshot for one link, as returned by congestion_report().
+  struct LinkStats {
+    std::string name;
+    double util = 0;           // lifetime busy fraction of the wire
+    double busy_us = 0;        // total serialization time
+    double queue_wait_us = 0;  // time packets sat in the input queue
+    double blocked_us = 0;     // upstream wormhole-blocking time
+    std::size_t queue_hwm = 0; // input-queue occupancy high-water
+    std::uint64_t packets = 0;
+    std::uint64_t retx_packets = 0;  // go-back-N resends through this link
+    std::uint64_t dropped = 0;       // fault-plan discards
+  };
+
   // Connects `nic` as node `id`; must be called exactly once per node.
   virtual void attach(NodeId id, Nic& nic) = 0;
   // Fills in the packet's source route (no-op for fabrics that route
@@ -43,6 +58,16 @@ class Fabric {
   // per-switch forward counts) as callback-backed metrics.  Call after
   // every node is attached; the fabric must outlive the registry reads.
   virtual void register_metrics(sim::MetricRegistry&) const {}
+  // Congestion snapshot across every link (unordered); used by the
+  // post-mortem dump to rank the hottest links.
+  virtual std::vector<LinkStats> congestion_report() const { return {}; }
+  // Names of the links directly adjacent to `node` (its ingress/egress
+  // edges); the post-mortem lists these as suspects for a failed peer.
+  virtual std::vector<std::string> links_of(NodeId) const { return {}; }
+  // Attaches a trace so links emit wire/queue-wait spans for the
+  // latency-attribution pipeline (recorded only while the trace is
+  // enabled).  The trace must outlive the fabric's traffic.
+  virtual void set_trace(sim::Trace*) {}
 };
 
 struct LinkConfig {
@@ -117,6 +142,28 @@ class Link {
   sim::Time busy_time() const { return busy_; }
   std::size_t queue_depth() const { return in_.size(); }
 
+  // -- congestion telemetry --------------------------------------------------
+  // Time packets spent in the input queue (from the sender's push, stamped
+  // in Packet::enqueued_at, to the start of serialization).
+  sim::Time queue_wait() const { return queue_wait_; }
+  // Input-queue occupancy high-water mark (includes the packet in service).
+  std::size_t queue_hwm() const { return queue_hwm_; }
+  // Go-back-N retransmissions that crossed this link.
+  std::uint64_t retx_packets() const { return retx_packets_; }
+  // Time upstream pumps (router/switch/NIC) spent blocked trying to push
+  // into this link's full queue — wormhole head-of-line blocking.
+  sim::Time blocked_time() const { return blocked_; }
+  void add_blocked(sim::Time d) { blocked_ += d; }
+  // Lifetime busy fraction of the wire.
+  double utilization() const;
+  // Busy fraction since the previous windowed_utilization() call (metric
+  // samplers turn this into a utilization-over-time track).
+  double windowed_utilization() const;
+  Fabric::LinkStats stats() const;
+
+  // Links emit wire/queue-wait spans into `tr` while it is enabled.
+  void set_trace(sim::Trace* tr) { trace_ = tr; }
+
   void set_corrupt_prob(double p) { cfg_.corrupt_prob = p; }
   // Installs (or replaces) the fault schedule; reseeds the fault stream so
   // identical plans replay identically.
@@ -142,6 +189,14 @@ class Link {
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;
   sim::Time busy_ = sim::Time::zero();
+  sim::Time queue_wait_ = sim::Time::zero();
+  std::size_t queue_hwm_ = 0;
+  std::uint64_t retx_packets_ = 0;
+  sim::Time blocked_ = sim::Time::zero();
+  sim::Trace* trace_ = nullptr;
+  // Windowed-utilization checkpoint (mutable: reading advances the window).
+  mutable sim::Time win_busy_ = sim::Time::zero();
+  mutable sim::Time win_t_ = sim::Time::zero();
 };
 
 }  // namespace hw

@@ -64,7 +64,13 @@ sim::Task<void> MeshRouter::pump(int dir) {
     }
     Link* link = outputs_[static_cast<std::size_t>(out)];
     if (link == nullptr) throw std::logic_error("mesh edge missing link");
+    // Stamp the queue-entry time and charge any backpressure stall to the
+    // output link as wormhole-blocking time.
+    const sim::Time t_block = eng_.now();
+    p.enqueued_at = t_block;
     co_await link->in().send(std::move(p));
+    const sim::Time waited = eng_.now() - t_block;
+    if (waited > sim::Time::zero()) link->add_blocked(waited);
   }
 }
 
@@ -124,6 +130,33 @@ void MeshFabric::register_metrics(sim::MetricRegistry& reg) const {
     reg.counter("fabric.router.m" + std::to_string(i) + ".forwarded",
                 [r] { return r->forwarded(); });
   }
+}
+
+std::vector<Fabric::LinkStats> MeshFabric::congestion_report() const {
+  std::vector<LinkStats> out;
+  out.reserve(links_.size());
+  for (const auto& l : links_) out.push_back(l->stats());
+  return out;
+}
+
+std::vector<std::string> MeshFabric::links_of(NodeId n) const {
+  std::vector<std::string> out;
+  const std::string id = std::to_string(n);
+  const std::string from = "m" + id + "->";
+  const std::string to = "->" + id;
+  for (const auto& l : links_) {
+    const std::string& nm = l->name();  // "m<a>-><b>"
+    if (nm.rfind(from, 0) == 0 ||
+        (nm.size() >= to.size() &&
+         nm.compare(nm.size() - to.size(), to.size(), to) == 0)) {
+      out.push_back(nm);
+    }
+  }
+  return out;
+}
+
+void MeshFabric::set_trace(sim::Trace* tr) {
+  for (const auto& l : links_) l->set_trace(tr);
 }
 
 }  // namespace hw

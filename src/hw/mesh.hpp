@@ -40,6 +40,9 @@ class MeshFabric : public Fabric {
   std::string name() const override { return "nwrc-mesh"; }
   int hops(NodeId a, NodeId b) const override;
   void register_metrics(sim::MetricRegistry& reg) const override;
+  std::vector<LinkStats> congestion_report() const override;
+  std::vector<std::string> links_of(NodeId n) const override;
+  void set_trace(sim::Trace* tr) override;
 
   int width() const { return width_; }
   int height() const { return height_; }

@@ -47,7 +47,13 @@ sim::Task<void> CrossbarSwitch::pump(int port) {
     }
     co_await eng_.sleep(fall_through_);
     ++forwarded_;
+    // Stamp the queue-entry time and charge any backpressure stall to the
+    // output link as head-of-line blocking at this crossbar port.
+    const sim::Time t_block = eng_.now();
+    p.enqueued_at = t_block;
     co_await link->in().send(std::move(p));
+    const sim::Time waited = eng_.now() - t_block;
+    if (waited > sim::Time::zero()) link->add_blocked(waited);
   }
 }
 
@@ -153,6 +159,27 @@ void MyrinetFabric::set_host_link_corrupt_prob(NodeId node, double p) {
 void MyrinetFabric::set_host_link_fault_plan(NodeId node,
                                              const FaultPlan& plan) {
   host_uplinks_.at(node)->set_fault_plan(plan);
+}
+
+std::vector<Fabric::LinkStats> MyrinetFabric::congestion_report() const {
+  std::vector<LinkStats> out;
+  out.reserve(links_.size());
+  for (const auto& l : links_) out.push_back(l->stats());
+  return out;
+}
+
+std::vector<std::string> MyrinetFabric::links_of(NodeId n) const {
+  std::vector<std::string> out;
+  const std::string id = std::to_string(n);
+  for (const auto& l : links_) {
+    const std::string& nm = l->name();
+    if (nm == "n" + id + "->sw" || nm == "sw->n" + id) out.push_back(nm);
+  }
+  return out;
+}
+
+void MyrinetFabric::set_trace(sim::Trace* tr) {
+  for (const auto& l : links_) l->set_trace(tr);
 }
 
 void MyrinetFabric::register_metrics(sim::MetricRegistry& reg) const {

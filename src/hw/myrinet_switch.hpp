@@ -68,6 +68,9 @@ class MyrinetFabric : public Fabric {
   std::string name() const override { return "myrinet"; }
   int hops(NodeId a, NodeId b) const override;
   void register_metrics(sim::MetricRegistry& reg) const override;
+  std::vector<LinkStats> congestion_report() const override;
+  std::vector<std::string> links_of(NodeId n) const override;
+  void set_trace(sim::Trace* tr) override;
 
   // Route as a sequence of switch output ports.
   std::vector<std::uint8_t> route(NodeId src, NodeId dst) const;

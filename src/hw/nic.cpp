@@ -111,6 +111,7 @@ sim::Task<void> Nic::transmit(Packet p) {
   p.src_node = node_;
   fabric_->stamp_route(p);
   ++tx_packets_;
+  p.enqueued_at = eng_.now();
   co_await egress_->send(std::move(p));
 }
 

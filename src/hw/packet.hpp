@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/time.hpp"
+
 namespace hw {
 
 using NodeId = std::uint32_t;
@@ -62,6 +64,13 @@ struct Packet {
 
   // Set by a lossy link; receivers detect it via the CRC check.
   bool corrupted = false;
+
+  // Telemetry stamps (simulation metadata, not wire bytes).  enqueued_at is
+  // refreshed by whoever pushes the packet into a link's input queue, so
+  // the link can attribute queue-wait time; retransmitted marks go-back-N
+  // resends for per-link retransmit heat.
+  sim::Time enqueued_at = sim::Time::zero();
+  bool retransmitted = false;
 
   // Myrinet-style source route: one output-port byte per switch hop.
   std::vector<std::uint8_t> route;

@@ -18,8 +18,11 @@ namespace {
 void check_coll(bcl::BclErr err, const char* what) {
   if (err == bcl::BclErr::kOk) return;
   if (err == bcl::BclErr::kPeerUnreachable) {
-    throw PeerUnreachableError(std::string("nic ") + what +
-                               ": peer unreachable");
+    throw PeerUnreachableError(
+        std::string("nic ") + what +
+        ": peer unreachable (a group member fail-stopped or the collective "
+        "watchdog expired; the cluster post-mortem names the victim op, the "
+        "congested links, and the retransmit timeline)");
   }
   throw std::runtime_error(std::string("nic ") + what + ": " +
                            bcl::to_string(err));

@@ -44,15 +44,91 @@ std::string us(Time t) {
 }  // namespace
 
 void Trace::record_span(Time start, std::string component, std::string stage,
-                        std::uint64_t tag) {
+                        std::uint64_t tag, std::uint64_t tok) {
   const Time end = eng_.now();
+  if (tok != 0) open_.erase(tok);
   if (registry_ != nullptr) {
     registry_->summary(component + "." + stage + ".us").add(end - start);
   }
   if (enabled_) {
-    events_.push_back(TraceEvent{start, end, std::move(component),
-                                 std::move(stage), tag});
+    push_event(TraceEvent{start, end, std::move(component), std::move(stage),
+                          tag});
   }
+}
+
+std::uint64_t Trace::open_begin(Time start, const std::string& component,
+                                const std::string& stage, std::uint64_t tag) {
+  const std::uint64_t tok = ++open_seq_;
+  open_.emplace(tok, TraceEvent{start, start, component, stage, tag});
+  return tok;
+}
+
+std::vector<TraceEvent> Trace::open_spans() const {
+  std::vector<TraceEvent> out;
+  out.reserve(open_.size());
+  for (const auto& [tok, e] : open_) {
+    TraceEvent copy = e;
+    copy.end = eng_.now();
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+MsgRecord& Trace::touch_msg(std::uint64_t id) {
+  auto it = msgs_.find(id);
+  if (it == msgs_.end()) {
+    if (msgs_.size() >= event_cap_) ++dropped_events_;
+    it = msgs_.try_emplace(id).first;
+    it->second.id = id;
+  }
+  return it->second;
+}
+
+MsgRecord* Trace::msg_begin(std::uint64_t id, std::string label, int src,
+                            int dst, std::size_t bytes) {
+  if (!enabled_) return nullptr;
+  MsgRecord& m = touch_msg(id);
+  m.label = std::move(label);
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.begin = eng_.now();
+  m.started = true;
+  if (auto it = pending_credit_wait_.find(src);
+      it != pending_credit_wait_.end()) {
+    m.credit_wait += it->second;
+    pending_credit_wait_.erase(it);
+  }
+  return &m;
+}
+
+void Trace::msg_link(std::uint64_t parent, std::uint64_t child) {
+  if (!enabled_ || parent == child) return;
+  MsgRecord& p = touch_msg(parent);
+  if (std::find(p.children.begin(), p.children.end(), child) ==
+      p.children.end()) {
+    p.children.push_back(child);
+  }
+  touch_msg(child).parent = parent;
+}
+
+void Trace::msg_retransmit(std::uint64_t id) {
+  if (!enabled_) return;
+  if (auto it = msgs_.find(id); it != msgs_.end()) ++it->second.retransmits;
+}
+
+void Trace::msg_end(std::uint64_t id, bool ok) {
+  if (!enabled_) return;
+  auto it = msgs_.find(id);
+  if (it == msgs_.end()) return;
+  it->second.end = eng_.now();
+  it->second.done = true;
+  it->second.ok = ok;
+}
+
+const MsgRecord* Trace::msg_find(std::uint64_t id) const {
+  auto it = msgs_.find(id);
+  return it == msgs_.end() ? nullptr : &it->second;
 }
 
 Time Trace::stage_total(const std::string& stage, std::uint64_t tag) const {
@@ -82,6 +158,16 @@ std::string Trace::to_chrome_json() const {
          ",\"dur\":" + us(e.end - e.start) +
          ",\"pid\":1,\"tid\":" + std::to_string(tid_of(e.component)) +
          ",\"args\":{\"msg\":" + std::to_string(e.tag) + "}}");
+  }
+  // Spans never end()ed (op aborted, peer failed, dump taken mid-flight):
+  // emit with a synthetic end at the current time so they stay visible.
+  for (const auto& [tok, e] : open_) {
+    emit("{\"name\":\"" + escape(e.stage) + "\",\"cat\":\"" +
+         escape(e.component) + "\",\"ph\":\"X\",\"ts\":" + us(e.start) +
+         ",\"dur\":" + us(eng_.now() - e.start) +
+         ",\"pid\":1,\"tid\":" + std::to_string(tid_of(e.component)) +
+         ",\"args\":{\"msg\":" + std::to_string(e.tag) +
+         ",\"synthetic_end\":1}}");
   }
   for (const auto& c : counter_events_) {
     emit("{\"name\":\"" + escape(c.track) + "\",\"ph\":\"C\",\"ts\":" +

@@ -15,9 +15,20 @@
 // span then feeds a "<component>.<stage>.us" Summary, even while event
 // recording is disabled.  That keeps the per-layer time accounting always
 // on (cheap, bounded memory) while full timelines stay opt-in.
+//
+// Two layers sit on top of the raw spans:
+//  * Every event buffer is bounded (set_event_cap); overflow increments
+//    dropped_events() instead of growing memory without limit, so tracing
+//    can stay on through long soaks and the 64-node sweeps.
+//  * A per-message causal ledger (MsgRecord): msg_begin() at the send trap,
+//    msg_end() at receive completion, with retransmit counts, credit-wait
+//    time, and parent/child edges across collective fan-out trees.  The
+//    LatencyBreakdown aggregator (sim/breakdown.hpp) projects the span
+//    timeline of one message onto a per-stage attribution table.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -53,6 +64,27 @@ struct TraceFlowEvent {
   std::uint64_t id;       // message id
 };
 
+// Causal per-message record: one entry per traced message (or per member of
+// a collective operation), keyed by the message's flow key.  Collective
+// fan-out trees link records through parent/children, so a broadcast shows
+// up as a tree of per-hop records hanging off the root's.
+struct MsgRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // flow key of the causal parent (0 = none)
+  std::string label;         // "send", "bcast", "reduce", ...
+  int src = -1;
+  int dst = -1;
+  std::size_t bytes = 0;
+  Time begin = Time::zero();
+  Time end = Time::zero();
+  bool started = false;  // msg_begin() seen (records can start as stubs)
+  bool done = false;     // msg_end() seen
+  bool ok = true;
+  std::uint32_t retransmits = 0;       // go-back-N episodes touching this msg
+  Time credit_wait = Time::zero();     // sender-side credit stall
+  std::vector<std::uint64_t> children;
+};
+
 class Trace {
  public:
   explicit Trace(Engine& eng) : eng_{eng} {}
@@ -63,7 +95,17 @@ class Trace {
     events_.clear();
     counter_events_.clear();
     flow_events_.clear();
+    open_.clear();
+    msgs_.clear();
+    pending_credit_wait_.clear();
+    dropped_events_ = 0;
   }
+
+  // Bound on each event buffer (spans, counters, flows) and on the message
+  // ledger.  Overflow drops the newest record and bumps dropped_events().
+  void set_event_cap(std::size_t cap) { event_cap_ = cap; }
+  std::size_t event_cap() const { return event_cap_; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
 
   // Attaching a registry keeps per-stage Summaries ("<comp>.<stage>.us")
   // up to date on every span, independent of enable().
@@ -71,7 +113,10 @@ class Trace {
   MetricRegistry* registry() const { return registry_; }
 
   // RAII span; records on end().  No-op when both event recording and the
-  // registry are off.
+  // registry are off.  While event recording is on, an in-flight span is
+  // tracked as "open" so to_chrome_json() can emit a flagged synthetic end
+  // for spans that never complete (e.g. a message in flight when a peer
+  // fail-stops).
   class Span {
    public:
     Span() = default;
@@ -81,7 +126,11 @@ class Trace {
           start_{tr->eng_.now()},
           component_{std::move(component)},
           stage_{std::move(stage)},
-          tag_{tag} {}
+          tag_{tag} {
+      if (tr_->enabled_) {
+        tok_ = tr_->open_begin(start_, component_, stage_, tag_);
+      }
+    }
     Span(Span&& o) noexcept { *this = std::move(o); }
     Span& operator=(Span&& o) noexcept {
       tr_ = o.tr_;
@@ -89,7 +138,9 @@ class Trace {
       component_ = std::move(o.component_);
       stage_ = std::move(o.stage_);
       tag_ = o.tag_;
+      tok_ = o.tok_;
       o.tr_ = nullptr;
+      o.tok_ = 0;
       return *this;
     }
     ~Span() { end(); }
@@ -97,8 +148,9 @@ class Trace {
     void end() {
       if (!tr_) return;
       tr_->record_span(start_, std::move(component_), std::move(stage_),
-                       tag_);
+                       tag_, tok_);
       tr_ = nullptr;
+      tok_ = 0;
     }
 
    private:
@@ -107,6 +159,7 @@ class Trace {
     std::string component_;
     std::string stage_;
     std::uint64_t tag_ = 0;
+    std::uint64_t tok_ = 0;  // open-span token (0: not tracked)
   };
 
   Span span(std::string component, std::string stage, std::uint64_t tag = 0) {
@@ -114,17 +167,30 @@ class Trace {
     return Span{this, std::move(component), std::move(stage), tag};
   }
 
+  // Explicit-interval span for code that knows its occupancy window up
+  // front (link serialization, queue residency).  Event-recording only: the
+  // hot hardware paths must not pay a registry map lookup per packet.
+  void interval(Time t0, Time t1, std::string component, std::string stage,
+                std::uint64_t tag = 0) {
+    if (!enabled_) return;
+    push_event(TraceEvent{t0, t1, std::move(component), std::move(stage),
+                          tag});
+  }
+
   // Instantaneous marker.
   void mark(std::string component, std::string stage, std::uint64_t tag = 0) {
     if (!enabled_) return;
-    events_.push_back(
-        TraceEvent{eng_.now(), eng_.now(), std::move(component),
-                   std::move(stage), tag});
+    push_event(TraceEvent{eng_.now(), eng_.now(), std::move(component),
+                          std::move(stage), tag});
   }
 
   // Counter-track sample (recorded only while enabled).
   void counter(std::string track, std::string series, double value) {
     if (!enabled_) return;
+    if (counter_events_.size() >= event_cap_) {
+      ++dropped_events_;
+      return;
+    }
     counter_events_.push_back(
         TraceCounterEvent{eng_.now(), std::move(track), std::move(series),
                           value});
@@ -134,6 +200,10 @@ class Trace {
   void flow(char phase, std::string component, std::string name,
             std::uint64_t id) {
     if (!enabled_) return;
+    if (flow_events_.size() >= event_cap_) {
+      ++dropped_events_;
+      return;
+    }
     flow_events_.push_back(
         TraceFlowEvent{eng_.now(), phase, std::move(component),
                        std::move(name), id});
@@ -148,6 +218,31 @@ class Trace {
     flow('f', std::move(component), std::move(name), id);
   }
 
+  // -- per-message causal ledger ---------------------------------------------
+  // All ledger calls are no-ops while event recording is disabled, so the
+  // always-on registry path stays free of per-message map traffic.
+
+  // Starts (or restarts) the record for `id`; consumes any credit-wait time
+  // parked for `src` by msg_credit_wait_pending().
+  MsgRecord* msg_begin(std::uint64_t id, std::string label, int src, int dst,
+                       std::size_t bytes);
+  // Parent/child causal edge (collective fan-out); creates stub records as
+  // needed so edges may arrive before either end begins.
+  void msg_link(std::uint64_t parent, std::uint64_t child);
+  // One go-back-N retransmission touched this message.
+  void msg_retransmit(std::uint64_t id);
+  // The library waited for credits before the message id existed; the wait
+  // is parked per source node and folded into the next msg_begin from it.
+  void msg_credit_wait_pending(int src_node, Time d) {
+    if (!enabled_ || d <= Time::zero()) return;
+    pending_credit_wait_[src_node] += d;
+  }
+  void msg_end(std::uint64_t id, bool ok = true);
+  const MsgRecord* msg_find(std::uint64_t id) const;
+  const std::map<std::uint64_t, MsgRecord>& msg_records() const {
+    return msgs_;
+  }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<TraceCounterEvent>& counter_events() const {
     return counter_events_;
@@ -155,6 +250,10 @@ class Trace {
   const std::vector<TraceFlowEvent>& flow_events() const {
     return flow_events_;
   }
+  // Spans begun but not yet end()ed, rendered as if they ended now (their
+  // `end` field is the current time).  to_chrome_json() exports these with
+  // a "synthetic_end" flag so aborted operations stay visible.
+  std::vector<TraceEvent> open_spans() const;
 
   // Total duration spent in `stage` for message `tag` (summed over spans).
   Time stage_total(const std::string& stage, std::uint64_t tag) const;
@@ -162,19 +261,38 @@ class Trace {
   std::vector<TraceEvent> timeline(std::uint64_t tag) const;
   // Chrome trace-event JSON (load in chrome://tracing or Perfetto); each
   // component becomes a track.  Strings are JSON-escaped and names of any
-  // length are supported.
+  // length are supported.  Spans still open when the dump is taken get a
+  // synthetic end at the current time, flagged "synthetic_end".
   std::string to_chrome_json() const;
 
  private:
+  friend class Span;
+
   void record_span(Time start, std::string component, std::string stage,
-                   std::uint64_t tag);
+                   std::uint64_t tag, std::uint64_t tok);
+  std::uint64_t open_begin(Time start, const std::string& component,
+                           const std::string& stage, std::uint64_t tag);
+  void push_event(TraceEvent&& e) {
+    if (events_.size() >= event_cap_) {
+      ++dropped_events_;
+      return;
+    }
+    events_.push_back(std::move(e));
+  }
+  MsgRecord& touch_msg(std::uint64_t id);
 
   Engine& eng_;
   bool enabled_ = false;
   MetricRegistry* registry_ = nullptr;
+  std::size_t event_cap_ = 1u << 20;
+  std::uint64_t dropped_events_ = 0;
   std::vector<TraceEvent> events_;
   std::vector<TraceCounterEvent> counter_events_;
   std::vector<TraceFlowEvent> flow_events_;
+  std::uint64_t open_seq_ = 0;
+  std::map<std::uint64_t, TraceEvent> open_;  // token -> span-in-flight
+  std::map<std::uint64_t, MsgRecord> msgs_;
+  std::map<int, Time> pending_credit_wait_;
 };
 
 }  // namespace sim
