@@ -1,0 +1,181 @@
+// NIC-resident congestion control under N-to-1 incast.
+//
+// N senders blast one receiver through the crossbar fabric.  The switch's
+// input backlogs ECN-mark the converging packets, the receiving MCP echoes
+// the marks on its acks, and every sender's rate controller must take at
+// least one multiplicative decrease — then, once its traffic ends, climb
+// back to at least 90% of line rate within the additive-increase bound
+// (line/ai epochs from the floor, plus slack for a cut landing right at
+// the start of the quiet period).
+//
+// Flags: --smoke   shrink the run (CI sanitizer job)
+// Exit code 1 on any acceptance violation, in both modes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bcl/bcl.hpp"
+
+namespace {
+
+constexpr std::size_t kBytes = 1024;
+
+struct SenderOutcome {
+  std::uint64_t echoes = 0;
+  std::uint64_t decreases = 0;
+  double min_rate_mbps = 0.0;    // paced rate right after the last send
+  double final_rate_mbps = 0.0;  // paced rate after the recovery window
+};
+
+struct Result {
+  int senders = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t fabric_marks = 0;
+  std::uint64_t marks_rx = 0;
+  std::vector<SenderOutcome> per_sender;
+};
+
+Result run_incast(int senders, std::uint64_t per_sender) {
+  bcl::ClusterConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(senders) + 1;
+  cfg.node.mem_bytes = 8u << 20;
+  bcl::BclCluster c{cfg};
+  const auto rx_node = static_cast<hw::NodeId>(senders);
+  auto& rx = c.open_endpoint(rx_node);
+
+  // Recovery window: worst case is a cut to the floor at the very end of
+  // the sender's traffic; additive increase needs (line - floor) / ai
+  // epochs from there.  Four extra epochs absorb straggler echoes.
+  const double worst_epochs =
+      (cfg.cost.cc_line_rate - cfg.cost.cc_min_rate) / cfg.cost.cc_ai_rate;
+  const sim::Time recovery = cfg.cost.cc_epoch * (worst_epochs + 4.0);
+
+  Result res;
+  res.senders = senders;
+  res.sent = static_cast<std::uint64_t>(senders) * per_sender;
+  res.per_sender.resize(static_cast<std::size_t>(senders));
+  for (int s = 0; s < senders; ++s) {
+    auto& tx = c.open_endpoint(static_cast<hw::NodeId>(s));
+    c.engine().spawn([](sim::Engine& eng, bcl::BclCluster& c, bcl::Endpoint& tx,
+                        bcl::PortId dst, hw::NodeId me, hw::NodeId rx_node,
+                        std::uint64_t msgs, sim::Time recovery,
+                        SenderOutcome& out) -> sim::Task<void> {
+      auto buf = tx.process().alloc(kBytes);
+      for (std::uint64_t i = 0; i < msgs; ++i) {
+        (void)co_await tx.send_system(dst, buf, kBytes);
+        (void)co_await tx.wait_send();
+      }
+      auto& cc = c.node(me).mcp().cc();
+      out.min_rate_mbps = cc.rate_of(rx_node) / 1e6;
+      co_await eng.sleep(recovery);
+      out.final_rate_mbps = cc.rate_of(rx_node) / 1e6;
+      for (const auto& r : cc.snapshot()) {
+        if (r.dst != rx_node) continue;
+        out.echoes = r.echoes;
+        out.decreases = r.decreases;
+      }
+    }(c.engine(), c, tx, rx.id(), static_cast<hw::NodeId>(s), rx_node,
+      per_sender, recovery, res.per_sender[static_cast<std::size_t>(s)]));
+  }
+  c.engine().spawn_daemon([](bcl::Endpoint& rx) -> sim::Task<void> {
+    for (;;) {
+      auto ev = co_await rx.wait_recv();
+      (void)co_await rx.copy_out_system(ev);
+    }
+  }(rx));
+  c.engine().run();
+
+  res.delivered = rx.port().messages_received;
+  for (const auto& l : c.fabric().congestion_report()) {
+    res.fabric_marks += l.ecn_marks;
+  }
+  res.marks_rx = c.node(rx_node).mcp().stats().cc_marks_rx;
+  return res;
+}
+
+void print_json(const Result& r, double line_mbps, bool ok) {
+  std::printf("{\"bench\":\"cc_incast\",\"senders\":%d,\"sent\":%llu,"
+              "\"delivered\":%llu,\"fabric_marks\":%llu,\"marks_rx\":%llu,"
+              "\"line_mbps\":%.1f,\"per_sender\":[",
+              r.senders, (unsigned long long)r.sent,
+              (unsigned long long)r.delivered,
+              (unsigned long long)r.fabric_marks,
+              (unsigned long long)r.marks_rx, line_mbps);
+  for (std::size_t i = 0; i < r.per_sender.size(); ++i) {
+    const auto& s = r.per_sender[i];
+    std::printf("%s{\"echoes\":%llu,\"decreases\":%llu,"
+                "\"min_rate_mbps\":%.1f,\"final_rate_mbps\":%.1f}",
+                i == 0 ? "" : ",", (unsigned long long)s.echoes,
+                (unsigned long long)s.decreases, s.min_rate_mbps,
+                s.final_rate_mbps);
+  }
+  std::printf("],\"ok\":%s}\n", ok ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int senders = smoke ? 4 : 8;
+  const std::uint64_t per_sender = smoke ? 25 : 60;
+  const double line_mbps = bcl::ClusterConfig{}.cost.cc_line_rate / 1e6;
+
+  const Result r = run_incast(senders, per_sender);
+
+  // -- acceptance -------------------------------------------------------------
+  // 1. The incast genuinely congested the fabric and the marks made it to
+  //    the receiver's controller loop.
+  const bool marked = r.fabric_marks > 0 && r.marks_rx > 0;
+  // 2. Every sender throttled: at least one multiplicative decrease.
+  // 3. Every sender recovered to >= 90% of line within the bounded
+  //    recovery window.
+  bool all_throttled = true, all_recovered = true;
+  for (const auto& s : r.per_sender) {
+    all_throttled = all_throttled && s.decreases >= 1 && s.echoes >= 1;
+    all_recovered = all_recovered && s.final_rate_mbps >= 0.9 * line_mbps;
+  }
+  // 4. Rate control throttles, it does not lose: every message landed.
+  const bool lossless = r.delivered == r.sent;
+  const bool ok = marked && all_throttled && all_recovered && lossless;
+
+  if (smoke) {
+    print_json(r, line_mbps, ok);
+    std::printf("cc incast smoke: %s\n", ok ? "ok" : "DIFF");
+    return ok ? 0 : 1;
+  }
+
+  benchutil::header("CC incast", "ECN-driven rate control under N-to-1");
+  benchutil::claim(
+      "every sender converging on one receiver is throttled by echoed ECN "
+      "marks and recovers to line rate once the incast ends");
+  std::printf("%d senders x %llu msgs x %zu B -> node %d\n", r.senders,
+              (unsigned long long)per_sender, kBytes, r.senders);
+  std::printf("fabric marks %llu, accepted at receiver %llu\n",
+              (unsigned long long)r.fabric_marks,
+              (unsigned long long)r.marks_rx);
+  std::printf("%7s %8s %10s %14s %16s\n", "sender", "echoes", "decreases",
+              "rate@end(MB/s)", "rate+recov(MB/s)");
+  for (std::size_t i = 0; i < r.per_sender.size(); ++i) {
+    const auto& s = r.per_sender[i];
+    std::printf("%7zu %8llu %10llu %14.1f %16.1f\n", i,
+                (unsigned long long)s.echoes, (unsigned long long)s.decreases,
+                s.min_rate_mbps, s.final_rate_mbps);
+  }
+  std::printf("\nincast marked and echoed:            %s\n",
+              marked ? "ok" : "DIFF");
+  std::printf("every sender throttled (>=1 cut):    %s\n",
+              all_throttled ? "ok" : "DIFF");
+  std::printf("every sender recovered to >=90%% line: %s\n",
+              all_recovered ? "ok" : "DIFF");
+  std::printf("nothing lost (%llu/%llu delivered):  %s\n",
+              (unsigned long long)r.delivered, (unsigned long long)r.sent,
+              lossless ? "ok" : "DIFF");
+  print_json(r, line_mbps, ok);
+  return ok ? 0 : 1;
+}

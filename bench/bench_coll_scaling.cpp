@@ -34,6 +34,11 @@ struct Meas {
   double reduce_us = 0;
   bool aborted = false;
   std::string abort_what;
+  // Hottest link by go-back-N resend count, from the fabric's congestion
+  // report: the DCQCN-style rate controller should keep this near zero
+  // where the uncontrolled column-ring pattern used to see ~850 per link.
+  std::uint64_t max_retx = 0;
+  std::string max_retx_link;
 };
 
 // An aborted case dumps the cluster's post-mortems (the flight-recorder
@@ -132,6 +137,12 @@ Meas run_case(std::uint32_t nodes, bool nic, int iters) {
                   nic ? "nic" : "host");
     dump_postmortem(w, kase, e);
   }
+  for (const auto& l : w.cluster().fabric().congestion_report()) {
+    if (l.retx_packets > m.max_retx) {
+      m.max_retx = l.retx_packets;
+      m.max_retx_link = l.name;
+    }
+  }
   return m;
 }
 
@@ -189,10 +200,11 @@ int main(int argc, char** argv) {
     const Meas& nic64 = rows[5].second;
     const double speedup16 = host16.barrier_us / nic16.barrier_us;
     std::printf("\nchecks:\n");
-    // Measures ~1.9x: interior-hop combining saves the host trap but the
-    // timed loop still pays one host post + completion per barrier.
-    std::printf("  barrier speedup at 16 nodes: %.2fx (>=1.8x) %s\n",
-                speedup16, pass(speedup16 >= 1.8));
+    // Measures 2.0x since the release path completes asynchronously: the
+    // interior hops pay neither the host trap nor the inline event DMA, so
+    // the timed loop's only host involvement is one post + one poll.
+    std::printf("  barrier speedup at 16 nodes: %.2fx (>=2.0x) %s\n",
+                speedup16, pass(speedup16 >= 2.0));
     if (nic64.aborted) {
       std::printf("  nic barrier growth 16->64:   skipped (64-node case "
                   "aborted; see %s)\n",
@@ -203,6 +215,15 @@ int main(int argc, char** argv) {
       std::printf("  nic barrier growth 16->64:   %.2fx (<=2.5x) %s\n",
                   growth, pass(growth <= 2.5));
     }
+    // The 64-node mesh case used to melt down here: the column-ring
+    // reduce/bcast pattern drove ~850 go-back-N resends through the hot
+    // mesh links and the run aborted with a collective timeout.  With ECN
+    // marking + per-destination pacing the storm self-throttles; require
+    // at least the 10x reduction the congestion-control arc claims.
+    std::printf("  64-node nic hottest link:    %s retx=%llu (<=85)  %s\n",
+                nic64.max_retx_link.empty() ? "-" : nic64.max_retx_link.c_str(),
+                static_cast<unsigned long long>(nic64.max_retx),
+                pass(nic64.max_retx <= 85));
     std::printf("  nic bcast  beats host at 16: %.2fx (>1x)   %s\n",
                 host16.bcast_us / nic16.bcast_us,
                 pass(nic16.bcast_us < host16.bcast_us));

@@ -1,0 +1,110 @@
+#include "bcl/cc/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace bcl::cc {
+
+void CongestionController::trace_rate(hw::NodeId dst, const RateState& s) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  double& last = traced_rate_[dst];
+  if (std::abs(s.rate - last) < 1e-3) return;
+  last = s.rate;
+  trace_->counter("cc." + name_, "rate_mbps.n" + std::to_string(dst),
+                  s.rate / 1e6);
+  trace_->counter("cc." + name_, "alpha.n" + std::to_string(dst), s.alpha);
+}
+
+sim::Task<void> CongestionController::pace(hw::NodeId dst,
+                                           std::size_t bytes,
+                                           bool reserve) {
+  if (!enabled()) co_return;
+  co_await pacer_.pace(dst, bytes, reserve);
+  trace_rate(dst, pacer_.states().at(dst));
+}
+
+sim::Time CongestionController::stagger_delay(hw::NodeId dst) {
+  if (!enabled()) return sim::Time::zero();
+  return pacer_.stagger_delay(dst);
+}
+
+sim::Time CongestionController::drain_time(hw::NodeId dst,
+                                           std::size_t bytes) {
+  if (!enabled()) return sim::Time::zero();
+  return pacer_.drain_time(dst, bytes);
+}
+
+void CongestionController::on_echo(hw::NodeId dst) {
+  if (!enabled()) return;
+  RateState& s = pacer_.state(dst);  // lazy-ticks the epoch clock first
+  ++s.echoes;
+  s.alpha = (1.0 - cfg_.cc_g) * s.alpha + cfg_.cc_g;
+  const sim::Time now = pacer_.engine().now();
+  // At most one multiplicative decrease per epoch: a burst of echoes from
+  // one congested window must not collapse the rate to the floor in one
+  // step — DCQCN's rate-decrease timer, lazy-ticked.
+  if (!s.decreased_once || now - s.last_decrease >= cfg_.cc_epoch) {
+    s.rate = std::max(cfg_.cc_min_rate, s.rate * (1.0 - s.alpha / 2.0));
+    s.last_decrease = now;
+    s.decreased_once = true;
+    ++s.decreases;
+    trace_rate(dst, s);
+  }
+}
+
+std::vector<RateSnapshot> CongestionController::snapshot() const {
+  std::vector<RateSnapshot> out;
+  out.reserve(pacer_.states().size());
+  for (const auto& [dst, s] : pacer_.states()) {
+    RateSnapshot r;
+    r.dst = dst;
+    r.rate = s.rate;
+    r.alpha = s.alpha;
+    r.echoes = s.echoes;
+    r.decreases = s.decreases;
+    r.increases = s.increases;
+    r.paced_packets = s.paced_packets;
+    r.paced_wait_us = s.paced_wait.to_us();
+    out.push_back(r);
+  }
+  return out;
+}
+
+void CongestionController::register_metrics(sim::MetricRegistry& reg,
+                                            const std::string& prefix) {
+  auto sum = [this](std::uint64_t RateState::* f) {
+    std::uint64_t v = 0;
+    for (const auto& [dst, s] : pacer_.states()) v += s.*f;
+    return v;
+  };
+  reg.counter(prefix + ".echoes_rx",
+              [sum] { return sum(&RateState::echoes); });
+  reg.counter(prefix + ".decreases",
+              [sum] { return sum(&RateState::decreases); });
+  reg.counter(prefix + ".increases",
+              [sum] { return sum(&RateState::increases); });
+  reg.counter(prefix + ".paced_packets",
+              [sum] { return sum(&RateState::paced_packets); });
+  reg.gauge(prefix + ".paced_wait_us", [this] {
+    double v = 0;
+    for (const auto& [dst, s] : pacer_.states()) v += s.paced_wait.to_us();
+    return v;
+  });
+  reg.gauge(prefix + ".throttled_peers", [this] {
+    double n = 0;
+    for (const auto& [dst, s] : pacer_.states()) {
+      if (s.rate < 0.9 * cfg_.cc_line_rate) ++n;
+    }
+    return n;
+  });
+  reg.gauge(prefix + ".min_rate_mbps", [this] {
+    double r = cfg_.cc_line_rate;
+    for (const auto& [dst, s] : pacer_.states()) r = std::min(r, s.rate);
+    return r / 1e6;
+  });
+}
+
+}  // namespace bcl::cc

@@ -1,0 +1,108 @@
+// NIC-resident congestion controller (the sender half of the ECN loop).
+//
+// Congested links/routers/switches set Packet::ecn in flight; the
+// receiving MCP echoes the marks back piggybacked on acks, NACKs and
+// credit grants (Packet::ecn_echo).  This controller consumes those echoes
+// and runs a DCQCN-style AIMD rate per destination:
+//
+//   echo:        alpha <- (1-g)*alpha + g, then (at most once per epoch)
+//                rate  <- max(min_rate, rate * (1 - alpha/2))
+//   quiet epoch: alpha <- (1-g)*alpha,     rate <- min(line, rate + ai)
+//
+// Everything launching toward a destination — data, retransmits,
+// flow-control packets, collective fan-out — goes through pace(), so a
+// storming sender throttles itself at the source instead of melting the
+// fabric into go-back-N retransmit storms.  When cfg.congestion_control is
+// off every entry point is a no-op and the stack behaves as before.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bcl/config.hpp"
+#include "hw/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+#include "bcl/cc/pacer.hpp"
+#include "bcl/cc/rate.hpp"
+
+namespace sim {
+class MetricRegistry;
+class Trace;
+}
+
+namespace bcl::cc {
+
+// Point-in-time copy of one destination's rate state, as folded into the
+// post-mortem dump.
+struct RateSnapshot {
+  hw::NodeId dst = 0;
+  double rate = 0.0;   // bytes/s
+  double alpha = 0.0;
+  std::uint64_t echoes = 0;
+  std::uint64_t decreases = 0;
+  std::uint64_t increases = 0;
+  std::uint64_t paced_packets = 0;
+  double paced_wait_us = 0.0;
+};
+
+class CongestionController {
+ public:
+  CongestionController(sim::Engine& eng, const CostConfig& cfg,
+                       std::string name)
+      : cfg_{cfg}, name_{std::move(name)}, pacer_{eng, cfg} {}
+
+  bool enabled() const { return cfg_.congestion_control; }
+
+  // Wait until `dst`'s pacing cursor allows launching `bytes`.  With
+  // `reserve` true the cursor is always charged (collective fan-out);
+  // otherwise quiet destinations are wire-clocked (see Pacer::pace).
+  // Immediate no-op when congestion control is off.
+  sim::Task<void> pace(hw::NodeId dst, std::size_t bytes,
+                       bool reserve = false);
+
+  // Peek how long a launch toward `dst` would currently wait (no reserve);
+  // the collective engine staggers fan-out with this.
+  sim::Time stagger_delay(hw::NodeId dst);
+
+  // Serialization time of `bytes` at `dst`'s current rate; added to the
+  // RTO for the unacked window so throttling never guarantees timeouts.
+  sim::Time drain_time(hw::NodeId dst, std::size_t bytes);
+
+  // Apply one echoed ECN mark from `dst`: EWMA alpha up, and cut the rate
+  // multiplicatively if this epoch has not already taken its cut.
+  void on_echo(hw::NodeId dst);
+
+  // Current paced rate toward `dst` (line rate if never congested).
+  double rate_of(hw::NodeId dst) { return pacer_.state(dst).rate; }
+
+  std::vector<RateSnapshot> snapshot() const;
+
+  // Registers "<prefix>.echoes_rx/.decreases/.increases/.paced_packets/
+  // .paced_wait_us/.throttled_peers/.min_rate_mbps" (aggregated over
+  // destinations; this object must outlive the registry reads).
+  void register_metrics(sim::MetricRegistry& reg, const std::string& prefix);
+
+  // Rate/echo counter tracks ("cc.<name>") are emitted while `tr` is
+  // enabled: one sample per rate change per destination.
+  void set_trace(sim::Trace* tr) { trace_ = tr; }
+
+  const CostConfig& cfg() const { return cfg_; }
+
+ private:
+  void trace_rate(hw::NodeId dst, const RateState& s);
+
+  const CostConfig& cfg_;
+  std::string name_;
+  Pacer pacer_;
+  sim::Trace* trace_ = nullptr;
+  // Last rate emitted per destination, so recovery shows up as a track
+  // without sampling on every single pace() call.
+  std::map<hw::NodeId, double> traced_rate_;
+};
+
+}  // namespace bcl::cc

@@ -1,0 +1,94 @@
+#include "bcl/cc/pacer.hpp"
+
+#include <algorithm>
+
+namespace bcl::cc {
+
+// Alpha below this is "no recent congestion": one echo sets alpha to
+// cc_g (1/16) and quiet epochs decay it by (1-g) each, so shaping stays
+// on for ~2 dozen epochs (~1.5 ms) after the last mark, then the
+// destination goes back to being wire-clocked.
+constexpr double kQuietAlpha = 0.01;
+
+// Lazy epoch advance.  Epochs elapse purely arithmetically (no per-epoch
+// loop, so a destination idle for seconds is caught up in O(1)): n quiet
+// epochs decay alpha by (1-g)^n and recover n * cc_ai_rate of rate, clamped
+// to line rate.  Echo-driven decreases happen in the controller, between
+// ticks; the tick only ever recovers.
+void Pacer::tick(RateState& s) {
+  const sim::Time now = eng_.now();
+  const double epoch_us = cfg_.cc_epoch.to_us();
+  if (epoch_us <= 0.0) return;
+  const auto n = static_cast<std::int64_t>(
+      (now - s.last_epoch).to_us() / epoch_us);
+  if (n <= 0) return;
+  s.last_epoch += cfg_.cc_epoch * static_cast<double>(n);
+  double decay = 1.0;
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(n, 64); ++i) {
+    decay *= 1.0 - cfg_.cc_g;  // (1-g)^min(n,64); beyond that alpha ~ 0
+  }
+  s.alpha *= decay;
+  if (s.rate < cfg_.cc_line_rate) {
+    s.rate = std::min(cfg_.cc_line_rate,
+                      s.rate + cfg_.cc_ai_rate * static_cast<double>(n));
+    s.increases += static_cast<std::uint64_t>(n);
+  }
+}
+
+RateState& Pacer::state(hw::NodeId dst) {
+  RateState& s = states_[dst];
+  if (s.rate <= 0.0) {
+    s.rate = cfg_.cc_line_rate;  // first touch: start uncongested
+    s.last_epoch = eng_.now();
+  }
+  tick(s);
+  return s;
+}
+
+sim::Task<void> Pacer::pace(hw::NodeId dst, std::size_t bytes,
+                            bool reserve) {
+  RateState& s = state(dst);
+  const sim::Time now = eng_.now();
+  ++s.paced_packets;
+  if (!reserve && s.rate >= cfg_.cc_line_rate && s.alpha < kQuietAlpha) {
+    // No congestion signal on this destination: the wire is the clock, so
+    // session traffic must not charge the cursor.  The cursor tracks
+    // reservations, not transmissions — a window-gated burst would push it
+    // ahead of the NIC tx queue's actual drain (per-packet overhead makes
+    // the wire slower than bytes/line), and a later retransmit would then
+    // pay that phantom debt, turning one lost packet into a dup-ack storm.
+    // The cursor is still a fence, though: if always-reserve traffic (a
+    // window replay, collective fan-out) holds outstanding reservations,
+    // wait them out — overtaking a paced replay through the tx mutex
+    // reorders the flow past the go-back-N hole and manufactures dup acks.
+    // Once an echo raises alpha, this path charges like everyone else
+    // until alpha decays over quiet epochs.
+    // Re-check after each sleep: an in-flight replay keeps charging the
+    // cursor while we wait, and leaving early would still overtake it.
+    while (s.next_tx > eng_.now()) {
+      const sim::Time wait = s.next_tx - eng_.now();
+      s.paced_wait += wait;
+      co_await eng_.sleep(wait);
+    }
+    co_return;
+  }
+  const sim::Time start = std::max(s.next_tx, now);
+  s.next_tx = start + sim::Time::bytes_at(bytes, s.rate);
+  if (start > now) {
+    s.paced_wait += start - now;
+    co_await eng_.sleep(start - now);
+  }
+}
+
+sim::Time Pacer::stagger_delay(hw::NodeId dst) {
+  RateState& s = state(dst);
+  const sim::Time now = eng_.now();
+  return s.next_tx > now ? s.next_tx - now : sim::Time::zero();
+}
+
+sim::Time Pacer::drain_time(hw::NodeId dst, std::size_t bytes) {
+  const RateState& s = state(dst);
+  return sim::Time::bytes_at(bytes, s.rate);
+}
+
+}  // namespace bcl::cc

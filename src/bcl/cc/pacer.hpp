@@ -1,0 +1,74 @@
+// Per-destination rate pacer: spaces packet launches at each destination's
+// current congestion-controlled rate.
+//
+// The pacer keeps a virtual transmit cursor (`RateState::next_tx`) per
+// destination.  pace() is wait-then-reserve: it sleeps until the cursor,
+// then advances it by the packet's serialization time at the current rate.
+// While a destination is at line rate with no recent congestion (alpha
+// ~ 0), session traffic neither waits on nor charges the cursor — the
+// wire is the clock for an uncongested flow, and letting reservations run
+// ahead of the NIC tx queue's actual drain would make a later retransmit
+// pay phantom delay.  Collective fan-out always reserves (it is burst-
+// prone by construction), and once an echo raises alpha every path
+// charges and waits, keeping burst shaping and fan-out stagger live
+// through recovery until alpha decays over quiet epochs.
+//
+// stagger_delay() peeks the cursor without reserving — the collective
+// engine uses it to order and pre-delay fan-out without double-charging the
+// sessions that will pace the actual packets.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "bcl/config.hpp"
+#include "hw/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+#include "bcl/cc/rate.hpp"
+
+namespace bcl::cc {
+
+class Pacer {
+ public:
+  Pacer(sim::Engine& eng, const CostConfig& cfg) : eng_{eng}, cfg_{cfg} {}
+
+  // Lookup-or-create (new destinations start at line rate), then lazily
+  // advance the AIMD epoch clock: quiet epochs decay alpha by (1-g) and add
+  // cc_ai_rate each, clamped to line rate.
+  RateState& state(hw::NodeId dst);
+
+  // Blocks until `dst`'s cursor allows a launch, then reserves `bytes` of
+  // wire time at the current rate.  With `reserve` false (sessions,
+  // retransmits, flow-control packets) a destination with no congestion
+  // signal is wire-clocked: the call neither waits nor charges the cursor.
+  // With `reserve` true (collective fan-out — burst-prone by construction)
+  // the cursor is always charged, so repeated fan-out toward the same
+  // child self-spaces even before the first ECN echo arrives.
+  sim::Task<void> pace(hw::NodeId dst, std::size_t bytes,
+                       bool reserve = false);
+
+  // How long a launch toward `dst` would wait right now (peek, no reserve).
+  sim::Time stagger_delay(hw::NodeId dst);
+
+  // Serialization time of `bytes` at `dst`'s current paced rate.  The
+  // reliability engine adds this for the unacked window to its RTO so a
+  // throttled destination cannot fire guaranteed-spurious timeouts.
+  sim::Time drain_time(hw::NodeId dst, std::size_t bytes);
+
+  const std::map<hw::NodeId, RateState>& states() const { return states_; }
+  std::map<hw::NodeId, RateState>& states() { return states_; }
+  const CostConfig& cfg() const { return cfg_; }
+  sim::Engine& engine() { return eng_; }
+
+ private:
+  void tick(RateState& s);
+
+  sim::Engine& eng_;
+  const CostConfig& cfg_;
+  std::map<hw::NodeId, RateState> states_;
+};
+
+}  // namespace bcl::cc

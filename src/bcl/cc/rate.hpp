@@ -1,0 +1,40 @@
+// Per-destination congestion-control state for the MCP's DCQCN/Timely-style
+// rate controller (cc::CongestionController).
+//
+// One RateState exists per destination the NIC has ever launched toward.
+// `rate` is the paced launch rate in bytes/s, bounded to
+// [cc_min_rate, cc_line_rate]; `alpha` is the EWMA congestion-extent
+// estimate (DCQCN's alpha) that scales the multiplicative decrease.  All
+// updates are lazy — there is no per-destination timer; the pacer advances
+// epochs arithmetically whenever the state is touched.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace bcl::cc {
+
+struct RateState {
+  double rate = 0.0;   // paced launch rate, bytes/s (0 until first touch)
+  double alpha = 0.0;  // EWMA congestion extent in [0, 1]
+
+  // Pacing cursor: earliest time the next launch may start.  pace() reserves
+  // by advancing it; stagger_delay() only peeks.
+  sim::Time next_tx = sim::Time::zero();
+
+  // Epoch bookkeeping: at most one multiplicative decrease and one additive
+  // increase per cc_epoch.
+  sim::Time last_epoch = sim::Time::zero();     // last lazy-tick boundary
+  sim::Time last_decrease = sim::Time::zero();  // last MD application
+  bool decreased_once = false;  // distinguishes t=0 from "never cut"
+
+  // Telemetry.
+  std::uint64_t echoes = 0;         // ECN echoes applied to this destination
+  std::uint64_t decreases = 0;      // multiplicative decreases taken
+  std::uint64_t increases = 0;      // additive-increase epochs applied
+  std::uint64_t paced_packets = 0;  // launches that went through pace()
+  sim::Time paced_wait = sim::Time::zero();  // total launch delay added
+};
+
+}  // namespace bcl::cc

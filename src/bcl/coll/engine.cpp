@@ -58,6 +58,8 @@ CollectiveEngine::CollectiveEngine(sim::Engine& eng, hw::Nic& nic, Mcp& mcp,
                      [this] { return stats_.op_timeouts; });
     metrics->counter(prefix + "groups_failed",
                      [this] { return stats_.groups_failed; });
+    metrics->counter(prefix + "staggered",
+                     [this] { return stats_.staggered; });
     metrics->gauge(prefix + "sram_bytes", [this] {
       return static_cast<double>(sram_bytes_);
     });
@@ -147,6 +149,10 @@ hw::Packet CollectiveEngine::make_packet(const GroupDescriptor& g,
 }
 
 void CollectiveEngine::emit(hw::Packet p) {
+  emit_after(sim::Time::zero(), std::move(p));
+}
+
+void CollectiveEngine::emit_after(sim::Time delay, hw::Packet p) {
   ++stats_.forwards;
   if (trace_) {
     trace_->flow_step(comp(), "coll",
@@ -156,7 +162,37 @@ void CollectiveEngine::emit(hw::Packet p) {
   // Never transmit inline: handle_packet runs on the rx pump, which must
   // not wait for the tx mutex (the session it would block on drains its
   // window through this very pump).
-  eng_.spawn_daemon(mcp_.coll_send(std::move(p)));
+  if (delay <= sim::Time::zero()) {
+    eng_.spawn_daemon(mcp_.coll_send(std::move(p)));
+  } else {
+    ++stats_.staggered;
+    eng_.spawn_daemon(delayed_send(delay, std::move(p)));
+  }
+}
+
+sim::Task<void> CollectiveEngine::delayed_send(sim::Time delay,
+                                               hw::Packet p) {
+  co_await eng_.sleep(delay);
+  co_await mcp_.coll_send(std::move(p));
+}
+
+void CollectiveEngine::emit_fanout(std::vector<hw::Packet> batch) {
+  // Order by the destinations' current pacing delay so the uncongested
+  // children's daemons reach the tx mutex first; each delayed daemon then
+  // sleeps out its own stagger before contending.  With congestion control
+  // off (or nothing throttled) every delay is zero and this degenerates to
+  // the old blast-all-children-in-one-tick behavior.
+  std::vector<std::pair<sim::Time, std::size_t>> order;
+  order.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    order.emplace_back(mcp_.cc().stagger_delay(batch[i].dst_node), i);
+  }
+  std::stable_sort(
+      order.begin(), order.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [delay, i] : order) {
+    emit_after(delay, std::move(batch[i]));
+  }
 }
 
 void CollectiveEngine::reserve_sram(Pending& pd, std::size_t bytes) {
@@ -345,6 +381,8 @@ sim::Task<void> CollectiveEngine::handle_post(CollPost post) {
           co_await nic_.dma_gather(slice_segments(post.segs, off, flen),
                                    chunk, cfg_.dma_lead_bytes);
         }
+        std::vector<hw::Packet> batch;
+        batch.reserve(nb.children.size());
         for (const int child : nb.children) {
           hw::Packet q = make_packet(*g, child, CollWire::kData, post.seq,
                                      post.root, post.op);
@@ -353,8 +391,9 @@ sim::Task<void> CollectiveEngine::handle_post(CollPost post) {
           q.msg_bytes = post.len;
           q.offset = off;
           q.payload = chunk;
-          emit(std::move(q));
+          batch.push_back(std::move(q));
         }
+        emit_fanout(std::move(batch));
       }
       co_await complete(*g, post.seq, CollKind::kBcast, post.root, post.len,
                         true);
@@ -440,15 +479,22 @@ sim::Task<void> CollectiveEngine::handle_barrier_arrive(GroupDescriptor& g,
   pd.sent_up = true;
   if (g.parent < 0) {
     // Root: the whole group has arrived; release the tree.
+    std::vector<hw::Packet> batch;
+    batch.reserve(g.children.size());
     for (const int child : g.children) {
       if (trace_) {
         trace_->msg_link(member_key(g, seq, g.my_index),
                          member_key(g, seq, child));
       }
-      emit(make_packet(g, child, CollWire::kRelease, seq, 0, pd.op));
+      batch.push_back(make_packet(g, child, CollWire::kRelease, seq, 0,
+                                  pd.op));
     }
-    co_await complete(g, seq, CollKind::kBarrier, 0, 0, true);
+    emit_fanout(std::move(batch));
+    // The host completion is off the combine path: the release cascade is
+    // already launched, and the event-build/DMA charges run as a daemon so
+    // they never serialize behind the next hop's packet processing.
     erase({g.id, seq});
+    eng_.spawn_daemon(complete(g, seq, CollKind::kBarrier, 0, 0, true));
   } else {
     if (trace_) {
       trace_->msg_link(member_key(g, seq, g.parent),
@@ -461,15 +507,24 @@ sim::Task<void> CollectiveEngine::handle_barrier_arrive(GroupDescriptor& g,
 
 sim::Task<void> CollectiveEngine::handle_barrier_release(GroupDescriptor& g,
                                                          std::uint64_t seq) {
+  std::vector<hw::Packet> batch;
+  batch.reserve(g.children.size());
   for (const int child : g.children) {
     if (trace_) {
       trace_->msg_link(member_key(g, seq, g.my_index),
                        member_key(g, seq, child));
     }
-    emit(make_packet(g, child, CollWire::kRelease, seq, 0, CollOp::kSum));
+    batch.push_back(
+        make_packet(g, child, CollWire::kRelease, seq, 0, CollOp::kSum));
   }
-  co_await complete(g, seq, CollKind::kBarrier, 0, 0, true);
+  emit_fanout(std::move(batch));
+  // Asynchronous completion: the old inline event-build + event-DMA here
+  // added ~1.25 us of rx-pump occupancy at EVERY tree level, which is what
+  // kept the NIC barrier under 2x the host tree.  The release keeps
+  // cascading; the host learns via the daemon.
   erase({g.id, seq});
+  eng_.spawn_daemon(complete(g, seq, CollKind::kBarrier, 0, 0, true));
+  co_return;
 }
 
 sim::Task<void> CollectiveEngine::handle_reduce_packet(GroupDescriptor& g,
@@ -585,6 +640,8 @@ sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
   // Forward to children first (cut-through, straight from the packet
   // buffer), then scatter the fragment into the pinned result buffer.
   const Neighborhood nb = neighbors(g, pd.root);
+  std::vector<hw::Packet> batch;
+  batch.reserve(nb.children.size());
   for (const int child : nb.children) {
     if (trace_) {
       trace_->msg_link(member_key(g, seq, g.my_index),
@@ -598,10 +655,13 @@ sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
     q.seq = 0;
     q.ack = 0;
     q.corrupted = false;
+    q.ecn = false;  // marks belong to the inbound path, not the re-emit
+    q.retransmitted = false;  // ditto for the inbound copy's retx stamp
     q.route.clear();
     q.route_pos = 0;
-    emit(std::move(q));
+    batch.push_back(std::move(q));
   }
+  emit_fanout(std::move(batch));
   if (!p.payload.empty() && !pd.failed) {
     if (p.offset + p.payload.size() > g.result_buf.len) {
       // This member registered a smaller result buffer than the root's
@@ -629,7 +689,7 @@ sim::Task<void> CollectiveEngine::handle_bcast_packet(GroupDescriptor& g,
   }
 }
 
-sim::Task<void> CollectiveEngine::complete(GroupDescriptor& g,
+sim::Task<void> CollectiveEngine::complete(GroupDescriptor g,
                                            std::uint64_t seq, CollKind kind,
                                            std::uint16_t root,
                                            std::size_t len, bool ok,

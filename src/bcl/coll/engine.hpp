@@ -69,6 +69,7 @@ class CollectiveEngine {
     std::uint64_t sram_exhausted = 0;
     std::uint64_t op_timeouts = 0;   // watchdog-expired pending operations
     std::uint64_t groups_failed = 0;
+    std::uint64_t staggered = 0;     // fan-out packets delayed by the pacer
   };
   const Stats& stats() const { return stats_; }
   std::size_t sram_bytes() const { return sram_bytes_; }
@@ -115,7 +116,9 @@ class CollectiveEngine {
                                  std::uint64_t seq);
   sim::Task<void> combine_fragment(GroupDescriptor& g, Pending& pd,
                                    const hw::Packet& p);
-  sim::Task<void> complete(GroupDescriptor& g, std::uint64_t seq,
+  // Takes the descriptor by value: completions may run as deferred daemons
+  // (async barrier path), and the group can be unregistered before they run.
+  sim::Task<void> complete(GroupDescriptor g, std::uint64_t seq,
                            CollKind kind, std::uint16_t root, std::size_t len,
                            bool ok, BclErr err = BclErr::kOk);
   sim::Task<void> replay(hw::Packet p);
@@ -133,6 +136,15 @@ class CollectiveEngine {
                          CollWire wire, std::uint64_t seq, std::uint16_t root,
                          CollOp op) const;
   void emit(hw::Packet p);  // spawn a daemon through Mcp::coll_send
+  // Congestion-aware fan-out: each packet's emission daemon first sleeps
+  // out its destination's current pacing delay (peeked from the rate
+  // controller, not reserved — the reliability session paces the actual
+  // launch), and the batch spawns least-congested first.  Without this,
+  // every fan-out daemon piles onto the tx mutex in one tick and a single
+  // throttled child head-of-line blocks the fast ones.
+  void emit_fanout(std::vector<hw::Packet> batch);
+  void emit_after(sim::Time delay, hw::Packet p);
+  sim::Task<void> delayed_send(sim::Time delay, hw::Packet p);
   void send_partial_up(const GroupDescriptor& g, int parent_member,
                        std::uint64_t seq, const Pending& pd);
   void reserve_sram(Pending& pd, std::size_t bytes);

@@ -103,6 +103,34 @@ struct CostConfig {
   // LANai work per flow-control packet (update/probe/grant bookkeeping).
   sim::Time mcp_fc_proc = sim::Time::us(0.30);
 
+  // -- NIC-resident congestion control (cc::CongestionController) ----------------
+  // DCQCN/Timely-style per-destination rate control run entirely in the
+  // MCP.  Congested links/routers/switches set the packet's ECN bit; the
+  // receiving MCP echoes marks back piggybacked on acks, NACKs and credit
+  // grants (kCcEcho); the sending MCP keeps an AIMD rate per destination
+  // and a pacer that spaces launches (data, retransmits, flow-control
+  // packets, collective fan-out) at that rate.  Off restores blast-at-will.
+  bool congestion_control = true;
+  // Rate bounds in bytes/s.  `cc_line_rate` is the uncongested ceiling
+  // (matched to the 160 MB/s link by default: at line rate the pacer never
+  // adds delay beyond the wire's own serialization); `cc_min_rate` is the
+  // floor a storming destination can be cut to (1/40 of line — a 4:1 tree
+  // fan-in plus pass-through flows can need well under 1/20 each).
+  double cc_line_rate = 160e6;
+  double cc_min_rate = 4e6;
+  // Additive increase per epoch without an echo, bytes/s.  Recovery from
+  // half line takes (line/2)/ai epochs (~2 ms at the defaults) — slow
+  // enough that a throttled sender does not slam back to line while the
+  // queues it built are still draining.
+  double cc_ai_rate = 2e6;
+  // EWMA gain for the congestion-extent estimate alpha (DCQCN's g):
+  // alpha <- (1-g)*alpha + g on an echoed mark, decays by (1-g) each
+  // quiet epoch; multiplicative decrease cuts rate by alpha/2.
+  double cc_g = 1.0 / 16;
+  // Rate-update epoch: at most one multiplicative decrease and one
+  // additive increase per epoch (lazy-ticked; the controller has no timer).
+  sim::Time cc_epoch = sim::Time::us(50);
+
   // -- NIC-resident collectives (coll::CollectiveEngine) -------------------------
   // The engine's per-packet handler is far lighter than the full reliable
   // send path: no descriptor fetch, no pin-table segments, the group state

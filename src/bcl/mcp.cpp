@@ -91,6 +91,15 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
   }
   flow_ = std::make_unique<FlowController>(eng, cfg, nic_.name(), trace,
                                            metrics);
+  cc_ = std::make_unique<cc::CongestionController>(eng, cfg, nic_.name());
+  cc_->set_trace(trace);
+  if (metrics != nullptr) {
+    const std::string ccp = nic_.name() + ".cc";
+    cc_->register_metrics(*metrics, ccp);
+    metrics->counter(ccp + ".marks_rx", [this] { return stats_.cc_marks_rx; });
+    metrics->counter(ccp + ".echoes_tx",
+                     [this] { return stats_.cc_echoes_tx; });
+  }
   if (metrics != nullptr) {
     // Flow-control aggregates under their own <nic>.fc.* prefix (the
     // credit_rtt_us summary is registered by the FlowController itself).
@@ -133,6 +142,14 @@ std::string Mcp::comp() const { return nic_.name(); }
 
 sim::Task<void> Mcp::coll_send(hw::Packet p) {
   co_await nic_.lanai().use(cfg_.mcp_coll_proc);
+  // Admission pacing happens before the tx mutex: a throttled child must
+  // delay only its own packet, never head-of-line block the other
+  // destinations (or the release cascade) behind the shared egress path.
+  // Fan-out always reserves cursor time — a tree interior node blasting
+  // fragments at its children is the burst the fabric cannot absorb, so
+  // repeated sends to the same child self-space even before the first
+  // ECN echo comes back.
+  co_await cc_->pace(p.dst_node, p.wire_bytes(), /*reserve=*/true);
   auto guard = co_await tx_mutex_.scoped();
   p.id = next_packet_id_++;
   if (cfg_.reliable) {
@@ -162,6 +179,7 @@ TxSession& Mcp::tx_session(hw::NodeId dst) {
         static_cast<std::uint64_t>(dst) ^ 0x5DEECE66Dull;
     s = std::make_unique<TxSession>(eng_, nic_, cfg_, seed);
     s->set_telemetry(&recorder_, trace_, dst);
+    s->set_cc(cc_.get());
     s->set_failure_hook([this, dst] {
       ++stats_.peer_failures;
       eng_.spawn_daemon(announce_peer_failure(dst));
@@ -326,6 +344,11 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
     p.offset = d.rma_offset + off;
     attach_grant(p);  // credits for the reverse direction ride on data
 
+    // Per-fragment admission pacing (payload is not staged yet, so the
+    // wire size is computed from the header and fragment length).  At line
+    // rate this never waits; a throttled destination spaces its fragments
+    // here instead of blasting the whole message into a congested path.
+    co_await cc_->pace(d.dst.node, p.header_bytes + len);
     if (len > 0 && d.op != SendOp::kRmaRead) {
       auto span = trace_ ? trace_->span(comp(), "nic-dma-host-to-nic", d.msg_id)
                          : sim::Trace::Span{};
@@ -372,12 +395,13 @@ sim::Task<void> Mcp::rx_pump() {
       case hw::PacketKind::kAck: {
         co_await nic_.lanai().use(cfg_.mcp_ack_proc);
         apply_grant(p);
+        apply_cc_echo(p);
         TxSession* s = find_tx_session(p.src_node);
         if (s == nullptr) {
           ++stats_.stray_acks;  // late/stray ack: no session, don't make one
           break;
         }
-        s->on_ack(p.ack);
+        s->on_ack(p.ack, p.echo_stamp);
         if (trace_) {
           const std::string track = nic_.name() + ".rel";
           trace_->counter(track, "srtt_us", s->srtt().to_us());
@@ -396,6 +420,7 @@ sim::Task<void> Mcp::rx_pump() {
           break;
         }
         apply_grant(p);
+        apply_cc_echo(p);
         ++stats_.rnr_nacks_rx;
         if (TxSession* s = find_tx_session(p.src_node)) {
           s->on_rnr(p.ack, sim::Time::us(static_cast<double>(p.nack_hint_us)));
@@ -414,6 +439,7 @@ sim::Task<void> Mcp::rx_pump() {
             break;
           }
           apply_grant(p);
+          apply_cc_echo(p);
           if (op == SendOp::kFcProbe) {
             ++stats_.fc_probes_rx;
             if (cfg_.flow_control) {
@@ -447,11 +473,16 @@ sim::Task<void> Mcp::rx_pump() {
           auto& rx = rx_session(p.src_node);
           if (!rx.accept(p.seq)) {
             ++stats_.seq_drops;
-            // Duplicate / out-of-order: refresh the sender's view.
-            co_await send_ack(p.src_node, rx.ack_value());
+            // Duplicate / out-of-order: refresh the sender's view.  The
+            // dup still gets its stamp echoed — during a go-back-N resend
+            // of a congested window these are the only acks flowing, and
+            // they carry the freshest round-trip measurement.
+            co_await send_ack(p.src_node, rx.ack_value(), p.tx_stamp);
             break;
           }
+          note_ecn(p);  // after accept(): retransmitted dupes don't count
           const hw::NodeId src = p.src_node;
+          const sim::Time stamp = p.tx_stamp;
           const std::uint32_t ack = rx.ack_value();
           const bool do_ack = (ack % static_cast<std::uint32_t>(
                                          cfg_.ack_every)) == 0 ||
@@ -464,8 +495,9 @@ sim::Task<void> Mcp::rx_pump() {
             co_await send_rnr(src, rx.ack_value());
             break;
           }
-          if (do_ack) co_await send_ack(src, ack);
+          if (do_ack) co_await send_ack(src, ack, stamp);
         } else {
+          note_ecn(p);
           (void)co_await handle_data(std::move(p));
         }
         break;
@@ -618,7 +650,8 @@ sim::Task<void> Mcp::handle_rma_read(const hw::Packet& p) {
   eng_.spawn_daemon(send_message_locked(std::move(d)));
 }
 
-sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack) {
+sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack,
+                              sim::Time echo) {
   ++stats_.acks_sent;
   hw::Packet p;
   p.id = next_packet_id_++;
@@ -626,8 +659,10 @@ sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack) {
   p.proto = kProto;
   p.kind = hw::PacketKind::kAck;
   p.ack = ack;
+  p.echo_stamp = echo;  // RTT timestamp echo (see Packet::tx_stamp)
   p.header_bytes = 16;
   attach_grant(p);  // the main piggyback path for credit return
+  attach_cc_echo(p);
   co_await nic_.lanai().use(cfg_.mcp_ack_proc);
   co_await nic_.transmit(std::move(p));
 }
@@ -643,6 +678,7 @@ sim::Task<void> Mcp::send_rnr(hw::NodeId dst, std::uint32_t ack) {
   p.nack_hint_us = static_cast<std::uint32_t>(cfg_.fc_rnr_backoff.to_us());
   p.header_bytes = 16;
   attach_grant(p);  // current limit aboard: heals any lost earlier grant
+  attach_cc_echo(p);
   co_await nic_.lanai().use(cfg_.mcp_ack_proc);
   co_await nic_.transmit(std::move(p));
 }
@@ -695,6 +731,26 @@ void Mcp::apply_grant(const hw::Packet& p) {
   flow_->on_grant(PortId{p.src_node, p.credit_port}, p.credit_limit);
 }
 
+void Mcp::note_ecn(const hw::Packet& p) {
+  if (!cfg_.congestion_control || !p.ecn) return;
+  ++stats_.cc_marks_rx;
+  ++ecn_pending_[p.src_node];
+}
+
+void Mcp::attach_cc_echo(hw::Packet& p) {
+  if (!cfg_.congestion_control) return;
+  const auto it = ecn_pending_.find(p.dst_node);
+  if (it == ecn_pending_.end() || it->second == 0) return;
+  p.ecn_echo = true;
+  it->second = 0;
+  ++stats_.cc_echoes_tx;
+}
+
+void Mcp::apply_cc_echo(const hw::Packet& p) {
+  if (!cfg_.congestion_control || !p.ecn_echo) return;
+  cc_->on_echo(p.src_node);
+}
+
 void Mcp::credit_doorbell(std::uint32_t port_no) {
   if (!cfg_.flow_control) return;
   Port* port = find_port(port_no);
@@ -729,6 +785,10 @@ sim::Task<void> Mcp::send_fc_update(std::uint32_t port_no, hw::NodeId dst) {
   const auto it = rx_credits_.find(RxCreditKey{port_no, dst});
   if (it == rx_credits_.end()) co_return;
   it->second.update_queued = false;  // a later doorbell may queue the next
+  // Standalone updates launch through the pacer too: a starved sender's
+  // credit top-ups must not themselves feed a congested path.  Pace before
+  // reading the limit so the grant aboard is as fresh as possible.
+  co_await cc_->pace(dst, 16);
   ++stats_.fc_updates_tx;
   hw::Packet p;
   p.id = next_packet_id_++;
@@ -739,6 +799,7 @@ sim::Task<void> Mcp::send_fc_update(std::uint32_t port_no, hw::NodeId dst) {
   p.credit_port = static_cast<std::uint16_t>(port_no);
   p.credit_limit = it->second.limit;
   p.header_bytes = 16;
+  attach_cc_echo(p);
   co_await nic_.lanai().use(cfg_.mcp_fc_proc);
   co_await nic_.transmit(std::move(p));
 }
@@ -749,6 +810,7 @@ void Mcp::fc_probe(PortId dst) {
 }
 
 sim::Task<void> Mcp::send_fc_probe(PortId dst) {
+  co_await cc_->pace(dst.node, 16);
   ++stats_.fc_probes_tx;
   hw::Packet p;
   p.id = next_packet_id_++;

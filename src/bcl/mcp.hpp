@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bcl/cc/controller.hpp"
 #include "bcl/config.hpp"
 #include "bcl/flowctl.hpp"
 #include "bcl/port.hpp"
@@ -65,6 +66,11 @@ class Mcp {
   // the library's credit-wait poll loop).
   FlowController& flow() { return *flow_; }
 
+  // NIC-resident congestion controller: per-destination AIMD rate state
+  // and the pacer every launch path consults.
+  cc::CongestionController& cc() { return *cc_; }
+  const cc::CongestionController& cc() const { return *cc_; }
+
   // Library-side doorbell: a system-channel pool slot was just released;
   // top up the ledgers for `port_no` and push a standalone credit update
   // to any sender that was starved (or accumulated a batch).
@@ -106,6 +112,9 @@ class Mcp {
     std::uint64_t fc_probes_tx = 0;
     std::uint64_t fc_probes_rx = 0;
     std::uint64_t fc_credits_granted = 0;  // cumulative limit advance
+    // Congestion control.
+    std::uint64_t cc_marks_rx = 0;    // ECN-marked packets accepted here
+    std::uint64_t cc_echoes_tx = 0;   // echoes piggybacked on acks/grants
   };
   const Stats& stats() const { return stats_; }
   // Diagnostic snapshot of the receiver-side ledgers:
@@ -182,7 +191,8 @@ class Mcp {
   // instead of acking a silently discarded message.
   sim::Task<bool> handle_data(hw::Packet p);
   sim::Task<void> handle_rma_read(const hw::Packet& p);
-  sim::Task<void> send_ack(hw::NodeId dst, std::uint32_t ack);
+  sim::Task<void> send_ack(hw::NodeId dst, std::uint32_t ack,
+                           sim::Time echo = sim::Time::zero());
   sim::Task<void> send_rnr(hw::NodeId dst, std::uint32_t ack);
   sim::Task<void> send_fc_update(std::uint32_t port_no, hw::NodeId dst);
   sim::Task<void> send_fc_probe(PortId dst);
@@ -195,6 +205,16 @@ class Mcp {
   void attach_grant(hw::Packet& p);
   // An inbound packet may carry a grant for our sender side.
   void apply_grant(const hw::Packet& p);
+  // ECN bookkeeping: an accepted marked packet raises the pending-echo
+  // count for its source (retransmitted duplicates are already filtered by
+  // the rx session, so a mark is counted at most once per delivery).
+  void note_ecn(const hw::Packet& p);
+  // Piggyback the echo on an outbound ack/NACK/grant toward a node with
+  // pending marks; one echo flushes the whole pending batch (DCQCN CNP
+  // semantics: the echo says "congestion", not "how much").
+  void attach_cc_echo(hw::Packet& p);
+  // An inbound ack/NACK/grant may carry an echo for our rate controller.
+  void apply_cc_echo(const hw::Packet& p);
   sim::Task<void> deliver_recv_event(Port& port, RecvEvent ev);
   sim::Task<void> deliver_send_event(Port* port, SendEvent ev);
   RxSession& rx_session(hw::NodeId src);
@@ -218,6 +238,9 @@ class Mcp {
   std::uint64_t next_packet_id_ = 1;
   std::unique_ptr<coll::CollectiveEngine> coll_;
   std::unique_ptr<FlowController> flow_;
+  std::unique_ptr<cc::CongestionController> cc_;
+  // Pending ECN echoes per source node (marks seen, not yet reflected).
+  std::map<hw::NodeId, std::uint32_t> ecn_pending_;
   std::map<RxCreditKey, RxCredit> rx_credits_;
   // Per-port round-robin cursor for the doorbell's ledger scan (fairness
   // across senders competing for the same pool's freed slots).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
 #include <tuple>
@@ -53,6 +54,17 @@ bool is_retx_kind(FlightKind k) {
          k == FlightKind::kFastRetransmit;
 }
 
+// Diagnoses one destination's rate state (see Postmortem::CcRate).  The
+// 0.9*line threshold separates "still at line" from "meaningfully cut":
+// a single epoch's multiplicative decrease at small alpha lands above it,
+// so one stray mark does not flip a healthy destination to throttled.
+const char* classify_cc(const cc::RateSnapshot& r, std::uint64_t retx,
+                        double line) {
+  if (r.decreases > 0 && r.rate < 0.9 * line) return "throttled-recovering";
+  if (retx > 0 && r.rate >= 0.9 * line) return "storming";
+  return "clean";
+}
+
 }  // namespace
 
 std::string Postmortem::to_json() const {
@@ -74,7 +86,8 @@ std::string Postmortem::to_json() const {
        << ", \"blocked_us\": " << num(l.blocked_us)
        << ", \"queue_hwm\": " << l.queue_hwm << ", \"packets\": "
        << l.packets << ", \"retx_packets\": " << l.retx_packets
-       << ", \"dropped\": " << l.dropped << "}";
+       << ", \"dropped\": " << l.dropped << ", \"ecn_marks\": "
+       << l.ecn_marks << "}";
   }
   os << (top_links.empty() ? "]" : "\n  ]") << ",\n";
 
@@ -97,6 +110,20 @@ std::string Postmortem::to_json() const {
        << (s.unreachable ? "true" : "false") << "}";
   }
   os << (sessions.empty() ? "]" : "\n  ]") << ",\n";
+
+  os << "  \"cc_rates\": [";
+  for (std::size_t i = 0; i < cc_rates.size(); ++i) {
+    const auto& c = cc_rates[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"dst\": " << c.rate.dst << ", \"state\": \""
+       << json_escape(c.state) << "\", \"rate_mbps\": "
+       << num(c.rate.rate / 1e6) << ", \"alpha\": " << num(c.rate.alpha)
+       << ", \"echoes\": " << c.rate.echoes << ", \"decreases\": "
+       << c.rate.decreases << ", \"increases\": " << c.rate.increases
+       << ", \"paced_packets\": " << c.rate.paced_packets
+       << ", \"paced_wait_us\": " << num(c.rate.paced_wait_us) << "}";
+  }
+  os << (cc_rates.empty() ? "]" : "\n  ]") << ",\n";
 
   os << "  \"send_credits\": [";
   for (std::size_t i = 0; i < send_credits.size(); ++i) {
@@ -145,14 +172,19 @@ Postmortem build_postmortem(BclCluster& cluster, hw::NodeId node,
   pm.victim = victim;
 
   // Congestion table: hottest links first.  Retransmit and drop traffic is
-  // the strongest failure signal, queueing and blocking time break ties.
+  // the strongest failure signal; ECN marks rank next (a link can be the
+  // congestion point without carrying the resends it provokes — the marks
+  // are set where the backlog is, the retransmits ride the whole path);
+  // queueing and blocking time break remaining ties.
   auto links = cluster.fabric().congestion_report();
   std::sort(links.begin(), links.end(),
             [](const hw::Fabric::LinkStats& a, const hw::Fabric::LinkStats& b) {
               const auto ka = std::make_tuple(a.retx_packets + a.dropped,
+                                              a.ecn_marks,
                                               a.queue_wait_us + a.blocked_us,
                                               a.util);
               const auto kb = std::make_tuple(b.retx_packets + b.dropped,
+                                              b.ecn_marks,
                                               b.queue_wait_us + b.blocked_us,
                                               b.util);
               if (ka != kb) return ka > kb;
@@ -173,6 +205,19 @@ Postmortem build_postmortem(BclCluster& cluster, hw::NodeId node,
 
   Mcp& mcp = cluster.node(node).mcp();
   pm.sessions = mcp.session_snapshot();
+
+  // Rate-controller verdict per destination: correlate the cc snapshot
+  // with the go-back-N ledgers so a reader can tell a sender that was
+  // throttled (and is recovering) from one that stormed unthrottled.
+  std::map<hw::NodeId, std::uint64_t> retx_by_peer;
+  for (const auto& s : pm.sessions) retx_by_peer[s.peer] = s.retransmissions;
+  const double line = mcp.cc().cfg().cc_line_rate;
+  for (const auto& r : mcp.cc().snapshot()) {
+    const auto it = retx_by_peer.find(r.dst);
+    const std::uint64_t retx = it == retx_by_peer.end() ? 0 : it->second;
+    pm.cc_rates.push_back({r, classify_cc(r, retx, line)});
+  }
+
   pm.send_credits = mcp.flow().snapshot();
   pm.recv_credits = mcp.rx_credit_snapshot();
   pm.timeline = mcp.recorder().snapshot();

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bcl/cc/controller.hpp"
 #include "bcl/flowctl.hpp"
 #include "bcl/mcp.hpp"
 #include "bcl/recorder.hpp"
@@ -29,12 +30,24 @@ struct Postmortem {
   std::string victim;       // the operation that died, human-readable
 
   // Fabric-wide congestion table, hottest links first (ranked by
-  // retransmit+drop traffic, then queueing+blocking time).
+  // retransmit+drop traffic, then ECN marks, then queueing+blocking time).
   std::vector<hw::Fabric::LinkStats> top_links;
   // Links adjacent to the diagnosing node and the failed peer.
   std::vector<std::string> suspect_links;
 
   std::vector<Mcp::SessionSnapshot> sessions;
+
+  // Per-destination rate-controller state from the diagnosing node, each
+  // with a coarse diagnosis: "storming" (retransmit traffic while the rate
+  // still sits at line — the echoes never reached this sender, so it keeps
+  // blasting into the congestion), "throttled-recovering" (the echoes
+  // landed: the rate was cut and additive increase is climbing back), or
+  // "clean" (no throttling in force, no uncontrolled retransmit pressure).
+  struct CcRate {
+    cc::RateSnapshot rate;
+    std::string state;
+  };
+  std::vector<CcRate> cc_rates;
   std::vector<FlowController::DstSnapshot> send_credits;
   std::vector<Mcp::RxCreditSnapshot> recv_credits;
 

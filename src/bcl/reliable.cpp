@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "bcl/cc/controller.hpp"
 #include "sim/trace.hpp"
 
 namespace bcl {
@@ -26,7 +27,11 @@ sim::Task<BclErr> TxSession::send(hw::Packet p) {
     // fail_peer() releases parked senders; they must not transmit.
     if (unreachable_) co_return BclErr::kPeerUnreachable;
   }
+  // First launches are paced by the MCP before it takes the tx mutex (a
+  // paced wait here would head-of-line block every other destination's
+  // egress); only the session-originated resends pace inside the session.
   p.seq = next_seq_++;
+  p.tx_stamp = eng_.now();
   rec(FlightKind::kSend, p.msg_id, p.seq);
   if (unacked_.empty()) last_progress_ = eng_.now();
   unacked_.push_back({p, eng_.now(), false});  // retransmit copy
@@ -35,20 +40,32 @@ sim::Task<BclErr> TxSession::send(hw::Packet p) {
   co_return BclErr::kOk;
 }
 
-void TxSession::on_ack(std::uint32_t ack) {
+void TxSession::on_ack(std::uint32_t ack, sim::Time echo_stamp) {
   if (unreachable_) return;
   std::int64_t released = 0;
   bool have_sample = false;
   sim::Time sample = sim::Time::zero();
+  // Timestamp echo: the receiver reflected the launch time of the packet
+  // that triggered this ack, so the sample is valid even when that packet
+  // was a retransmission — without it, Karn's rule silences the estimator
+  // exactly when a congested fabric inflates the RTT past the current RTO
+  // and every window gets resent before its (late) ack returns.
+  const bool have_echo =
+      echo_stamp > sim::Time::zero() && echo_stamp <= eng_.now();
   while (!unacked_.empty() && seq_leq(unacked_.front().pkt.seq, ack)) {
-    // Karn's rule: only packets that were never retransmitted produce RTT
-    // samples (the newest released one is the tightest measurement).
-    if (!unacked_.front().retransmitted) {
+    // Karn's rule fallback for stampless acks: only packets that were never
+    // retransmitted produce RTT samples (the newest released one is the
+    // tightest measurement).
+    if (!have_echo && !unacked_.front().retransmitted) {
       sample = eng_.now() - unacked_.front().sent_at;
       have_sample = true;
     }
     unacked_.pop_front();
     ++released;
+  }
+  if (have_echo) {
+    sample = eng_.now() - echo_stamp;
+    have_sample = true;
   }
   if (released > 0) {
     if (have_sample) note_rtt(sample);
@@ -57,14 +74,17 @@ void TxSession::on_ack(std::uint32_t ack) {
     dup_acks_ = 0;
     backoff_level_ = 0;
     consecutive_timeouts_ = 0;
+    if (in_recovery_ && seq_leq(recover_, ack)) in_recovery_ = false;
     window_.release(released);
     rec(FlightKind::kAckRx, 0, ack, static_cast<std::uint64_t>(released));
   } else if (!unacked_.empty() && ack == last_ack_) {
     // Duplicate cumulative ack: the receiver is re-acking because packets
     // arrive out of order past a hole.  k of them and we resend the window
-    // now instead of waiting out the RTO.
+    // now instead of waiting out the RTO — but at most once per window
+    // (`in_recovery_`): dup acks echoing an in-flight replay carry no new
+    // loss information.
     if (cfg_.dupack_k > 0 && ++dup_acks_ >= cfg_.dupack_k &&
-        !retransmitting_ && eng_.now() >= rnr_hold_until_) {
+        !retransmitting_ && !in_recovery_ && eng_.now() >= rnr_hold_until_) {
       dup_acks_ = 0;
       ++fast_retransmits_;
       rec(FlightKind::kFastRetransmit, 0, ack);
@@ -146,6 +166,14 @@ sim::Task<void> TxSession::timer() {
 sim::Task<void> TxSession::retransmit_window() {
   if (retransmitting_ || unreachable_ || unacked_.empty()) co_return;
   retransmitting_ = true;
+  // NewReno-style recovery point: the replay's own seq-dropped copies each
+  // come back as one more duplicate cumulative ack, so without this fence
+  // a paced replay (resends spread in time) would count its own echoes up
+  // to dupack_k and re-trigger itself until the RTO fired.  Suppress fast
+  // retransmit until the cumulative ack passes everything outstanding now;
+  // the RTO stays armed as the backstop if the replay itself is lost.
+  in_recovery_ = true;
+  recover_ = unacked_.back().pkt.seq;
   // Snapshot before the first suspension point; mark everything outstanding
   // as retransmitted up front so acks racing the resend obey Karn's rule.
   std::vector<std::uint32_t> seqs;
@@ -154,14 +182,30 @@ sim::Task<void> TxSession::retransmit_window() {
     seqs.push_back(o.pkt.seq);
     o.retransmitted = true;
   }
+  const auto find_seq = [this](std::uint32_t s) {
+    return std::find_if(unacked_.begin(), unacked_.end(),
+                        [s](const Outstanding& o) { return o.pkt.seq == s; });
+  };
   for (const std::uint32_t s : seqs) {
     if (unreachable_) break;
-    const auto it =
-        std::find_if(unacked_.begin(), unacked_.end(),
-                     [s](const Outstanding& o) { return o.pkt.seq == s; });
+    auto it = find_seq(s);
     if (it == unacked_.end()) continue;  // acked while we were suspended
+    if (cc_ != nullptr) {
+      // Retransmissions launch through the pacer too — this is the loop
+      // that otherwise becomes a storm: every timeout replays the whole
+      // window into the very link that is dropping for congestion.  Once
+      // echoes have raised alpha the pacer charges and spaces the replay;
+      // toward a quiet destination it is wire-clocked like any first
+      // transmission (spacing a replay the wire would space anyway only
+      // reorders it against concurrent launches).
+      co_await cc_->pace(it->pkt.dst_node, it->pkt.wire_bytes());
+      if (unreachable_) break;
+      it = find_seq(s);
+      if (it == unacked_.end()) continue;  // acked during the paced wait
+    }
     hw::Packet copy = it->pkt;
     copy.retransmitted = true;  // per-link retransmit heat
+    copy.tx_stamp = eng_.now();  // the echo samples THIS copy's round trip
     ++retransmissions_;
     rec(FlightKind::kRetransmit, copy.msg_id, s);
     if (trace_ != nullptr) {
@@ -177,16 +221,40 @@ sim::Time TxSession::rto() const {
   if (!cfg_.adaptive_rto || !have_srtt_) return cfg_.rto;
   sim::Time r = srtt_ + rttvar_ * 4.0;
   if (r < cfg_.rto_min) r = cfg_.rto_min;
-  if (r > cfg_.rto_max) r = cfg_.rto_max;
+  // rto_max bounds loss detection, but must never clamp the RTO below the
+  // measured round trip: a wormhole fabric under incast inflates RTT past
+  // any fixed cap without dropping anything, and an RTO below SRTT fires a
+  // guaranteed-spurious go-back-N resend for every window — the very storm
+  // the rate controller is trying to quench.
+  sim::Time cap = cfg_.rto_max;
+  if (srtt_ + rttvar_ > cap) cap = srtt_ + rttvar_;
+  if (r > cap) r = cap;
   return r;
 }
 
 sim::Time TxSession::effective_rto() {
-  sim::Time r = rto();
-  for (int i = 0; i < backoff_level_ && r < cfg_.rto_max; ++i) r = r * 2.0;
-  if (r > cfg_.rto_max) r = cfg_.rto_max;
+  const sim::Time base = rto();
+  // The backoff ladder is capped at rto_max or the measured-RTT base,
+  // whichever is larger — rto() may legitimately exceed rto_max when the
+  // observed round trip does (see the comment there), and re-clamping
+  // below it would undo that.
+  const sim::Time cap = cfg_.rto_max > base ? cfg_.rto_max : base;
+  sim::Time r = base;
+  for (int i = 0; i < backoff_level_ && r < cap; ++i) r = r * 2.0;
+  if (r > cap) r = cap;
   if (cfg_.rto_backoff_jitter > 0.0) {
     r = r * (1.0 + cfg_.rto_backoff_jitter * rng_.uniform());
+  }
+  // Drain-aware allowance: at the congestion-controlled floor the unacked
+  // window's serialization alone (16 x ~4KB at 8 MB/s ~ 8 ms) exceeds
+  // rto_max, so a throttled destination would fire guaranteed-spurious
+  // timeouts forever.  The pacer's drain time is added on top of the
+  // clamped backoff RTO, not folded into it, so the clamp still bounds the
+  // loss-detection component.
+  if (cc_ != nullptr && !unacked_.empty()) {
+    std::size_t bytes = 0;
+    for (const auto& o : unacked_) bytes += o.pkt.wire_bytes();
+    r += cc_->drain_time(peer_, bytes);
   }
   return r;
 }

@@ -29,6 +29,10 @@ class Trace;
 
 namespace bcl {
 
+namespace cc {
+class CongestionController;
+}
+
 // RFC 1982 serial-number arithmetic over the uint32 sequence space: a < b
 // iff the signed distance from b to a is negative.  Plain `<=` breaks the
 // cumulative-ack comparison the moment next_seq_ wraps past UINT32_MAX.
@@ -60,6 +64,14 @@ class TxSession {
     peer_ = peer;
   }
 
+  // Optional congestion controller (owned by the MCP).  When set, every
+  // go-back-N resend waits on the per-destination pacer, so a retransmit
+  // storm toward a congested peer throttles itself; and the RTO grows by
+  // the unacked window's drain time at the paced rate, so throttling never
+  // manufactures timeouts.  First launches are paced by the MCP itself,
+  // outside the tx mutex.
+  void set_cc(cc::CongestionController* cc) { cc_ = cc; }
+
   // Stamps the next sequence number, records a retransmit copy, and
   // transmits.  Blocks while the window is full.  Returns kPeerUnreachable
   // (without transmitting) once the retry budget has been exhausted.
@@ -68,7 +80,11 @@ class TxSession {
   // Cumulative acknowledgement: releases everything with seq <= ack
   // (serial order).  A duplicate cumulative ack means the receiver dropped
   // something out of order; cfg.dupack_k of them trigger a fast retransmit.
-  void on_ack(std::uint32_t ack);
+  // `echo_stamp`, when nonzero, is the launch time the receiver echoed from
+  // the packet that triggered this ack (Packet::echo_stamp): it yields an
+  // RTT sample that is valid even for retransmitted packets, keeping the
+  // RTO estimator honest while congestion inflates round trips.
+  void on_ack(std::uint32_t ack, sim::Time echo_stamp = sim::Time::zero());
 
   // Receiver-not-ready NACK: releases the acked prefix like on_ack, then
   // holds retransmission for `hold` instead of backing off exponentially.
@@ -138,12 +154,18 @@ class TxSession {
   bool timer_armed_ = false;
   bool retransmitting_ = false;
   bool unreachable_ = false;
+  // Fast-retransmit recovery fence (NewReno's `recover`): no further
+  // dup-ack-triggered replays until the cumulative ack passes the highest
+  // sequence that was outstanding when the current replay started.
+  bool in_recovery_ = false;
+  std::uint32_t recover_ = 0;
   // Receiver-not-ready hold window: the timer must not count these quiet
   // periods as timeouts, and fast retransmit must not fire into the full
   // pool that just NACKed us.
   sim::Time rnr_hold_until_ = sim::Time::zero();
   bool rnr_wait_armed_ = false;
   FailureHook failure_hook_;
+  cc::CongestionController* cc_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
   sim::Trace* trace_ = nullptr;
   hw::NodeId peer_ = 0;

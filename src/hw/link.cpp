@@ -24,6 +24,7 @@ void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
   // Congestion telemetry.
   reg.counter(prefix + ".retx_packets",
               [&link] { return link.retx_packets(); });
+  reg.counter(prefix + ".ecn_marks", [&link] { return link.ecn_marks(); });
   reg.gauge(prefix + ".queue_wait_us",
             [&link] { return link.queue_wait().to_us(); });
   reg.gauge(prefix + ".queue_hwm", [&link] {
@@ -74,7 +75,28 @@ Fabric::LinkStats Link::stats() const {
   s.packets = packets_;
   s.retx_packets = retx_packets_;
   s.dropped = dropped_;
+  s.ecn_marks = ecn_marks_;
   return s;
+}
+
+// Congestion test applied per packet at serialization start: either the
+// input queue is still deep behind this packet, or the wire has been nearly
+// saturated over the trailing ECN window.  The window advances lazily (no
+// timer); the decision uses the last fully completed window so a single
+// long packet cannot flip the verdict mid-window.
+bool Link::should_mark_ecn() {
+  if (!cfg_.ecn_self_mark || cfg_.ecn_queue_threshold == 0) return false;
+  if (in_.size() >= cfg_.ecn_queue_threshold) return true;
+  const sim::Time now = eng_.now();
+  if (now - ecn_win_t_ >= cfg_.ecn_util_window) {
+    const sim::Time span = now - ecn_win_t_;
+    ecn_util_ = span > sim::Time::zero()
+                    ? (busy_ - ecn_win_busy_).to_us() / span.to_us()
+                    : 0.0;
+    ecn_win_busy_ = busy_;
+    ecn_win_t_ = now;
+  }
+  return ecn_util_ >= cfg_.ecn_util_threshold;
 }
 
 void Link::set_fault_plan(FaultPlan plan) {
@@ -115,6 +137,14 @@ sim::Task<void> Link::pump() {
       }
     }
     if (p.retransmitted) ++retx_packets_;
+    if (!p.ecn && should_mark_ecn()) {
+      p.ecn = true;
+      ++ecn_marks_;
+      if (tracing) {
+        trace_->counter("link." + name_, "ecn_marks",
+                        static_cast<double>(ecn_marks_));
+      }
+    }
     const auto wire =
         cfg_.per_packet + sim::Time::bytes_at(p.wire_bytes(), cfg_.bandwidth);
     if (tracing) trace_->interval(now, now + wire, "link." + name_, "wire",

@@ -44,6 +44,7 @@ class Fabric {
     std::uint64_t packets = 0;
     std::uint64_t retx_packets = 0;  // go-back-N resends through this link
     std::uint64_t dropped = 0;       // fault-plan discards
+    std::uint64_t ecn_marks = 0;     // packets ECN-marked at this link
   };
 
   // Connects `nic` as node `id`; must be called exactly once per node.
@@ -85,6 +86,22 @@ struct LinkConfig {
   bool cut_through = false;
   double corrupt_prob = 0.0;                  // fault injection
   std::size_t queue_depth = 4;
+  // ECN marking (congestion notification for the NIC-resident rate
+  // controller).  Routers and switches apply `ecn_queue_threshold` to their
+  // own input backlog — that is where a wormhole fabric's congestion
+  // actually accumulates, and those queues are shared between flows.  A
+  // plain Link only marks when `ecn_self_mark` is set: a dedicated
+  // point-to-point hop carrying one backpressured flow is busy, not
+  // congested, and marking it would throttle solo senders below line rate
+  // for no benefit.  With self-marking on, a packet is marked at
+  // serialization start when the input queue still holds at least
+  // `ecn_queue_threshold` more packets behind it (0 disables occupancy
+  // marking), or when the wire's utilization over the trailing
+  // `ecn_util_window` crossed `ecn_util_threshold`.
+  bool ecn_self_mark = false;
+  std::size_t ecn_queue_threshold = 3;
+  double ecn_util_threshold = 0.90;
+  sim::Time ecn_util_window = sim::Time::us(50);
 };
 
 // Deterministic fault schedule for one link.  All random draws come from a
@@ -150,6 +167,10 @@ class Link {
   std::size_t queue_hwm() const { return queue_hwm_; }
   // Go-back-N retransmissions that crossed this link.
   std::uint64_t retx_packets() const { return retx_packets_; }
+  // Packets ECN-marked here (by the pump's own thresholds, or attributed by
+  // the upstream router/switch that marked while pushing into this link).
+  std::uint64_t ecn_marks() const { return ecn_marks_; }
+  void note_ecn_mark() { ++ecn_marks_; }
   // Time upstream pumps (router/switch/NIC) spent blocked trying to push
   // into this link's full queue — wormhole head-of-line blocking.
   sim::Time blocked_time() const { return blocked_; }
@@ -173,6 +194,7 @@ class Link {
  private:
   sim::Task<void> pump();
   bool plan_drops(std::uint64_t ordinal);
+  bool should_mark_ecn();
 
   sim::Engine& eng_;
   std::string name_;
@@ -192,11 +214,17 @@ class Link {
   sim::Time queue_wait_ = sim::Time::zero();
   std::size_t queue_hwm_ = 0;
   std::uint64_t retx_packets_ = 0;
+  std::uint64_t ecn_marks_ = 0;
   sim::Time blocked_ = sim::Time::zero();
   sim::Trace* trace_ = nullptr;
   // Windowed-utilization checkpoint (mutable: reading advances the window).
   mutable sim::Time win_busy_ = sim::Time::zero();
   mutable sim::Time win_t_ = sim::Time::zero();
+  // ECN marking keeps a private utilization window so metric samplers
+  // reading windowed_utilization() cannot perturb the marking decision.
+  sim::Time ecn_win_busy_ = sim::Time::zero();
+  sim::Time ecn_win_t_ = sim::Time::zero();
+  double ecn_util_ = 0.0;  // last completed window's busy fraction
 };
 
 }  // namespace hw

@@ -64,6 +64,15 @@ sim::Task<void> MeshRouter::pump(int dir) {
     }
     Link* link = outputs_[static_cast<std::size_t>(out)];
     if (link == nullptr) throw std::logic_error("mesh edge missing link");
+    // The router's input channels are unbounded — this is where a congested
+    // mesh actually accumulates backlog (the bounded link queues only feel
+    // it as blocking).  Mark the packet when the backlog behind it is deep,
+    // attributing the mark to the output link it contends for.
+    const std::size_t thresh = fab_.cfg_.link.ecn_queue_threshold;
+    if (!p.ecn && thresh > 0 && in.size() >= thresh) {
+      p.ecn = true;
+      link->note_ecn_mark();
+    }
     // Stamp the queue-entry time and charge any backpressure stall to the
     // output link as wormhole-blocking time.
     const sim::Time t_block = eng_.now();
@@ -153,6 +162,17 @@ std::vector<std::string> MeshFabric::links_of(NodeId n) const {
     }
   }
   return out;
+}
+
+void MeshFabric::set_link_fault_plan(const std::string& link_name,
+                                     const FaultPlan& plan) {
+  for (const auto& l : links_) {
+    if (l->name() == link_name) {
+      l->set_fault_plan(plan);
+      return;
+    }
+  }
+  throw std::invalid_argument("no mesh link named " + link_name);
 }
 
 void MeshFabric::set_trace(sim::Trace* tr) {

@@ -51,6 +51,12 @@ class MeshFabric : public Fabric {
 
   MeshRouter& router_at(NodeId n) { return *routers_[n]; }
 
+  // Installs a deterministic fault schedule on the named mesh link
+  // ("m<a>-><b>"); throws if no such link exists.  Lets the property tests
+  // replay drop/dup/reorder on an interior wormhole hop.
+  void set_link_fault_plan(const std::string& link_name,
+                           const FaultPlan& plan);
+
  private:
   friend class MeshRouter;
 

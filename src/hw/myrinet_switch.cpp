@@ -9,10 +9,12 @@
 namespace hw {
 
 CrossbarSwitch::CrossbarSwitch(sim::Engine& eng, std::string name, int ports,
-                               sim::Time fall_through)
+                               sim::Time fall_through,
+                               std::size_t ecn_queue_threshold)
     : eng_{eng},
       name_{std::move(name)},
       fall_through_{fall_through},
+      ecn_queue_threshold_{ecn_queue_threshold},
       outputs_(static_cast<std::size_t>(ports), nullptr) {
   for (int p = 0; p < ports; ++p) {
     inputs_.push_back(std::make_unique<sim::Channel<Packet>>(eng_));
@@ -47,6 +49,14 @@ sim::Task<void> CrossbarSwitch::pump(int port) {
     }
     co_await eng_.sleep(fall_through_);
     ++forwarded_;
+    // Input-backlog congestion: like the mesh routers, mark the packet when
+    // it dequeues with a deep backlog still behind it, attributing the mark
+    // to the output link it contends for.
+    if (!p.ecn && ecn_queue_threshold_ > 0 &&
+        in.size() >= ecn_queue_threshold_) {
+      p.ecn = true;
+      link->note_ecn_mark();
+    }
     // Stamp the queue-entry time and charge any backpressure stall to the
     // output link as head-of-line blocking at this crossbar port.
     const sim::Time t_block = eng_.now();
@@ -64,7 +74,8 @@ MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
   const int uplinks = kPorts - cfg_.hosts_per_leaf;
   if (!two_level()) {
     switches_.push_back(std::make_unique<CrossbarSwitch>(
-        eng_, "sw0", kPorts, cfg_.fall_through));
+        eng_, "sw0", kPorts, cfg_.fall_through,
+        cfg_.link.ecn_queue_threshold));
     return;
   }
   const int leaves =
@@ -77,11 +88,13 @@ MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
   }
   for (int l = 0; l < leaves; ++l) {
     switches_.push_back(std::make_unique<CrossbarSwitch>(
-        eng_, "leaf" + std::to_string(l), kPorts, cfg_.fall_through));
+        eng_, "leaf" + std::to_string(l), kPorts, cfg_.fall_through,
+        cfg_.link.ecn_queue_threshold));
   }
   for (int s = 0; s < uplinks; ++s) {
     switches_.push_back(std::make_unique<CrossbarSwitch>(
-        eng_, "spine" + std::to_string(s), kPorts, cfg_.fall_through));
+        eng_, "spine" + std::to_string(s), kPorts, cfg_.fall_through,
+        cfg_.link.ecn_queue_threshold));
   }
   // Leaf l, uplink port hosts_per_leaf+s  <->  spine s, port l.
   // Inter-switch links forward cut-through (wormhole).

@@ -21,8 +21,11 @@ namespace hw {
 // contention resolves FIFO through the output link's bounded input queue.
 class CrossbarSwitch {
  public:
+  // `ecn_queue_threshold` applies to the input-port backlog: a packet that
+  // dequeues with at least that many packets still behind it is ECN-marked
+  // (0 disables switch-side marking).
   CrossbarSwitch(sim::Engine& eng, std::string name, int ports,
-                 sim::Time fall_through);
+                 sim::Time fall_through, std::size_t ecn_queue_threshold = 3);
 
   int ports() const { return static_cast<int>(outputs_.size()); }
   const std::string& name() const { return name_; }
@@ -42,6 +45,7 @@ class CrossbarSwitch {
   sim::Engine& eng_;
   std::string name_;
   sim::Time fall_through_;
+  std::size_t ecn_queue_threshold_;
   std::vector<std::unique_ptr<sim::Channel<Packet>>> inputs_;
   std::vector<Link*> outputs_;
   std::uint64_t forwarded_ = 0;

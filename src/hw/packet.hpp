@@ -60,6 +60,24 @@ struct Packet {
   std::uint32_t credit_limit = 0;
   std::uint32_t nack_hint_us = 0;
 
+  // Congestion notification.  `ecn` is the CE header bit a congested
+  // link/router/switch sets in flight (it must survive every fabric hop —
+  // the sender learns about congestion anywhere on the path).  `ecn_echo`
+  // is the kCcEcho flag the receiving MCP piggybacks on acks and grant
+  // packets to reflect observed marks back to the sender's rate controller.
+  bool ecn = false;
+  bool ecn_echo = false;
+
+  // RTT timestamping (TCP-timestamps style, RFC 7323).  Data packets carry
+  // their launch time in `tx_stamp` (refreshed on every go-back-N resend);
+  // acks and NACKs echo the stamp of the packet that triggered them in
+  // `echo_stamp`.  The sender samples RTT from the echo, which stays valid
+  // for retransmitted packets — the echo identifies the copy, so Karn's
+  // retransmission ambiguity does not arise and the estimator keeps
+  // learning while a congested fabric inflates the round trip.
+  sim::Time tx_stamp = sim::Time::zero();
+  sim::Time echo_stamp = sim::Time::zero();
+
   std::vector<std::byte> payload;
 
   // Set by a lossy link; receivers detect it via the CRC check.

@@ -1,0 +1,397 @@
+// NIC-resident congestion control: pacer spacing math, DCQCN-style AIMD
+// epoch behaviour, per-link ECN marking, and the end-to-end property that
+// ECN marks survive wormhole fabrics under seeded drop/dup/reorder fault
+// plans without retransmitted copies ever double-counting at the receiver
+// (marks are tallied on accepted deliveries only).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bcl/cc/controller.hpp"
+#include "bcl/cc/pacer.hpp"
+#include "bcl/stack.hpp"
+#include "hw/link.hpp"
+#include "hw/mesh.hpp"
+#include "hw/myrinet_switch.hpp"
+#include "hw/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using sim::Task;
+using sim::Time;
+
+bcl::CostConfig cc_cost() {
+  bcl::CostConfig cfg;
+  cfg.congestion_control = true;
+  return cfg;
+}
+
+// -- pacer ------------------------------------------------------------------
+
+// A throttled destination's launches are spaced at exactly bytes/rate: four
+// 4000-byte packets at 8 MB/s take three 500 us inter-launch gaps (the
+// first launch goes immediately).
+TEST(CcPacer, SpacesLaunchesAtConfiguredRate) {
+  sim::Engine eng;
+  bcl::CostConfig cfg = cc_cost();
+  cfg.cc_ai_rate = 0.0;  // freeze recovery so the rate stays pinned
+  bcl::cc::Pacer pacer{eng, cfg};
+  pacer.state(5).rate = 8e6;
+
+  Time done = Time::zero();
+  eng.spawn([](sim::Engine& e, bcl::cc::Pacer& p, Time& done) -> Task<void> {
+    for (int i = 0; i < 4; ++i) co_await p.pace(5, 4000);
+    done = e.now();
+  }(eng, pacer, done));
+  eng.run();
+
+  EXPECT_EQ(done, Time::us(1500));
+  const auto& s = pacer.states().at(5);
+  EXPECT_EQ(s.paced_packets, 4u);
+  EXPECT_EQ(s.paced_wait, Time::us(1500));
+  // drain_time is the serialization of the given bytes at the paced rate.
+  EXPECT_EQ(pacer.drain_time(5, 4000), Time::us(500));
+}
+
+// At line rate the pacer adds no delay: a sender that keeps up with the
+// wire never sleeps in pace().
+TEST(CcPacer, LineRateAddsNoDelay) {
+  sim::Engine eng;
+  bcl::CostConfig cfg = cc_cost();
+  bcl::cc::Pacer pacer{eng, cfg};
+
+  eng.spawn([](sim::Engine& e, bcl::cc::Pacer& p,
+               const bcl::CostConfig& cfg) -> Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      co_await p.pace(3, 4096);
+      // The wire itself is slower than the pacer's cursor (per-packet
+      // overhead on top of serialization), so a real sender always returns
+      // after the cursor has passed.
+      co_await e.sleep(Time::bytes_at(4096, cfg.cc_line_rate) + Time::ns(1));
+    }
+  }(eng, pacer, cfg));
+  eng.run();
+
+  EXPECT_EQ(pacer.states().at(3).paced_wait, Time::zero());
+  EXPECT_EQ(pacer.states().at(3).rate, cfg.cc_line_rate);
+}
+
+// -- AIMD -------------------------------------------------------------------
+
+// A burst of echoes within one epoch takes exactly one multiplicative
+// decrease (DCQCN's rate-decrease timer); echoes in a later epoch cut
+// again; a long quiet period recovers the rate all the way to line via
+// additive increase, with alpha decayed to noise.
+TEST(CcAimd, OneDecreasePerEpochThenBoundedRecovery) {
+  sim::Engine eng;
+  const bcl::CostConfig cfg = cc_cost();
+  bcl::cc::CongestionController cc{eng, cfg, "t"};
+
+  eng.spawn([](sim::Engine& e, bcl::cc::CongestionController& cc,
+               const bcl::CostConfig& cfg) -> Task<void> {
+    for (int i = 0; i < 5; ++i) cc.on_echo(7);
+    auto snap = cc.snapshot();
+    EXPECT_EQ(snap.size(), 1u);
+    if (snap.empty()) co_return;
+    EXPECT_EQ(snap[0].echoes, 5u);
+    EXPECT_EQ(snap[0].decreases, 1u) << "burst must cut at most once";
+    // First echo cuts with alpha = g: rate = line * (1 - g/2).
+    EXPECT_NEAR(snap[0].rate, cfg.cc_line_rate * (1.0 - cfg.cc_g / 2.0),
+                1.0);
+    const double after_first = snap[0].rate;
+
+    co_await e.sleep(cfg.cc_epoch);
+    cc.on_echo(7);
+    snap = cc.snapshot();
+    EXPECT_EQ(snap[0].decreases, 2u);
+    EXPECT_LT(snap[0].rate, after_first);
+
+    // Quiet recovery: the worst case from the floor is line/ai epochs;
+    // double that bounds it comfortably.
+    const double epochs = 2.0 * cfg.cc_line_rate / cfg.cc_ai_rate;
+    co_await e.sleep(cfg.cc_epoch * epochs);
+    EXPECT_EQ(cc.rate_of(7), cfg.cc_line_rate);
+    snap = cc.snapshot();
+    EXPECT_GT(snap[0].increases, 0u);
+    EXPECT_LT(snap[0].alpha, 0.01);
+  }(eng, cc, cfg));
+  eng.run();
+}
+
+// -- per-link marking -------------------------------------------------------
+
+// A self-marking link marks exactly the packets that serialize with at
+// least ecn_queue_threshold more behind them: a burst of 8 into an
+// 8-deep queue marks the first 5 and spares the last 3.  The identical
+// burst through a default link (ecn_self_mark off) marks nothing — a
+// dedicated point-to-point hop is busy, not congested.
+TEST(CcMarking, BacklogMarksSaturatedLinkOnly) {
+  sim::Engine eng;
+  hw::LinkConfig lc;
+  lc.queue_depth = 8;
+  lc.ecn_self_mark = true;
+  lc.ecn_queue_threshold = 3;
+
+  std::uint64_t marked = 0, delivered = 0;
+  hw::Link link{eng, "sat", lc,
+                [&](hw::Packet&& p) {
+                  ++delivered;
+                  if (p.ecn) ++marked;
+                }};
+
+  hw::LinkConfig quiet_lc = lc;
+  quiet_lc.ecn_self_mark = false;  // the repo default
+  std::uint64_t marked_default = 0;
+  hw::Link plain{eng, "plain", quiet_lc,
+                 [&](hw::Packet&& p) { marked_default += p.ecn ? 1 : 0; }};
+
+  eng.spawn([](sim::Engine& e, hw::Link& a, hw::Link& b) -> Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      hw::Packet p;
+      p.payload.resize(1024);
+      p.enqueued_at = e.now();
+      EXPECT_TRUE(a.in().try_send(p));
+      EXPECT_TRUE(b.in().try_send(std::move(p)));
+    }
+    co_return;
+  }(eng, link, plain));
+  eng.run();
+
+  EXPECT_EQ(delivered, 8u);
+  EXPECT_EQ(link.ecn_marks(), 5u);
+  EXPECT_EQ(marked, 5u);
+  EXPECT_EQ(marked_default, 0u);
+  EXPECT_EQ(plain.ecn_marks(), 0u);
+}
+
+// A trickle through the same self-marking link never marks: the queue is
+// empty at every serialization start and utilization stays far below the
+// windowed threshold.
+TEST(CcMarking, QuietSelfMarkingLinkNeverMarks) {
+  sim::Engine eng;
+  hw::LinkConfig lc;
+  lc.ecn_self_mark = true;
+
+  std::uint64_t marked = 0;
+  hw::Link link{eng, "trickle", lc,
+                [&](hw::Packet&& p) { marked += p.ecn ? 1 : 0; }};
+
+  eng.spawn([](sim::Engine& e, hw::Link& l) -> Task<void> {
+    for (int i = 0; i < 16; ++i) {
+      hw::Packet p;
+      p.payload.resize(1024);
+      p.enqueued_at = e.now();
+      co_await l.in().send(std::move(p));
+      co_await e.sleep(Time::us(100));  // far slower than the wire
+    }
+  }(eng, link));
+  eng.run();
+
+  EXPECT_EQ(marked, 0u);
+  EXPECT_EQ(link.ecn_marks(), 0u);
+}
+
+// -- end-to-end propagation under faults ------------------------------------
+
+hw::FaultPlan dup_heavy_faults(std::uint64_t seed) {
+  hw::FaultPlan plan;
+  plan.drop_prob = 0.01;
+  plan.dup_prob = 0.03;  // duplicates stress the accepted-only counting
+  plan.reorder_prob = 0.01;
+  plan.seed = seed;
+  return plan;
+}
+
+struct IncastResult {
+  std::vector<int> per_src;
+  std::uint64_t bad_payloads = 0;
+};
+
+// Blasts `senders` nodes at one receiver port and drains everything,
+// verifying payload integrity per source.
+IncastResult run_incast(bcl::BclCluster& c, int senders, hw::NodeId rx_node,
+                        int per_sender, std::size_t bytes) {
+  auto& rx = c.open_endpoint(rx_node);
+  IncastResult res;
+  res.per_src.assign(senders, 0);
+  for (int s = 0; s < senders; ++s) {
+    auto& tx = c.open_endpoint(static_cast<hw::NodeId>(s + 1));
+    c.engine().spawn([](bcl::Endpoint& tx, bcl::PortId dst, int rank,
+                        int count, std::size_t bytes) -> Task<void> {
+      auto buf = tx.process().alloc(bytes);
+      tx.process().fill_pattern(buf, static_cast<unsigned>(50 + rank));
+      for (int i = 0; i < count; ++i) {
+        auto r = co_await tx.send_system(dst, buf, bytes);
+        EXPECT_EQ(r.err, bcl::BclErr::kOk);
+        bcl::SendEvent ev = co_await tx.wait_send();
+        EXPECT_TRUE(ev.ok) << "sender " << rank << " msg " << i;
+      }
+    }(tx, rx.id(), s, per_sender, bytes));
+  }
+  c.engine().spawn([](bcl::Endpoint& rx, int total, std::size_t bytes,
+                      IncastResult& res) -> Task<void> {
+    for (int i = 0; i < total; ++i) {
+      bcl::RecvEvent ev = co_await rx.wait_recv();
+      auto data = co_await rx.copy_out_system(ev);
+      const unsigned seed = 50 + (ev.src.node - 1);
+      bool ok = data.size() == bytes;
+      for (std::size_t b = 0; ok && b < data.size(); ++b) {
+        ok = data[b] ==
+             static_cast<std::byte>((b * 197 + seed * 31 + 7) & 0xff);
+      }
+      if (!ok) ++res.bad_payloads;
+      ++res.per_src[ev.src.node - 1];
+    }
+  }(rx, senders * per_sender, bytes, res));
+  c.engine().run();
+  return res;
+}
+
+// Shared postconditions: every payload intact, marks really happened in
+// the fabric, the receiver counted marks on accepted deliveries only
+// (never more than the fabric marked, never more than it accepted — a
+// retransmitted or duplicated marked copy must not double-count), and at
+// least one sender's rate controller heard echoes and throttled.
+void check_cc_propagation(bcl::BclCluster& c, int senders,
+                          hw::NodeId rx_node, int per_sender,
+                          const IncastResult& res) {
+  for (int s = 0; s < senders; ++s) {
+    EXPECT_EQ(res.per_src[s], per_sender) << "sender " << s + 1;
+  }
+  EXPECT_EQ(res.bad_payloads, 0u);
+
+  std::uint64_t fabric_marks = 0;
+  for (const auto& l : c.fabric().congestion_report()) {
+    fabric_marks += l.ecn_marks;
+  }
+  EXPECT_GT(fabric_marks, 0u) << "incast never congested the fabric";
+
+  const auto& rx_stats = c.node(rx_node).mcp().stats();
+  EXPECT_GT(rx_stats.cc_marks_rx, 0u);
+  EXPECT_GT(rx_stats.cc_echoes_tx, 0u);
+  // Accepted-only counting: the duplicates and go-back-N replays the
+  // fault plan provoked (seq_drops) arrive marked too, and none of them
+  // may be tallied twice.
+  EXPECT_GT(rx_stats.seq_drops, 0u) << "fault plan never exercised dups";
+  const std::uint64_t accepted = rx_stats.data_packets_in -
+                                 rx_stats.crc_drops - rx_stats.seq_drops -
+                                 rx_stats.no_port_drops;
+  EXPECT_LE(rx_stats.cc_marks_rx, accepted);
+  EXPECT_LE(rx_stats.cc_marks_rx, fabric_marks);
+
+  std::uint64_t echoes = 0, decreases = 0;
+  for (int s = 0; s < senders; ++s) {
+    const auto nid = static_cast<hw::NodeId>(s + 1);
+    for (const auto& r : c.node(nid).mcp().cc().snapshot()) {
+      if (r.dst != rx_node) continue;
+      echoes += r.echoes;
+      decreases += r.decreases;
+    }
+    EXPECT_EQ(c.node(nid).mcp().unreachable_peers(), 0u) << "sender " << s;
+  }
+  EXPECT_GT(echoes, 0u) << "no echo ever reached a sender";
+  EXPECT_GT(decreases, 0u) << "no sender ever throttled";
+}
+
+// 4x4 wormhole mesh, 6 senders converging on node 0 through the XY
+// funnel, with drop/dup/reorder injected on the final column hop the
+// whole incast shares ("m4->0").
+TEST(CcPropagation, MeshIncastMarksSurviveSeededFaults) {
+  constexpr int kSenders = 6;
+  constexpr int kPerSender = 25;
+  constexpr std::size_t kBytes = 1024;
+
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 16;
+  cfg.fabric.kind = hw::FabricKind::kNwrcMesh;
+  cfg.fabric.mesh_width = 4;
+  cfg.node.mem_bytes = 8u << 20;
+  bcl::BclCluster c{cfg};
+  dynamic_cast<hw::MeshFabric&>(c.fabric())
+      .set_link_fault_plan("m4->0", dup_heavy_faults(31));
+
+  const auto res = run_incast(c, kSenders, 0, kPerSender, kBytes);
+  check_cc_propagation(c, kSenders, 0, kPerSender, res);
+}
+
+// Same property through the source-routed crossbar fabric.  The faults sit
+// on two senders' host uplinks — the only per-link injection point the
+// fabric exposes on the data path — so duplicated copies cross the
+// congested switch (where the marking happens) and arrive marked twice.
+TEST(CcPropagation, MyrinetIncastMarksSurviveSeededFaults) {
+  constexpr int kSenders = 8;
+  constexpr int kPerSender = 25;
+  constexpr std::size_t kBytes = 1024;
+
+  bcl::ClusterConfig cfg;
+  cfg.nodes = kSenders + 1;
+  cfg.node.mem_bytes = 8u << 20;
+  bcl::BclCluster c{cfg};
+  const hw::NodeId rx_node = 0;
+  auto& fab = dynamic_cast<hw::MyrinetFabric&>(c.fabric());
+  fab.set_host_link_fault_plan(1, dup_heavy_faults(32));
+  fab.set_host_link_fault_plan(2, dup_heavy_faults(33));
+
+  const auto res = run_incast(c, kSenders, rx_node, kPerSender, kBytes);
+  check_cc_propagation(c, kSenders, rx_node, kPerSender, res);
+}
+
+// A single drop on an otherwise-uncongested path must cost exactly one
+// fast retransmit, no timeout, and zero pacing delay: the quiet-path
+// pacer is wire-clocked (no cursor charge), so the go-back-N replay pays
+// no phantom reservation debt, and the NewReno recovery fence keeps the
+// replay's own duplicate cumulative acks from re-triggering it.  This is
+// the regression test for the pacing-cursor-drift dup-ack storm (one
+// drop snowballed into 4 fast retransmits + a spurious RTO).
+TEST(CcQuietPath, SingleLossRecoversWithoutStorm) {
+  constexpr std::uint64_t kMsgs = 40;
+  constexpr std::size_t kBytes = 1024;
+
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cost.rto = Time::us(300);
+  bcl::BclCluster c{cfg};
+  hw::FaultPlan plan;
+  plan.drop_nth = {10};  // 11th data packet on the wire
+  dynamic_cast<hw::MyrinetFabric&>(c.fabric()).set_host_link_fault_plan(
+      0, plan);
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn(
+      [](bcl::Endpoint& tx, bcl::PortId dst) -> Task<void> {
+        auto buf = tx.process().alloc(kBytes);
+        for (std::uint64_t i = 0; i < kMsgs; ++i) {
+          (void)co_await tx.send_system(dst, buf, kBytes);
+        }
+        for (std::uint64_t i = 0; i < kMsgs; ++i) {
+          (void)co_await tx.wait_send();
+        }
+      }(tx, rx.id()));
+  std::uint64_t delivered = 0;
+  c.engine().spawn(
+      [](bcl::Endpoint& rx, std::uint64_t& delivered) -> Task<void> {
+        for (std::uint64_t i = 0; i < kMsgs; ++i) {
+          auto ev = co_await rx.wait_recv();
+          (void)co_await rx.copy_out_system(ev);
+          ++delivered;
+        }
+      }(rx, delivered));
+  c.engine().run();
+
+  EXPECT_EQ(delivered, kMsgs);
+  const auto& mcp = c.node(0).mcp();
+  EXPECT_EQ(mcp.fast_retransmits(), 1u);
+  EXPECT_EQ(mcp.timeouts(), 0u);
+  // One dup-ack replay covers the hole plus the few packets behind it.
+  EXPECT_LE(mcp.retransmissions(), 8u);
+  const auto rates = mcp.cc().snapshot();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].paced_wait_us, 0.0)
+      << "quiet-path launches must be wire-clocked, not pacer-clocked";
+  EXPECT_EQ(rates[0].echoes, 0u) << "a dedicated hop must never mark";
+}
+
+}  // namespace
