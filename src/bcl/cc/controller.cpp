@@ -11,7 +11,14 @@ namespace bcl::cc {
 void CongestionController::trace_rate(hw::NodeId dst, const RateState& s) {
   if (trace_ == nullptr || !trace_->enabled()) return;
   double& last = traced_rate_[dst];
-  if (std::abs(s.rate - last) < 1e-3) return;
+  // Relative threshold: rates live near 1e8 bytes/s, so an absolute
+  // epsilon would emit a counter point for every +2MB/s AI tick and a long
+  // recovery would flood the bounded trace buffer (evicting message events
+  // via trace_event_cap).  A 3% move keeps the smallest multiplicative cut
+  // visible (g/2 ~ 3.1% in batch mode; the proportional minimum f/2 is
+  // 1/16) and samples a half-to-line recovery in ~2 dozen points.  The
+  // first sample (last == 0) always emits.
+  if (last != 0.0 && std::abs(s.rate - last) < 0.03 * std::abs(last)) return;
   last = s.rate;
   trace_->counter("cc." + name_, "rate_mbps.n" + std::to_string(dst),
                   s.rate / 1e6);
@@ -37,17 +44,31 @@ sim::Time CongestionController::drain_time(hw::NodeId dst,
   return pacer_.drain_time(dst, bytes);
 }
 
-void CongestionController::on_echo(hw::NodeId dst) {
-  if (!enabled()) return;
+void CongestionController::on_echo(hw::NodeId dst, unsigned level) {
+  if (!enabled() || level == 0) return;  // level 0 is "no echo aboard"
+  // Quantized congestion extent: f = level/levels in (0, 1].  A saturated
+  // level (batch CNP, or a peer running pre-quantization firmware) means
+  // "congested, extent unknown" and is treated as full strength; with
+  // cc_proportional off the extent is ignored entirely and the classic
+  // DCQCN alpha/2 cut applies.
+  double f = 1.0;
+  if (cfg_.cc_proportional && level != kEchoSaturated &&
+      cfg_.cc_feedback_levels > 0) {
+    f = std::min(1.0, static_cast<double>(level) /
+                          static_cast<double>(cfg_.cc_feedback_levels));
+  }
   RateState& s = pacer_.state(dst);  // lazy-ticks the epoch clock first
   ++s.echoes;
-  s.alpha = (1.0 - cfg_.cc_g) * s.alpha + cfg_.cc_g;
+  s.alpha = (1.0 - cfg_.cc_g) * s.alpha + cfg_.cc_g * f;
+  s.feedback = f;
   const sim::Time now = pacer_.engine().now();
   // At most one multiplicative decrease per epoch: a burst of echoes from
   // one congested window must not collapse the rate to the floor in one
   // step — DCQCN's rate-decrease timer, lazy-ticked.
   if (!s.decreased_once || now - s.last_decrease >= cfg_.cc_epoch) {
-    s.rate = std::max(cfg_.cc_min_rate, s.rate * (1.0 - s.alpha / 2.0));
+    const double cut =
+        cfg_.cc_proportional ? std::max(s.alpha, f) / 2.0 : s.alpha / 2.0;
+    s.rate = std::max(cfg_.cc_min_rate, s.rate * (1.0 - cut));
     s.last_decrease = now;
     s.decreased_once = true;
     ++s.decreases;
@@ -63,6 +84,7 @@ std::vector<RateSnapshot> CongestionController::snapshot() const {
     r.dst = dst;
     r.rate = s.rate;
     r.alpha = s.alpha;
+    r.feedback = s.feedback;
     r.echoes = s.echoes;
     r.decreases = s.decreases;
     r.increases = s.increases;

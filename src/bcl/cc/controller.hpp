@@ -2,12 +2,20 @@
 //
 // Congested links/routers/switches set Packet::ecn in flight; the
 // receiving MCP echoes the marks back piggybacked on acks, NACKs and
-// credit grants (Packet::ecn_echo).  This controller consumes those echoes
-// and runs a DCQCN-style AIMD rate per destination:
+// credit grants (Packet::ecn_echo carries a QCN-style quantized level,
+// the fraction of accepted packets marked over the echo window).  This
+// controller consumes those echoes and runs an AIMD rate per destination,
+// scaling the multiplicative decrease by the echoed extent f in (0, 1]
+// (f = 1 under batch CNP semantics or when cc_proportional is off):
 //
-//   echo:        alpha <- (1-g)*alpha + g, then (at most once per epoch)
-//                rate  <- max(min_rate, rate * (1 - alpha/2))
-//   quiet epoch: alpha <- (1-g)*alpha,     rate <- min(line, rate + ai)
+//   echo:        alpha <- (1-g)*alpha + g*f, then (at most once per epoch)
+//                rate  <- max(min_rate, rate * (1 - max(alpha, f)/2))
+//   quiet epoch: alpha <- (1-g)*alpha,       rate <- min(line, rate + ai)
+//
+// Cutting by max(alpha, f)/2 lets a fully-marked deep incast halve the
+// rate on its very first echo (alpha has not learned yet, f = 1) instead
+// of inching down at alpha/2 per epoch, while a grazing mark (f = 1/levels)
+// still only dents the rate.
 //
 // Everything launching toward a destination — data, retransmits,
 // flow-control packets, collective fan-out — goes through pace(), so a
@@ -43,6 +51,7 @@ struct RateSnapshot {
   hw::NodeId dst = 0;
   double rate = 0.0;   // bytes/s
   double alpha = 0.0;
+  double feedback = 0.0;  // last echoed congestion extent in (0, 1]
   std::uint64_t echoes = 0;
   std::uint64_t decreases = 0;
   std::uint64_t increases = 0;
@@ -73,12 +82,25 @@ class CongestionController {
   // RTO for the unacked window so throttling never guarantees timeouts.
   sim::Time drain_time(hw::NodeId dst, std::size_t bytes);
 
-  // Apply one echoed ECN mark from `dst`: EWMA alpha up, and cut the rate
-  // multiplicatively if this epoch has not already taken its cut.
-  void on_echo(hw::NodeId dst);
+  // Echoes with this level (the default) are treated as full-strength
+  // regardless of cc_feedback_levels — the batch-CNP "congestion, extent
+  // unknown" signal.
+  static constexpr unsigned kEchoSaturated = ~0u;
+
+  // Apply one quantized ECN echo from `dst`: EWMA alpha toward the echoed
+  // extent f = level/cc_feedback_levels, and cut the rate by
+  // max(alpha, f)/2 if this epoch has not already taken its cut.  With
+  // cc_proportional off the level is ignored (classic alpha/2 cut).
+  void on_echo(hw::NodeId dst, unsigned level = kEchoSaturated);
 
   // Current paced rate toward `dst` (line rate if never congested).
   double rate_of(hw::NodeId dst) { return pacer_.state(dst).rate; }
+
+  // Current congestion-extent estimate (alpha) toward `dst`; the
+  // collective engine breaks fan-out stagger ties with it.
+  double congestion_extent(hw::NodeId dst) {
+    return enabled() ? pacer_.state(dst).alpha : 0.0;
+  }
 
   std::vector<RateSnapshot> snapshot() const;
 

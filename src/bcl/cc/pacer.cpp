@@ -1,6 +1,7 @@
 #include "bcl/cc/pacer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bcl::cc {
 
@@ -28,10 +29,17 @@ void Pacer::tick(RateState& s) {
     decay *= 1.0 - cfg_.cc_g;  // (1-g)^min(n,64); beyond that alpha ~ 0
   }
   s.alpha *= decay;
-  if (s.rate < cfg_.cc_line_rate) {
+  if (s.rate < cfg_.cc_line_rate && cfg_.cc_ai_rate > 0.0) {
+    // Count only the AI steps that moved the rate: recovery may clamp at
+    // line rate partway through the n quiet epochs, and crediting the
+    // remainder would inflate the increases counter (skewing the
+    // postmortem's storming/recovering read of a long-idle destination).
+    const double deficit = cfg_.cc_line_rate - s.rate;
+    const auto effective = std::min<std::int64_t>(
+        n, static_cast<std::int64_t>(std::ceil(deficit / cfg_.cc_ai_rate)));
     s.rate = std::min(cfg_.cc_line_rate,
                       s.rate + cfg_.cc_ai_rate * static_cast<double>(n));
-    s.increases += static_cast<std::uint64_t>(n);
+    s.increases += static_cast<std::uint64_t>(effective);
   }
 }
 

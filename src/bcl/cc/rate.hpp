@@ -30,6 +30,7 @@ struct RateState {
   bool decreased_once = false;  // distinguishes t=0 from "never cut"
 
   // Telemetry.
+  double feedback = 0.0;  // last echo's quantized extent in (0, 1]; 0 = none
   std::uint64_t echoes = 0;         // ECN echoes applied to this destination
   std::uint64_t decreases = 0;      // multiplicative decreases taken
   std::uint64_t increases = 0;      // additive-increase epochs applied

@@ -179,19 +179,30 @@ sim::Task<void> CollectiveEngine::delayed_send(sim::Time delay,
 void CollectiveEngine::emit_fanout(std::vector<hw::Packet> batch) {
   // Order by the destinations' current pacing delay so the uncongested
   // children's daemons reach the tx mutex first; each delayed daemon then
-  // sleeps out its own stagger before contending.  With congestion control
-  // off (or nothing throttled) every delay is zero and this degenerates to
-  // the old blast-all-children-in-one-tick behavior.
-  std::vector<std::pair<sim::Time, std::size_t>> order;
+  // sleeps out its own stagger before contending.  Ties (typically: every
+  // delay is zero right after the cursors drain) break on the quantized
+  // congestion extent alpha, so the child whose path echoed the deepest
+  // marks launches last and the recovering ones are not re-buried by the
+  // fan-out burst.  With congestion control off (or nothing throttled)
+  // every key is zero and this degenerates to the old
+  // blast-all-children-in-one-tick behavior.
+  struct Key {
+    sim::Time delay;
+    double alpha;
+    std::size_t idx;
+  };
+  std::vector<Key> order;
   order.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    order.emplace_back(mcp_.cc().stagger_delay(batch[i].dst_node), i);
+    order.push_back({mcp_.cc().stagger_delay(batch[i].dst_node),
+                     mcp_.cc().congestion_extent(batch[i].dst_node), i});
   }
-  std::stable_sort(
-      order.begin(), order.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [delay, i] : order) {
-    emit_after(delay, std::move(batch[i]));
+  std::stable_sort(order.begin(), order.end(), [](const Key& a, const Key& b) {
+    if (a.delay != b.delay) return a.delay < b.delay;
+    return a.alpha < b.alpha;
+  });
+  for (const auto& k : order) {
+    emit_after(k.delay, std::move(batch[k.idx]));
   }
 }
 

@@ -130,6 +130,17 @@ struct CostConfig {
   // Rate-update epoch: at most one multiplicative decrease and one
   // additive increase per epoch (lazy-ticked; the controller has no timer).
   sim::Time cc_epoch = sim::Time::us(50);
+  // Proportional (QCN-style) congestion feedback.  The receiver quantizes
+  // the fraction of accepted packets that arrived ECN-marked over each
+  // `cc_echo_window` into 1..cc_feedback_levels and carries that level in
+  // Packet::ecn_echo; the sender scales its multiplicative decrease by the
+  // level, so a deep incast (every packet marked) cuts toward rate/2 per
+  // epoch while a grazing mark barely dents the rate.  Off restores
+  // batch-level DCQCN CNP semantics: any pending mark echoes immediately
+  // as a full-strength level and the cut is alpha/2 regardless of extent.
+  bool cc_proportional = true;
+  int cc_feedback_levels = 8;
+  sim::Time cc_echo_window = sim::Time::us(50);
 
   // -- NIC-resident collectives (coll::CollectiveEngine) -------------------------
   // The engine's per-packet handler is far lighter than the full reliable

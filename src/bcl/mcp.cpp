@@ -732,23 +732,57 @@ void Mcp::apply_grant(const hw::Packet& p) {
 }
 
 void Mcp::note_ecn(const hw::Packet& p) {
-  if (!cfg_.congestion_control || !p.ecn) return;
-  ++stats_.cc_marks_rx;
-  ++ecn_pending_[p.src_node];
+  if (!cfg_.congestion_control) return;
+  EcnEchoWindow& w = ecn_echo_[p.src_node];
+  if (w.accepted == 0) w.window_start = eng_.now();
+  ++w.accepted;
+  if (p.ecn) {
+    ++w.marked;
+    ++stats_.cc_marks_rx;
+  }
 }
 
 void Mcp::attach_cc_echo(hw::Packet& p) {
   if (!cfg_.congestion_control) return;
-  const auto it = ecn_pending_.find(p.dst_node);
-  if (it == ecn_pending_.end() || it->second == 0) return;
-  p.ecn_echo = true;
-  it->second = 0;
+  const auto it = ecn_echo_.find(p.dst_node);
+  if (it == ecn_echo_.end()) return;
+  EcnEchoWindow& w = it->second;
+  if (!cfg_.cc_proportional) {
+    // Batch CNP semantics: any pending mark echoes immediately at full
+    // strength; the window is just the pending-marks ledger.
+    if (w.marked == 0) return;
+    p.ecn_echo = 0xff;  // saturated: "congestion, extent unknown"
+    w = EcnEchoWindow{};
+    ++stats_.cc_echoes_tx;
+    return;
+  }
+  // QCN-style quantization: let the window fill before judging it — an
+  // echo per ack would make every sample binary (1 packet, marked or not).
+  if (w.accepted == 0 || eng_.now() - w.window_start < cfg_.cc_echo_window) {
+    return;
+  }
+  if (w.marked == 0) {
+    w = EcnEchoWindow{};  // quiet window: roll it, nothing to echo
+    return;
+  }
+  const auto levels = static_cast<std::uint32_t>(
+      std::min(255, std::max(1, cfg_.cc_feedback_levels)));
+  // ceil(levels * marked / accepted), clamped to [1, levels]: the sender
+  // divides by cc_feedback_levels to recover the mark fraction.
+  const std::uint32_t lvl = std::min(
+      levels, (levels * w.marked + w.accepted - 1) / w.accepted);
+  p.ecn_echo = static_cast<std::uint8_t>(std::max(1u, lvl));
+  w = EcnEchoWindow{};
   ++stats_.cc_echoes_tx;
 }
 
 void Mcp::apply_cc_echo(const hw::Packet& p) {
-  if (!cfg_.congestion_control || !p.ecn_echo) return;
-  cc_->on_echo(p.src_node);
+  if (!cfg_.congestion_control || p.ecn_echo == 0) return;
+  // 0xff is the saturated batch-CNP level; anything else is a quantized
+  // mark fraction out of cc_feedback_levels.
+  cc_->on_echo(p.src_node, p.ecn_echo == 0xff
+                               ? cc::CongestionController::kEchoSaturated
+                               : p.ecn_echo);
 }
 
 void Mcp::credit_doorbell(std::uint32_t port_no) {

@@ -205,13 +205,17 @@ class Mcp {
   void attach_grant(hw::Packet& p);
   // An inbound packet may carry a grant for our sender side.
   void apply_grant(const hw::Packet& p);
-  // ECN bookkeeping: an accepted marked packet raises the pending-echo
-  // count for its source (retransmitted duplicates are already filtered by
-  // the rx session, so a mark is counted at most once per delivery).
+  // ECN bookkeeping, called once per *accepted* data packet (retransmitted
+  // duplicates are already filtered by the rx session, so a mark is counted
+  // at most once per delivery): advances the source's echo window and
+  // records whether this packet arrived marked.
   void note_ecn(const hw::Packet& p);
-  // Piggyback the echo on an outbound ack/NACK/grant toward a node with
-  // pending marks; one echo flushes the whole pending batch (DCQCN CNP
-  // semantics: the echo says "congestion", not "how much").
+  // Piggyback the echo on an outbound ack/NACK/grant toward the source.
+  // With cc_proportional the echo is QCN-style: at most once per
+  // cc_echo_window, carrying ceil(levels * marked/accepted) — the
+  // quantized fraction of the window's accepted packets that arrived
+  // marked.  Without it, any pending mark flushes immediately at full
+  // strength (DCQCN CNP semantics: "congestion", not "how much").
   void attach_cc_echo(hw::Packet& p);
   // An inbound ack/NACK/grant may carry an echo for our rate controller.
   void apply_cc_echo(const hw::Packet& p);
@@ -239,8 +243,15 @@ class Mcp {
   std::unique_ptr<coll::CollectiveEngine> coll_;
   std::unique_ptr<FlowController> flow_;
   std::unique_ptr<cc::CongestionController> cc_;
-  // Pending ECN echoes per source node (marks seen, not yet reflected).
-  std::map<hw::NodeId, std::uint32_t> ecn_pending_;
+  // Per-source echo accumulation window: accepted packets and marks seen
+  // since the window opened (first accepted packet after the previous
+  // flush — idle gaps between bursts must not dilute the mark fraction).
+  struct EcnEchoWindow {
+    std::uint32_t accepted = 0;
+    std::uint32_t marked = 0;
+    sim::Time window_start = sim::Time::zero();
+  };
+  std::map<hw::NodeId, EcnEchoWindow> ecn_echo_;
   std::map<RxCreditKey, RxCredit> rx_credits_;
   // Per-port round-robin cursor for the doorbell's ledger scan (fairness
   // across senders competing for the same pool's freed slots).

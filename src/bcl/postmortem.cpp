@@ -58,10 +58,15 @@ bool is_retx_kind(FlightKind k) {
 // 0.9*line threshold separates "still at line" from "meaningfully cut":
 // a single epoch's multiplicative decrease at small alpha lands above it,
 // so one stray mark does not flip a healthy destination to throttled.
+// "storming" is reserved for a sender that resent without ever cutting —
+// a throttled sender that recovered to line after a handful of resends
+// responded to the congestion and must not carry the storm verdict.
 const char* classify_cc(const cc::RateSnapshot& r, std::uint64_t retx,
                         double line) {
   if (r.decreases > 0 && r.rate < 0.9 * line) return "throttled-recovering";
-  if (retx > 0 && r.rate >= 0.9 * line) return "storming";
+  if (retx > 0 && r.decreases == 0 && r.rate >= 0.9 * line) {
+    return "storming";
+  }
   return "clean";
 }
 
@@ -87,7 +92,7 @@ std::string Postmortem::to_json() const {
        << ", \"queue_hwm\": " << l.queue_hwm << ", \"packets\": "
        << l.packets << ", \"retx_packets\": " << l.retx_packets
        << ", \"dropped\": " << l.dropped << ", \"ecn_marks\": "
-       << l.ecn_marks << "}";
+       << l.ecn_marks << ", \"blocked_marks\": " << l.blocked_marks << "}";
   }
   os << (top_links.empty() ? "]" : "\n  ]") << ",\n";
 
@@ -118,6 +123,7 @@ std::string Postmortem::to_json() const {
     os << "    {\"dst\": " << c.rate.dst << ", \"state\": \""
        << json_escape(c.state) << "\", \"rate_mbps\": "
        << num(c.rate.rate / 1e6) << ", \"alpha\": " << num(c.rate.alpha)
+       << ", \"feedback\": " << num(c.rate.feedback)
        << ", \"echoes\": " << c.rate.echoes << ", \"decreases\": "
        << c.rate.decreases << ", \"increases\": " << c.rate.increases
        << ", \"paced_packets\": " << c.rate.paced_packets

@@ -66,6 +66,15 @@ void TxSession::on_ack(std::uint32_t ack, sim::Time echo_stamp) {
   if (have_echo) {
     sample = eng_.now() - echo_stamp;
     have_sample = true;
+    // An echo-stamped sample is valid even when this ack releases nothing:
+    // a duplicate cumulative ack past a go-back-N hole still reflects the
+    // launch time of the (out-of-order) packet that triggered it.  During
+    // a congested window's replay these dup acks are the only acks flowing
+    // — dropping their samples re-silences the estimator exactly when the
+    // RTT is inflating, which is what the echo exists to prevent.
+    if (released == 0 && !unacked_.empty() && ack == last_ack_) {
+      note_rtt(sample);
+    }
   }
   if (released > 0) {
     if (have_sample) note_rtt(sample);

@@ -25,6 +25,8 @@ void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
   reg.counter(prefix + ".retx_packets",
               [&link] { return link.retx_packets(); });
   reg.counter(prefix + ".ecn_marks", [&link] { return link.ecn_marks(); });
+  reg.counter(prefix + ".blocked_marks",
+              [&link] { return link.blocked_marks(); });
   reg.gauge(prefix + ".queue_wait_us",
             [&link] { return link.queue_wait().to_us(); });
   reg.gauge(prefix + ".queue_hwm", [&link] {
@@ -76,6 +78,7 @@ Fabric::LinkStats Link::stats() const {
   s.retx_packets = retx_packets_;
   s.dropped = dropped_;
   s.ecn_marks = ecn_marks_;
+  s.blocked_marks = blocked_marks_;
   return s;
 }
 

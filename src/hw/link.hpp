@@ -45,6 +45,7 @@ class Fabric {
     std::uint64_t retx_packets = 0;  // go-back-N resends through this link
     std::uint64_t dropped = 0;       // fault-plan discards
     std::uint64_t ecn_marks = 0;     // packets ECN-marked at this link
+    std::uint64_t blocked_marks = 0; // of those, marked for wormhole blocking
   };
 
   // Connects `nic` as node `id`; must be called exactly once per node.
@@ -102,6 +103,14 @@ struct LinkConfig {
   std::size_t ecn_queue_threshold = 3;
   double ecn_util_threshold = 0.90;
   sim::Time ecn_util_window = sim::Time::us(50);
+  // Wormhole-blocked marking (routers/crossbar input ports, not plain
+  // Links): a packet whose push into the downstream link's bounded queue
+  // blocked for at least this long is ECN-marked even if no backlog ever
+  // formed behind it — wormhole fabrics congest by blocking, and under a
+  // wide shallow incast every input port can hold exactly one packet
+  // (below ecn_queue_threshold) while the tree stalls.  Roughly one
+  // MTU serialization at line rate by default; zero disables.
+  sim::Time ecn_blocked_threshold = sim::Time::us(25);
 };
 
 // Deterministic fault schedule for one link.  All random draws come from a
@@ -171,6 +180,14 @@ class Link {
   // the upstream router/switch that marked while pushing into this link).
   std::uint64_t ecn_marks() const { return ecn_marks_; }
   void note_ecn_mark() { ++ecn_marks_; }
+  // Subset of ecn_marks() attributed to wormhole blocking: the upstream
+  // pump was stalled pushing into this link for at least
+  // ecn_blocked_threshold, with no deep backlog behind the packet.
+  std::uint64_t blocked_marks() const { return blocked_marks_; }
+  void note_blocked_mark() {
+    ++ecn_marks_;
+    ++blocked_marks_;
+  }
   // Time upstream pumps (router/switch/NIC) spent blocked trying to push
   // into this link's full queue — wormhole head-of-line blocking.
   sim::Time blocked_time() const { return blocked_; }
@@ -215,6 +232,7 @@ class Link {
   std::size_t queue_hwm_ = 0;
   std::uint64_t retx_packets_ = 0;
   std::uint64_t ecn_marks_ = 0;
+  std::uint64_t blocked_marks_ = 0;
   sim::Time blocked_ = sim::Time::zero();
   sim::Trace* trace_ = nullptr;
   // Windowed-utilization checkpoint (mutable: reading advances the window).

@@ -73,13 +73,24 @@ sim::Task<void> MeshRouter::pump(int dir) {
       p.ecn = true;
       link->note_ecn_mark();
     }
-    // Stamp the queue-entry time and charge any backpressure stall to the
-    // output link as wormhole-blocking time.
+    // Two-phase push so the packet is still in hand after any backpressure
+    // stall: reserve a queue slot (this is where wormhole head-of-line
+    // blocking happens), charge the stall to the output link, and mark the
+    // packet when it blocked past ecn_blocked_threshold — a stalled
+    // wormhole tree congests without ever building the input backlogs the
+    // threshold above looks at.  enqueued_at is stamped after the stall so
+    // the link's queue-wait and blocked-time accounts stay disjoint.
     const sim::Time t_block = eng_.now();
-    p.enqueued_at = t_block;
-    co_await link->in().send(std::move(p));
+    co_await link->in().reserve();
     const sim::Time waited = eng_.now() - t_block;
     if (waited > sim::Time::zero()) link->add_blocked(waited);
+    const sim::Time bthresh = fab_.cfg_.link.ecn_blocked_threshold;
+    if (!p.ecn && bthresh > sim::Time::zero() && waited >= bthresh) {
+      p.ecn = true;
+      link->note_blocked_mark();
+    }
+    p.enqueued_at = eng_.now();
+    link->in().commit(std::move(p));
   }
 }
 

@@ -10,11 +10,13 @@ namespace hw {
 
 CrossbarSwitch::CrossbarSwitch(sim::Engine& eng, std::string name, int ports,
                                sim::Time fall_through,
-                               std::size_t ecn_queue_threshold)
+                               std::size_t ecn_queue_threshold,
+                               sim::Time ecn_blocked_threshold)
     : eng_{eng},
       name_{std::move(name)},
       fall_through_{fall_through},
       ecn_queue_threshold_{ecn_queue_threshold},
+      ecn_blocked_threshold_{ecn_blocked_threshold},
       outputs_(static_cast<std::size_t>(ports), nullptr) {
   for (int p = 0; p < ports; ++p) {
     inputs_.push_back(std::make_unique<sim::Channel<Packet>>(eng_));
@@ -57,13 +59,21 @@ sim::Task<void> CrossbarSwitch::pump(int port) {
       p.ecn = true;
       link->note_ecn_mark();
     }
-    // Stamp the queue-entry time and charge any backpressure stall to the
-    // output link as head-of-line blocking at this crossbar port.
+    // Two-phase push (see MeshRouter::pump): reserve the output queue slot,
+    // charge the stall to the link, mark the packet if it blocked past the
+    // threshold, and only then commit.  enqueued_at is stamped after the
+    // stall so queue-wait and blocked-time accounts stay disjoint.
     const sim::Time t_block = eng_.now();
-    p.enqueued_at = t_block;
-    co_await link->in().send(std::move(p));
+    co_await link->in().reserve();
     const sim::Time waited = eng_.now() - t_block;
     if (waited > sim::Time::zero()) link->add_blocked(waited);
+    if (!p.ecn && ecn_blocked_threshold_ > sim::Time::zero() &&
+        waited >= ecn_blocked_threshold_) {
+      p.ecn = true;
+      link->note_blocked_mark();
+    }
+    p.enqueued_at = eng_.now();
+    link->in().commit(std::move(p));
   }
 }
 
@@ -75,7 +85,7 @@ MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
   if (!two_level()) {
     switches_.push_back(std::make_unique<CrossbarSwitch>(
         eng_, "sw0", kPorts, cfg_.fall_through,
-        cfg_.link.ecn_queue_threshold));
+        cfg_.link.ecn_queue_threshold, cfg_.link.ecn_blocked_threshold));
     return;
   }
   const int leaves =
@@ -89,12 +99,12 @@ MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
   for (int l = 0; l < leaves; ++l) {
     switches_.push_back(std::make_unique<CrossbarSwitch>(
         eng_, "leaf" + std::to_string(l), kPorts, cfg_.fall_through,
-        cfg_.link.ecn_queue_threshold));
+        cfg_.link.ecn_queue_threshold, cfg_.link.ecn_blocked_threshold));
   }
   for (int s = 0; s < uplinks; ++s) {
     switches_.push_back(std::make_unique<CrossbarSwitch>(
         eng_, "spine" + std::to_string(s), kPorts, cfg_.fall_through,
-        cfg_.link.ecn_queue_threshold));
+        cfg_.link.ecn_queue_threshold, cfg_.link.ecn_blocked_threshold));
   }
   // Leaf l, uplink port hosts_per_leaf+s  <->  spine s, port l.
   // Inter-switch links forward cut-through (wormhole).

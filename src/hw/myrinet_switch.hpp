@@ -23,9 +23,13 @@ class CrossbarSwitch {
  public:
   // `ecn_queue_threshold` applies to the input-port backlog: a packet that
   // dequeues with at least that many packets still behind it is ECN-marked
-  // (0 disables switch-side marking).
+  // (0 disables backlog marking).  `ecn_blocked_threshold` marks a packet
+  // whose push into the output link blocked at least that long even with a
+  // shallow backlog — wormhole congestion shows up as blocking first
+  // (sim::Time::zero() disables blocked marking).
   CrossbarSwitch(sim::Engine& eng, std::string name, int ports,
-                 sim::Time fall_through, std::size_t ecn_queue_threshold = 3);
+                 sim::Time fall_through, std::size_t ecn_queue_threshold = 3,
+                 sim::Time ecn_blocked_threshold = sim::Time::us(25));
 
   int ports() const { return static_cast<int>(outputs_.size()); }
   const std::string& name() const { return name_; }
@@ -46,6 +50,7 @@ class CrossbarSwitch {
   std::string name_;
   sim::Time fall_through_;
   std::size_t ecn_queue_threshold_;
+  sim::Time ecn_blocked_threshold_;
   std::vector<std::unique_ptr<sim::Channel<Packet>>> inputs_;
   std::vector<Link*> outputs_;
   std::uint64_t forwarded_ = 0;

@@ -63,10 +63,14 @@ struct Packet {
   // Congestion notification.  `ecn` is the CE header bit a congested
   // link/router/switch sets in flight (it must survive every fabric hop —
   // the sender learns about congestion anywhere on the path).  `ecn_echo`
-  // is the kCcEcho flag the receiving MCP piggybacks on acks and grant
-  // packets to reflect observed marks back to the sender's rate controller.
+  // is the QCN-style quantized feedback the receiving MCP piggybacks on
+  // acks, NACKs and grant packets: 0 means "no echo aboard"; 1..N (N =
+  // cc_feedback_levels) encodes the fraction of the receiver's accepted
+  // packets that arrived marked over the last echo window, so the sender's
+  // rate controller can cut proportionally to congestion extent instead of
+  // taking the same fixed cut for one grazing mark and a deep incast.
   bool ecn = false;
-  bool ecn_echo = false;
+  std::uint8_t ecn_echo = 0;
 
   // RTT timestamping (TCP-timestamps style, RFC 7323).  Data packets carry
   // their launch time in `tx_stamp` (refreshed on every go-back-N resend);

@@ -39,6 +39,22 @@ class Channel {
     items_sem_.release();
   }
 
+  // Two-phase send for producers that need to know how long they were
+  // blocked on a full channel — and to amend the value accordingly —
+  // before it is enqueued (e.g. a wormhole router ECN-marking a packet by
+  // its head-of-line blocking time).  reserve() waits until a slot is
+  // held; commit() then enqueues without suspending, so the pair is
+  // FIFO-equivalent to send() as long as the caller does not suspend in
+  // between.  Every reserve() must be matched by exactly one commit().
+  Task<void> reserve() {
+    co_await slots_sem_.acquire();
+    if (closed_) throw ChannelClosed{};
+  }
+  void commit(T v) {
+    items_.push_back(std::move(v));
+    items_sem_.release();
+  }
+
   // Non-blocking send; returns false if the channel is full (or closed).
   bool try_send(T v) {
     if (closed_ || !slots_sem_.try_acquire()) return false;

@@ -295,6 +295,69 @@ TEST(TxSessionUnit, AckDuringRetransmissionResendsEachUnackedSeqOnce) {
   EXPECT_FALSE(s.peer_unreachable());
 }
 
+// Regression for the dup-ack echo-sample drop: a duplicate cumulative ack
+// releases nothing, but when it carries a timestamp echo it still reflects
+// the launch time of the (out-of-order) packet that triggered it.  During a
+// congested window's replay those dup acks are the only acks flowing, so
+// discarding their samples silences the RTT estimator exactly when round
+// trips inflate.  The sample must land even when released == 0; a stampless
+// dup ack must still produce none (Karn's rule).
+TEST(TxSessionUnit, DupAckWithEchoStampStillFeedsTheRttEstimator) {
+  sim::Engine eng;
+  hw::HostMemory mem{1u << 20};
+  hw::PciBus pci{eng, "pci", {}};
+  hw::Nic nic{eng, 0, "nic0", pci, mem, {}};
+  SinkFabric fab{eng, 64};  // roomy sink: sends never block in this test
+  fab.attach(0, nic);
+
+  bcl::CostConfig cost;
+  cost.window = 8;
+  cost.rto = Time::us(10'000);  // far past the test horizon: no RTO fires
+  cost.adaptive_rto = true;
+  cost.rto_backoff_jitter = 0.0;
+  cost.dupack_k = 0;  // no fast retransmit: isolate the estimator path
+  bcl::TxSession s{eng, nic, cost};
+
+  eng.spawn_daemon([](SinkFabric& fab) -> Task<void> {
+    for (;;) (void)co_await fab.ch.recv();
+  }(fab));
+  eng.spawn([](sim::Engine& eng, bcl::TxSession& s) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      hw::Packet p;
+      p.dst_node = 1;
+      EXPECT_EQ(co_await s.send(std::move(p)), bcl::BclErr::kOk);
+    }
+    co_await eng.sleep(Time::us(40) - eng.now());
+    // Fresh ack releasing seq 1: a 30us echo sample seeds the estimator.
+    s.on_ack(1, eng.now() - Time::us(30));
+    EXPECT_EQ(s.rtt_samples(), 1u);
+    EXPECT_EQ(s.srtt(), Time::us(30));
+    const Time srtt_before = s.srtt();
+
+    co_await eng.sleep(Time::us(60));
+    // Duplicate cumulative ack (seqs 2-3 still unacked) carrying a fresher
+    // 20us echo: releases nothing, but the sample must still feed srtt.
+    s.on_ack(1, eng.now() - Time::us(20));
+    EXPECT_EQ(s.rtt_samples(), 2u);
+    EXPECT_LT(s.srtt(), srtt_before);  // the 20us sample pulled it down
+    // EWMA check: srtt = 30 * 7/8 + 20 * 1/8 = 28.75us.
+    EXPECT_NEAR(s.srtt().to_us(), 28.75, 1e-9);
+
+    // Stampless duplicate ack: Karn's rule still applies — no sample.
+    s.on_ack(1);
+    EXPECT_EQ(s.rtt_samples(), 2u);
+
+    s.on_ack(3, eng.now() - Time::us(25));  // drain the window
+  }(eng, s));
+  eng.run();
+
+  EXPECT_EQ(s.rtt_samples(), 3u);
+  EXPECT_EQ(s.in_flight(), 0u);
+  EXPECT_EQ(s.retransmissions(), 0u);
+  EXPECT_EQ(s.fast_retransmits(), 0u);
+  EXPECT_FALSE(s.peer_unreachable());
+}
+
 // ---------------------------------------------------------------------------
 // Sequence-number wraparound (RFC 1982 serial arithmetic).
 // ---------------------------------------------------------------------------

@@ -1,12 +1,16 @@
-// NIC-resident congestion control: pacer spacing math, DCQCN-style AIMD
-// epoch behaviour, per-link ECN marking, and the end-to-end property that
-// ECN marks survive wormhole fabrics under seeded drop/dup/reorder fault
-// plans without retransmitted copies ever double-counting at the receiver
-// (marks are tallied on accepted deliveries only).
+// NIC-resident congestion control: pacer spacing math, AIMD epoch
+// behaviour with QCN-style proportional feedback (scaled-cut math at every
+// quantized level, batch-CNP fallback), per-link ECN marking including the
+// wormhole-blocked-time rule, relative-threshold rate tracing, and the
+// end-to-end property that ECN marks survive wormhole fabrics under seeded
+// drop/dup/reorder fault plans without retransmitted copies ever
+// double-counting at the receiver (marks are tallied on accepted
+// deliveries only, and echoed levels decode to fractions in (0, 1]).
 #include <gtest/gtest.h>
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bcl/cc/controller.hpp"
@@ -15,8 +19,10 @@
 #include "hw/link.hpp"
 #include "hw/mesh.hpp"
 #include "hw/myrinet_switch.hpp"
+#include "hw/node.hpp"
 #include "hw/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -98,9 +104,10 @@ TEST(CcAimd, OneDecreasePerEpochThenBoundedRecovery) {
     if (snap.empty()) co_return;
     EXPECT_EQ(snap[0].echoes, 5u);
     EXPECT_EQ(snap[0].decreases, 1u) << "burst must cut at most once";
-    // First echo cuts with alpha = g: rate = line * (1 - g/2).
-    EXPECT_NEAR(snap[0].rate, cfg.cc_line_rate * (1.0 - cfg.cc_g / 2.0),
-                1.0);
+    // A saturated echo (extent unknown) cuts at full strength under the
+    // proportional default: rate = line * (1 - max(alpha, 1)/2) = line/2.
+    EXPECT_NEAR(snap[0].rate, cfg.cc_line_rate * 0.5, 1.0);
+    EXPECT_DOUBLE_EQ(snap[0].feedback, 1.0);
     const double after_first = snap[0].rate;
 
     co_await e.sleep(cfg.cc_epoch);
@@ -119,6 +126,128 @@ TEST(CcAimd, OneDecreasePerEpochThenBoundedRecovery) {
     EXPECT_LT(snap[0].alpha, 0.01);
   }(eng, cc, cfg));
   eng.run();
+}
+
+// Scaled-cut math at every feedback level: a fresh destination's first
+// echo at level L (of cc_feedback_levels) cuts by exactly f/2 where
+// f = L/levels (alpha = g*f has not caught up, so max(alpha, f) = f), and
+// alpha lands at g*f.  A grazing mark (L=1) barely dents the rate; a
+// fully-marked window (L=levels) halves it.
+TEST(CcAimd, ScaledCutMatchesEveryFeedbackLevel) {
+  const bcl::CostConfig cfg = cc_cost();
+  double prev_rate = 1e18;
+  for (int level = 1; level <= cfg.cc_feedback_levels; ++level) {
+    sim::Engine eng;
+    bcl::cc::CongestionController cc{eng, cfg, "t"};
+    cc.on_echo(9, static_cast<unsigned>(level));
+    const double f =
+        static_cast<double>(level) / static_cast<double>(cfg.cc_feedback_levels);
+    const auto snap = cc.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_NEAR(snap[0].rate, cfg.cc_line_rate * (1.0 - f / 2.0), 1e-6)
+        << "level " << level;
+    EXPECT_NEAR(snap[0].alpha, cfg.cc_g * f, 1e-12) << "level " << level;
+    EXPECT_NEAR(snap[0].feedback, f, 1e-12) << "level " << level;
+    EXPECT_LT(snap[0].rate, prev_rate) << "cut must deepen with the level";
+    prev_rate = snap[0].rate;
+  }
+}
+
+// With cc_proportional off the level is ignored: even a minimal quantized
+// echo takes the classic DCQCN alpha/2 cut (alpha = g after one echo), the
+// same as a saturated one — batch CNP semantics for A/B comparison.
+TEST(CcAimd, BatchModeIgnoresFeedbackLevel) {
+  bcl::CostConfig cfg = cc_cost();
+  cfg.cc_proportional = false;
+  const double expect = cfg.cc_line_rate * (1.0 - cfg.cc_g / 2.0);
+  {
+    sim::Engine eng;
+    bcl::cc::CongestionController cc{eng, cfg, "t"};
+    cc.on_echo(9, 1);
+    EXPECT_NEAR(cc.rate_of(9), expect, 1e-6);
+  }
+  {
+    sim::Engine eng;
+    bcl::cc::CongestionController cc{eng, cfg, "t"};
+    cc.on_echo(9);  // saturated
+    EXPECT_NEAR(cc.rate_of(9), expect, 1e-6);
+  }
+}
+
+// Level 0 is "no echo aboard" and must not touch the state.
+TEST(CcAimd, LevelZeroIsNoEcho) {
+  sim::Engine eng;
+  const bcl::CostConfig cfg = cc_cost();
+  bcl::cc::CongestionController cc{eng, cfg, "t"};
+  cc.on_echo(9, 0);
+  EXPECT_EQ(cc.rate_of(9), cfg.cc_line_rate);
+  const auto snap = cc.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].echoes, 0u);
+  EXPECT_EQ(snap[0].decreases, 0u);
+}
+
+// Recovery that clamps at line rate partway through a quiet stretch counts
+// only the AI steps that actually moved the rate: a 5 MB/s deficit at
+// +2 MB/s per epoch is 3 effective steps, no matter how long the
+// destination then sits idle (the old accounting credited every quiet
+// epoch, skewing the postmortem's storming/recovering classification).
+TEST(CcPacer, RecoveryClampCountsOnlyEffectiveIncreases) {
+  sim::Engine eng;
+  const bcl::CostConfig cfg = cc_cost();
+  bcl::cc::Pacer pacer{eng, cfg};
+  pacer.state(5).rate = cfg.cc_line_rate - 5e6;
+
+  eng.spawn([](sim::Engine& e, bcl::cc::Pacer& p,
+               const bcl::CostConfig& cfg) -> Task<void> {
+    co_await e.sleep(cfg.cc_epoch * 10.0);
+    const auto& s = p.state(5);  // lazy tick catches up all 10 epochs
+    EXPECT_EQ(s.rate, cfg.cc_line_rate);
+    EXPECT_EQ(s.increases, 3u) << "only steps that moved the rate count";
+  }(eng, pacer, cfg));
+  eng.run();
+}
+
+// The rate counter-track samples on relative moves, not an absolute
+// epsilon: a full recovery from line/2 emits far fewer points than its 40
+// AI ticks (the old 1e-3 epsilon against ~1e8 B/s emitted every tick,
+// flooding the bounded trace buffer), and touching the pacer at a steady
+// rate emits nothing new.
+TEST(CcTrace, RateTrackSamplesOnRelativeMovesOnly) {
+  sim::Engine eng;
+  const bcl::CostConfig cfg = cc_cost();
+  bcl::cc::CongestionController cc{eng, cfg, "t"};
+  sim::Trace tr{eng};
+  tr.enable();
+  cc.set_trace(&tr);
+
+  eng.spawn([](sim::Engine& e, bcl::cc::CongestionController& cc,
+               const bcl::CostConfig& cfg) -> Task<void> {
+    cc.on_echo(7);  // line -> line/2, first sample + decrease
+    // Recover to line, poking the pacer once per epoch like a steady
+    // sender would (trace_rate runs on every pace()).
+    const int epochs =
+        static_cast<int>(cfg.cc_line_rate / 2.0 / cfg.cc_ai_rate) + 4;
+    for (int i = 0; i < epochs; ++i) {
+      co_await e.sleep(cfg.cc_epoch);
+      co_await cc.pace(7, 1024);
+    }
+    // Steady at line: further pokes must not emit.
+    for (int i = 0; i < 16; ++i) co_await cc.pace(7, 1024);
+  }(eng, cc, cfg));
+  eng.run();
+
+  std::size_t rate_samples = 0;
+  double last = -1.0;
+  for (const auto& ev : tr.counter_events()) {
+    if (ev.series.rfind("rate_mbps", 0) != 0) continue;
+    ++rate_samples;
+    last = ev.value;
+  }
+  EXPECT_GE(rate_samples, 2u) << "decrease and recovery must be visible";
+  EXPECT_LE(rate_samples, 30u) << "per-AI-tick sampling floods the trace";
+  EXPECT_NEAR(last, cfg.cc_line_rate / 1e6, 2.1)
+      << "the track must still land at the recovered rate";
 }
 
 // -- per-link marking -------------------------------------------------------
@@ -192,6 +321,82 @@ TEST(CcMarking, QuietSelfMarkingLinkNeverMarks) {
 
   EXPECT_EQ(marked, 0u);
   EXPECT_EQ(link.ecn_marks(), 0u);
+}
+
+// Wormhole-blocked marking: two injectors share one mesh egress link
+// (nodes 0 and 1 of a 3x1 mesh both blasting node 2), with backlog
+// marking disabled — the only congestion signal left is how long each
+// router pump sat blocked pushing into the full bounded link queue.
+// Packets that blocked past ecn_blocked_threshold arrive marked, the
+// marks are attributed to the contended link as blocked_marks, and
+// zeroing the threshold silences marking entirely even though the
+// blocked-time telemetry still registers the congestion.
+TEST(CcMarking, WormholeBlockedTimeMarksWithoutBacklog) {
+  struct Run {
+    std::uint64_t marked_rx = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t total_ecn = 0;       // across every mesh link
+    std::uint64_t total_blocked = 0;   // across every mesh link
+    std::uint64_t link_blocked_marks = 0;  // on the contended merge link
+    double blocked_us = 0.0;               // on the contended merge link
+  };
+  const auto run = [](Time blocked_threshold) {
+    sim::Engine eng;
+    hw::MeshConfig mc;
+    mc.link.ecn_queue_threshold = 0;  // isolate the blocked-marking rule
+    mc.link.ecn_blocked_threshold = blocked_threshold;
+    hw::MeshFabric fab{eng, 3, 1, mc};
+    std::vector<std::unique_ptr<hw::Node>> nodes;
+    for (hw::NodeId i = 0; i < 3; ++i) {
+      nodes.push_back(std::make_unique<hw::Node>(eng, i));
+      fab.attach(i, nodes.back()->nic());
+    }
+    constexpr int kPerSrc = 8;
+    for (int src = 0; src < 2; ++src) {
+      eng.spawn([](hw::Nic& nic) -> Task<void> {
+        for (int k = 0; k < kPerSrc; ++k) {
+          hw::Packet p;
+          p.src_node = nic.node();
+          p.dst_node = 2;
+          p.payload.resize(4096);  // ~25.8us serialization per hop
+          co_await nic.transmit(std::move(p));
+        }
+      }(nodes[static_cast<std::size_t>(src)]->nic()));
+    }
+    Run r;
+    eng.spawn([](hw::Nic& nic, Run& r) -> Task<void> {
+      for (int k = 0; k < 2 * kPerSrc; ++k) {
+        hw::Packet p = co_await nic.rx().recv();
+        ++r.delivered;
+        if (p.ecn) ++r.marked_rx;
+      }
+    }(nodes[2]->nic(), r));
+    eng.run();
+    for (const auto& l : fab.congestion_report()) {
+      r.total_ecn += l.ecn_marks;
+      r.total_blocked += l.blocked_marks;
+      if (l.name != "m1->2") continue;
+      r.link_blocked_marks = l.blocked_marks;
+      r.blocked_us = l.blocked_us;
+    }
+    return r;
+  };
+
+  const Run on = run(Time::us(25));
+  EXPECT_EQ(on.delivered, 16u);
+  EXPECT_GT(on.link_blocked_marks, 0u)
+      << "a 2:1 wormhole merge must mark on blocking alone";
+  EXPECT_EQ(on.total_ecn, on.total_blocked)
+      << "with backlog marking off, every mark is a blocked mark";
+  EXPECT_EQ(on.marked_rx, on.total_ecn) << "marks must survive to delivery";
+  EXPECT_GT(on.blocked_us, 25.0);
+
+  const Run off = run(Time::zero());
+  EXPECT_EQ(off.delivered, 16u);
+  EXPECT_EQ(off.marked_rx, 0u);
+  EXPECT_EQ(off.total_ecn, 0u);
+  EXPECT_GT(off.blocked_us, 25.0)
+      << "telemetry still sees the blocking when marking is disabled";
 }
 
 // -- end-to-end propagation under faults ------------------------------------
@@ -289,6 +494,14 @@ void check_cc_propagation(bcl::BclCluster& c, int senders,
       if (r.dst != rx_node) continue;
       echoes += r.echoes;
       decreases += r.decreases;
+      // Quantization round trip: a sender that heard echoes must hold a
+      // feedback level that decodes to a fraction in (0, 1] — the
+      // receiver never emits level 0, and level/levels never exceeds 1
+      // even for a saturated wire value.
+      if (r.echoes > 0) {
+        EXPECT_GT(r.feedback, 0.0) << "sender " << s;
+        EXPECT_LE(r.feedback, 1.0) << "sender " << s;
+      }
     }
     EXPECT_EQ(c.node(nid).mcp().unreachable_peers(), 0u) << "sender " << s;
   }
