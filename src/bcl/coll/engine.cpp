@@ -87,9 +87,17 @@ int CollectiveEngine::max_tree_depth() const {
 }
 
 BclErr CollectiveEngine::register_group(GroupDescriptor desc) {
-  if (groups_.size() >= cfg_.coll_max_groups) return BclErr::kNoResources;
   const std::uint16_t id = desc.id;
-  if (groups_.count(id) != 0) return BclErr::kNoResources;
+  const auto existing = groups_.find(id);
+  if (existing != groups_.end()) {
+    // Re-registering over a failure verdict replaces the dead descriptor —
+    // the recovery path after a member crash.  A live duplicate id is
+    // still a caller error.
+    if (!existing->second.failed) return BclErr::kNoResources;
+    groups_.erase(existing);
+  } else if (groups_.size() >= cfg_.coll_max_groups) {
+    return BclErr::kNoResources;
+  }
   groups_.emplace(id, std::move(desc));
   // Replay packets from peers that raced ahead of our registration.
   const auto parked = pre_reg_.find(id);
@@ -299,6 +307,32 @@ sim::Task<void> CollectiveEngine::fail_group(GroupDescriptor& g) {
   // broadcast receiver whose root died before sending).
   co_await complete(g, 0, CollKind::kBarrier, 0, 0, false,
                     BclErr::kPeerUnreachable);
+}
+
+void CollectiveEngine::on_local_crash() {
+  // Complete every in-flight operation with the restart verdict before
+  // dropping the SRAM.  complete() copies the descriptor into its frame,
+  // so clearing groups_ below cannot invalidate the spawned daemons.
+  std::vector<std::pair<Key, Pending>> doomed(pending_.begin(),
+                                              pending_.end());
+  for (auto& [key, pd] : doomed) {
+    GroupDescriptor* g = find_group(key.first);
+    erase(key);  // releases the accumulator's SRAM reservation
+    if (g != nullptr && !pd.failed) {
+      eng_.spawn_daemon(complete(*g, key.second, pd.kind, pd.root, 0, false,
+                                 BclErr::kPeerRestarted));
+    }
+  }
+  // One group-wide seq-0 failure per live group: a member may be blocked
+  // on a sequence that never produced a pending entry here.
+  for (auto& [id, g] : groups_) {
+    if (g.failed) continue;
+    ++stats_.groups_failed;
+    eng_.spawn_daemon(complete(g, 0, CollKind::kBarrier, 0, 0, false,
+                               BclErr::kPeerRestarted));
+  }
+  groups_.clear();
+  pre_reg_.clear();
 }
 
 sim::Task<void> CollectiveEngine::post_pump() {

@@ -58,6 +58,13 @@ class CollectiveEngine {
   // learn within tree-depth hops).
   sim::Task<void> on_peer_failure(hw::NodeId node);
 
+  // This NIC's MCP fail-stopped: every descriptor, accumulator, and parked
+  // partial is SRAM content and vanishes.  Local pending posters get a
+  // kPeerRestarted completion (the kernel completes on behalf of the dead
+  // hardware) and every live group emits its group-wide seq-0 failure so
+  // blocked hosts unblock; after reboot the groups must re-register.
+  void on_local_crash();
+
   struct Stats {
     std::uint64_t posts = 0;
     std::uint64_t packets_in = 0;

@@ -67,6 +67,31 @@ struct CostConfig {
   // uint32 wraparound path is testable end to end.
   std::uint32_t first_seq = 1;
 
+  // -- crash–restart recovery (incarnation fencing; docs/INTERNALS.md) -----------
+  // Firmware reload time between Driver::reset_nic's PIO kick and the MCP
+  // accepting traffic under the new incarnation.
+  sim::Time mcp_reboot_delay = sim::Time::us(200);
+  // Revival probing: once a peer is declared unreachable, a bounded
+  // low-rate keepalive asks whether it came back (answered at the same
+  // incarnation: the path healed after the retry budget died; at a higher
+  // one: it rebooted).  Bounded because a sleeping prober schedules timer
+  // events — an honestly dead peer must not keep the simulation alive.
+  sim::Time revival_probe_interval = sim::Time::us(500);
+  int revival_probe_max = 20;
+  // Retry ladder for the SYN re-establishment handshake; exhaustion fails
+  // the session like an ordinary retry-budget death.
+  sim::Time syn_retry = sim::Time::us(300);
+  int syn_max_retries = 10;
+  // Rate limit on restart notices sent in response to stale-epoch traffic
+  // (one straggler burst must not become a notice storm).
+  sim::Time restart_notice_min_interval = sim::Time::us(100);
+  // End-to-end completion: defer a send's ok event until the final
+  // fragment is cumulatively acked instead of completing when the message
+  // is staged on the NIC.  Staging completion is the paper's semantics and
+  // stays the default; the chaos harness enables this so "completed ok"
+  // can never name a message a crashed peer silently lost.
+  bool e2e_completion = false;
+
   // -- credit-based flow control (system-channel pool protection) ----------------
   // MPICH2-over-InfiniBand-style end-to-end credits: every remote
   // system-channel send consumes one credit toward its destination port;

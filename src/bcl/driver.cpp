@@ -210,6 +210,17 @@ sim::Task<Result<std::uint64_t>> Driver::ioctl_send(osk::Process& proc,
   co_return Result<std::uint64_t>{msg_id, BclErr::kOk};
 }
 
+sim::Task<void> Driver::reset_nic() {
+  if (!mcp_.crashed()) co_return;
+  // Reload the control program: a PIO burst for the image header, then the
+  // fixed reboot window while the MCP reinitialises its SRAM tables.  The
+  // kernel's port/channel registrations are host-resident and re-pushed as
+  // part of this reload, so they need no per-port replay here.
+  co_await kernel_.node().pci().pio_write(cfg_.desc_words_base);
+  co_await kernel_.engine().sleep(cfg_.mcp_reboot_delay);
+  mcp_.reset();
+}
+
 sim::Task<BclErr> Driver::ioctl_post_recv(osk::Process& proc, Port& port,
                                           std::uint16_t channel,
                                           const osk::UserBuffer& buf) {

@@ -90,6 +90,15 @@ class Driver {
                                                    Port& port,
                                                    const CollPostArgs& args);
 
+  // -- crash recovery ------------------------------------------------------------
+  // ioctl(BCL_RESET_NIC): host-driven MCP reboot after a fail-stop.  PIOs
+  // the control-program image back into NIC SRAM (modelled as a fixed
+  // reload window) and restarts the MCP under a bumped incarnation.
+  // Port/channel registrations are kernel-resident and re-pushed as part
+  // of the reload, so existing ports keep working; collective groups are
+  // NIC-resident and must re-register.  No-op on a healthy NIC.
+  sim::Task<void> reset_nic();
+
   // -- untimed setup (initialization is not on any measured path) ---------------
   // Configures the system-channel pool: resolves and pins every slot.
   BclErr setup_system_channel(osk::Process& proc, Port& port, int slots,

@@ -1,6 +1,7 @@
 #include "bcl/flowctl.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "bcl/reliable.hpp"  // seq_lt: serial order shared with the sessions
 
@@ -72,6 +73,12 @@ void FlowController::on_grant(const PortId& dst, std::uint32_t limit) {
     if (credit_rtt_) credit_rtt_->add((eng_.now() - d.stall_start).to_us());
   }
   note_level(dst, d);
+}
+
+void FlowController::reset_node(hw::NodeId node) {
+  for (auto it = dsts_.begin(); it != dsts_.end();) {
+    it = it->first.node == node ? dsts_.erase(it) : std::next(it);
+  }
 }
 
 double FlowController::total_available() const {

@@ -50,6 +50,15 @@ class FlowController {
   // The user-mapped credit word the library polls while blocked.
   std::uint32_t available(const PortId& dst);
 
+  // Crash–restart: drop every ledger toward `node` (all its ports).  The
+  // next send lazily re-creates them at the fresh initial() allowance,
+  // matching the receiver's rebuilt rx ledgers — the paired reset that
+  // keeps the serial-monotone grant comparison from wedging on pre-crash
+  // `used` counts the new incarnation never granted against.
+  void reset_node(hw::NodeId node);
+  // Local MCP reboot: the whole table is SRAM state and is lost wholesale.
+  void reset_all() { dsts_.clear(); }
+
   // Diagnostic snapshot of the cumulative pair per destination.
   struct DstSnapshot {
     PortId dst{};

@@ -39,6 +39,14 @@ class Endpoint {
   // the call blocks (polling the user-mapped credit word, no traps) until
   // credits return — or until cfg.fc_send_deadline if that is nonzero, in
   // which case it returns kWouldBlock.
+  //
+  // Crash–restart semantics: if either end's MCP fail-stops while the
+  // message is in flight, the send completes exactly once with
+  // kPeerRestarted (through wait_send) — never silently lost, never
+  // duplicated across incarnations.  Unlike kPeerUnreachable, the
+  // condition is transient: once the peer reboots and the sessions
+  // re-establish (automatic, incarnation-fenced), retrying the same send
+  // is expected to succeed.
   sim::Task<Result<std::uint64_t>> send(PortId dst, ChannelRef ch,
                                         const osk::UserBuffer& buf,
                                         std::size_t len, std::size_t off = 0);
@@ -61,7 +69,10 @@ class Endpoint {
     return send(dst, ChannelRef{ChanKind::kSystem, 0}, buf, len);
   }
 
-  // Blocks (polling the send event queue) until a send completes.
+  // Blocks (polling the send event queue) until a send completes.  A
+  // completion's `err` is kOk, kPeerUnreachable (retry budget spent — the
+  // path is declared dead), or kPeerRestarted (an MCP fail-stopped mid
+  // flight — transient, retry after re-establishment).
   sim::Task<SendEvent> wait_send();
 
   // -- receive -------------------------------------------------------------------

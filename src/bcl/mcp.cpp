@@ -1,7 +1,9 @@
 #include "bcl/mcp.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
+#include <utility>
 
 #include "bcl/coll/engine.hpp"
 
@@ -82,6 +84,9 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
                      [this] { return fast_retransmits(); });
     metrics->counter(rel + "peer_failures",
                      [this] { return stats_.peer_failures; });
+    metrics->counter(rel + "restarts", [this] { return stats_.restarts; });
+    metrics->counter(rel + "recovered_peers",
+                     [this] { return stats_.recovered_peers; });
     metrics->gauge(rel + "sessions", [this] {
       return static_cast<double>(tx_sessions_.size());
     });
@@ -141,6 +146,8 @@ Mcp::~Mcp() = default;
 std::string Mcp::comp() const { return nic_.name(); }
 
 sim::Task<void> Mcp::coll_send(hw::Packet p) {
+  if (crashed_) co_return;  // fan-out from a dead MCP never reaches the wire
+  stamp_outbound(p);
   co_await nic_.lanai().use(cfg_.mcp_coll_proc);
   // Admission pacing happens before the tx mutex: a throttled child must
   // delay only its own packet, never head-of-line block the other
@@ -177,14 +184,29 @@ TxSession& Mcp::tx_session(hw::NodeId dst) {
     const std::uint64_t seed =
         (static_cast<std::uint64_t>(nic_.node()) << 32) ^
         static_cast<std::uint64_t>(dst) ^ 0x5DEECE66Dull;
-    s = std::make_unique<TxSession>(eng_, nic_, cfg_, seed);
+    // A session toward a peer that restarted (or answered a revival probe)
+    // — or any session born after our own reboot — opens with the SYN
+    // handshake.  Cold-start sessions at incarnation 0 skip it: both ends
+    // begin at cfg.first_seq by construction, and the handshake packets
+    // would perturb the calibrated baselines.
+    const bool handshake =
+        needs_syn_.count(dst) != 0 || nic_.incarnation() > 0;
+    needs_syn_.erase(dst);
+    s = std::make_unique<TxSession>(eng_, nic_, cfg_, seed, handshake);
     s->set_telemetry(&recorder_, trace_, dst);
     s->set_cc(cc_.get());
     s->set_failure_hook([this, dst] {
       ++stats_.peer_failures;
       eng_.spawn_daemon(announce_peer_failure(dst));
     });
-    register_session_metrics(dst, *s);
+    s->set_completion_hook(
+        [this](const TxSession::TxNotify& n, BclErr err) {
+          eng_.spawn_daemon(deliver_send_event(
+              find_port(n.src_port),
+              SendEvent{n.msg_id, n.dst, err == BclErr::kOk, err}));
+        });
+    if (handshake) eng_.spawn_daemon(syn_daemon(dst, s.get()));
+    register_session_metrics(dst);
   }
   return *s;
 }
@@ -194,24 +216,55 @@ TxSession* Mcp::find_tx_session(hw::NodeId dst) {
   return it == tx_sessions_.end() ? nullptr : it->second.get();
 }
 
-void Mcp::register_session_metrics(hw::NodeId dst, TxSession& s) {
+void Mcp::register_session_metrics(hw::NodeId dst) {
   if (metrics_ == nullptr) return;
+  // The registry binds one callback per name for the process lifetime, so
+  // the gauges resolve the CURRENT session by lookup — a session replaced
+  // after a peer restart must not leave them reading its graveyarded
+  // predecessor.
+  if (!session_metrics_registered_.insert(dst).second) return;
   const std::string prefix =
       nic_.name() + ".rel.peer" + std::to_string(dst) + ".";
-  metrics_->gauge(prefix + "srtt_us", [&s] { return s.srtt().to_us(); });
-  metrics_->gauge(prefix + "rto_us", [&s] { return s.rto().to_us(); });
-  metrics_->gauge(prefix + "backoff",
-                  [&s] { return static_cast<double>(s.backoff_level()); });
-  metrics_->gauge(prefix + "in_flight",
-                  [&s] { return static_cast<double>(s.in_flight()); });
-  metrics_->gauge(prefix + "unreachable",
-                  [&s] { return s.peer_unreachable() ? 1.0 : 0.0; });
-  metrics_->counter(prefix + "fast_retransmits",
-                    [&s] { return s.fast_retransmits(); });
-  metrics_->counter(prefix + "rtt_samples", [&s] { return s.rtt_samples(); });
+  const auto live = [this, dst]() -> TxSession* {
+    return find_tx_session(dst);
+  };
+  metrics_->gauge(prefix + "srtt_us", [live] {
+    TxSession* s = live();
+    return s == nullptr ? 0.0 : s->srtt().to_us();
+  });
+  metrics_->gauge(prefix + "rto_us", [live] {
+    TxSession* s = live();
+    return s == nullptr ? 0.0 : s->rto().to_us();
+  });
+  metrics_->gauge(prefix + "backoff", [live] {
+    TxSession* s = live();
+    return s == nullptr ? 0.0 : static_cast<double>(s->backoff_level());
+  });
+  metrics_->gauge(prefix + "in_flight", [live] {
+    TxSession* s = live();
+    return s == nullptr ? 0.0 : static_cast<double>(s->in_flight());
+  });
+  metrics_->gauge(prefix + "unreachable", [live] {
+    TxSession* s = live();
+    return s != nullptr && s->peer_unreachable() ? 1.0 : 0.0;
+  });
+  metrics_->counter(prefix + "fast_retransmits", [live]() -> std::uint64_t {
+    TxSession* s = live();
+    return s == nullptr ? 0 : s->fast_retransmits();
+  });
+  metrics_->counter(prefix + "rtt_samples", [live]() -> std::uint64_t {
+    TxSession* s = live();
+    return s == nullptr ? 0 : s->rtt_samples();
+  });
 }
 
 sim::Task<void> Mcp::announce_peer_failure(hw::NodeId dst) {
+  // Revival probing starts with the verdict: if the peer (or the path)
+  // comes back, the prober's answered keepalive rescinds it and the next
+  // send re-establishes the session.
+  if (cfg_.revival_probe_max > 0 && probing_.insert(dst).second) {
+    eng_.spawn_daemon(revival_prober(dst));
+  }
   if (diagnosis_hook_) {
     diagnosis_hook_("peer-unreachable", static_cast<int>(dst),
                     "go-back-N session " + nic_.name() + " -> node " +
@@ -226,6 +279,225 @@ sim::Task<void> Mcp::announce_peer_failure(hw::NodeId dst) {
 
 RxSession& Mcp::rx_session(hw::NodeId src) {
   return rx_sessions_.try_emplace(src, cfg_.first_seq).first->second;
+}
+
+void Mcp::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  nic_.halt();
+  recorder_.record(
+      {eng_.now(), FlightKind::kCrash, 0, 0, 0, nic_.incarnation()});
+  // Every tx session dies with its SRAM.  Poisoning fails parked and
+  // in-flight sends with kPeerRestarted — exactly once each, through the
+  // failing fragment's event or the e2e ledger's error flush.
+  for (auto& [dst, s] : tx_sessions_) s->poison(BclErr::kPeerRestarted);
+  // Descriptors already queued in the request ring are SRAM content too:
+  // fail them through the (host-resident) event queues so no sender waits
+  // on a ring nobody will ever drain.  The kernel completes these on
+  // behalf of the dead hardware.
+  while (auto d = requests_.try_recv()) {
+    if (d->notify_sender) {
+      eng_.spawn_daemon(deliver_send_event(
+          find_port(d->src.port),
+          SendEvent{d->msg_id, d->dst, false, BclErr::kPeerRestarted}));
+    }
+  }
+  // Collective groups, parked fan-in packets, pending accumulators: gone.
+  coll_->on_local_crash();
+  // Inbound packets queued behind the pump are pre-crash SRAM as well.
+  while (nic_.rx().try_recv()) {
+  }
+}
+
+void Mcp::reset() {
+  if (!crashed_) return;
+  // The old sessions are already poisoned; retire them so their parked
+  // timer daemons wake on live objects, and start the new incarnation
+  // with empty tables.
+  for (auto& [dst, s] : tx_sessions_) {
+    session_graveyard_.push_back(std::move(s));
+  }
+  tx_sessions_.clear();
+  rx_sessions_.clear();
+  rx_credits_.clear();
+  ecn_echo_.clear();
+  peer_incarnation_.clear();
+  last_restart_notice_.clear();
+  syn_seen_.clear();
+  needs_syn_.clear();
+  flow_->reset_all();
+  nic_.reboot();
+  crashed_ = false;
+  ++stats_.restarts;
+  recorder_.record(
+      {eng_.now(), FlightKind::kRestart, 0, 0, 0, nic_.incarnation()});
+}
+
+bool Mcp::fence_incarnation(const hw::Packet& p) {
+  // Stale dst: the sender addressed a previous boot of this NIC.  Any
+  // reply carries our new epoch (stamped at the NIC), so a rate-limited
+  // kProbeAck doubles as a restart notice — the sender's own src fence
+  // turns it into a session teardown.
+  if (p.dst_incarnation != nic_.incarnation() &&
+      p.dst_incarnation != hw::kAnyIncarnation) {
+    ++stats_.stale_inc_drops;
+    const auto it = last_restart_notice_.find(p.src_node);
+    if (it == last_restart_notice_.end() ||
+        eng_.now() - it->second >= cfg_.restart_notice_min_interval) {
+      last_restart_notice_[p.src_node] = eng_.now();
+      ++stats_.restart_notices_tx;
+      eng_.spawn_daemon(
+          send_ctrl(p.src_node, SendOp::kProbeAck, 0, p.src_incarnation));
+    }
+    return false;
+  }
+  auto [it, inserted] = peer_incarnation_.try_emplace(p.src_node, 0u);
+  if (p.src_incarnation < it->second) {
+    // Old-epoch straggler: fenced before its pre-crash sequence number
+    // can alias the fresh session's space.
+    ++stats_.stale_inc_drops;
+    return false;
+  }
+  if (p.src_incarnation > it->second) {
+    it->second = p.src_incarnation;
+    handle_peer_restart(p.src_node);
+  }
+  return true;
+}
+
+void Mcp::handle_peer_restart(hw::NodeId src) {
+  ++stats_.peer_restarts;
+  recorder_.record({eng_.now(), FlightKind::kPeerRestart, src, 0, 0,
+                    peer_incarnation_[src]});
+  teardown_session(src, BclErr::kPeerRestarted);
+  // The peer's rx half and both credit ledgers died with it; ours restart
+  // paired, so the serial-monotone grant comparison never wedges on
+  // pre-crash counts the new incarnation knows nothing about.
+  rx_sessions_.erase(src);
+  ecn_echo_.erase(src);
+  for (auto it = rx_credits_.begin(); it != rx_credits_.end();) {
+    it = it->first.second == src ? rx_credits_.erase(it) : std::next(it);
+  }
+  flow_->reset_node(src);
+  needs_syn_.insert(src);
+}
+
+void Mcp::teardown_session(hw::NodeId peer, BclErr err) {
+  const auto it = tx_sessions_.find(peer);
+  if (it == tx_sessions_.end()) return;
+  it->second->poison(err);  // no-op if already dead: no duplicate events
+  session_graveyard_.push_back(std::move(it->second));
+  tx_sessions_.erase(it);
+}
+
+std::uint32_t Mcp::peer_inc(hw::NodeId dst) const {
+  const auto it = peer_incarnation_.find(dst);
+  return it == peer_incarnation_.end() ? 0 : it->second;
+}
+
+void Mcp::stamp_outbound(hw::Packet& p) {
+  p.dst_incarnation = peer_inc(p.dst_node);
+}
+
+sim::Task<void> Mcp::send_ctrl(hw::NodeId dst, SendOp op, std::uint32_t seq,
+                               std::uint32_t dst_inc, std::uint64_t nonce) {
+  hw::Packet p;
+  p.id = next_packet_id_++;
+  p.dst_node = dst;
+  p.proto = kProto;
+  p.kind = hw::PacketKind::kCtrl;
+  p.op_flags = static_cast<std::uint16_t>(op);
+  p.seq = seq;
+  p.msg_id = nonce;
+  p.dst_incarnation = dst_inc;
+  p.header_bytes = 16;
+  // A fresh allowance rides the SYN-ACK so the re-established sender can
+  // move before the first data packet's piggyback.
+  if (op == SendOp::kSynAck) attach_grant(p);
+  co_await nic_.lanai().use(cfg_.mcp_fc_proc);
+  co_await nic_.transmit(std::move(p));
+}
+
+sim::Task<void> Mcp::syn_daemon(hw::NodeId dst, TxSession* s) {
+  // One nonce per handshake: retried SYNs are idempotent at the receiver
+  // (it re-draws the SYN-ACK without resetting an rx session that already
+  // took post-handshake data).
+  const std::uint64_t nonce = next_packet_id_++;
+  for (int attempt = 0; attempt < std::max(1, cfg_.syn_max_retries);
+       ++attempt) {
+    if (find_tx_session(dst) != s) co_return;  // replaced: not ours anymore
+    if (s->established() || s->peer_unreachable()) co_return;
+    ++stats_.syns_tx;
+    recorder_.record(
+        {eng_.now(), FlightKind::kSyn, dst, nonce, cfg_.first_seq, 0});
+    co_await send_ctrl(dst, SendOp::kSyn, cfg_.first_seq, peer_inc(dst),
+                       nonce);
+    co_await eng_.sleep(cfg_.syn_retry);
+  }
+  if (find_tx_session(dst) != s) co_return;
+  if (s->established() || s->peer_unreachable()) co_return;
+  // The handshake ladder is spent: the ordinary unreachable verdict — the
+  // failure hook announces it and starts the revival prober.
+  s->fail_peer();
+}
+
+sim::Task<void> Mcp::revival_prober(hw::NodeId dst) {
+  // Bounded: a sleeping prober schedules engine events, so an unbounded
+  // keepalive toward an honestly dead peer would keep run() from draining.
+  for (int i = 0; i < cfg_.revival_probe_max; ++i) {
+    co_await eng_.sleep(cfg_.revival_probe_interval);
+    if (crashed_) break;
+    TxSession* s = find_tx_session(dst);
+    if (s == nullptr || !s->peer_unreachable()) break;  // already revived
+    ++stats_.probes_tx;
+    recorder_.record({eng_.now(), FlightKind::kProbe, dst, 0, 0, 0});
+    co_await send_ctrl(dst, SendOp::kProbe, 0, hw::kAnyIncarnation);
+  }
+  probing_.erase(dst);
+}
+
+void Mcp::handle_syn(const hw::Packet& p) {
+  ++stats_.syns_rx;
+  recorder_.record(
+      {eng_.now(), FlightKind::kSyn, p.src_node, p.msg_id, p.seq, 1});
+  const auto key = std::make_pair(p.src_incarnation, p.msg_id);
+  auto [it, inserted] = syn_seen_.try_emplace(p.src_node, key);
+  if (inserted || it->second != key) {
+    it->second = key;
+    // Fresh handshake: restart the rx half at the negotiated iss and the
+    // receiver-side ledgers (the sender's halves reset at its teardown).
+    rx_sessions_.erase(p.src_node);
+    rx_sessions_.emplace(p.src_node, RxSession{p.seq});
+    ecn_echo_.erase(p.src_node);
+    for (auto cit = rx_credits_.begin(); cit != rx_credits_.end();) {
+      cit = cit->first.second == p.src_node ? rx_credits_.erase(cit)
+                                            : std::next(cit);
+    }
+  }
+  // Always answer — a lost SYN-ACK is healed by the retry drawing another.
+  eng_.spawn_daemon(
+      send_ctrl(p.src_node, SendOp::kSynAck, p.seq, p.src_incarnation));
+}
+
+void Mcp::handle_syn_ack(const hw::Packet& p) {
+  TxSession* s = find_tx_session(p.src_node);
+  if (s == nullptr || s->established() || s->peer_unreachable()) return;
+  recorder_.record(
+      {eng_.now(), FlightKind::kSynAck, p.src_node, p.msg_id, p.seq, 0});
+  ++stats_.recovered_peers;
+  s->establish();
+}
+
+void Mcp::handle_probe_ack(const hw::Packet& p) {
+  // A rebooted peer was already handled by the src fence (higher epoch →
+  // handle_peer_restart before we get here).  An answer reaching an
+  // *unreachable* session at the very epoch that failed means the path
+  // itself healed after the retry budget died: rescind the verdict by
+  // teardown + re-establishment on the next send.
+  TxSession* s = find_tx_session(p.src_node);
+  if (s == nullptr || !s->peer_unreachable()) return;
+  teardown_session(p.src_node, BclErr::kPeerUnreachable);
+  needs_syn_.insert(p.src_node);
 }
 
 std::uint64_t Mcp::retransmissions() const {
@@ -279,6 +551,8 @@ std::vector<Mcp::SessionSnapshot> Mcp::session_snapshot() const {
     snap.fast_retransmits = s->fast_retransmits();
     snap.window_stalls = s->window_stalls();
     snap.unreachable = s->peer_unreachable();
+    snap.incarnation = nic_.incarnation();
+    snap.peer_incarnation = peer_inc(node);
     out.push_back(snap);
   }
   return out;
@@ -308,6 +582,17 @@ sim::Task<void> Mcp::send_message_locked(SendDescriptor d) {
 }
 
 sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
+  if (crashed_) {
+    // The descriptor raced the fail-stop out of the request ring: the
+    // kernel completes it with the restart verdict so the sender never
+    // waits on dead hardware.
+    if (d.notify_sender) {
+      co_await deliver_send_event(
+          find_port(d.src.port),
+          SendEvent{d.msg_id, d.dst, false, BclErr::kPeerRestarted});
+    }
+    co_return;
+  }
   // An RMA read request is a single control packet regardless of the
   // amount of data it asks for; the data flows in the reply.
   const std::uint32_t frags =
@@ -343,6 +628,7 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
     p.msg_bytes = d.total_len;
     p.offset = d.rma_offset + off;
     attach_grant(p);  // credits for the reverse direction ride on data
+    stamp_outbound(p);  // addressed to the peer epoch we have heard from
 
     // Per-fragment admission pacing (payload is not staged yet, so the
     // wire size is computed from the header and fragment length).  At line
@@ -362,10 +648,12 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
       co_await nic_.lanai().use(cfg_.mcp_tx_proc);
     }
     if (cfg_.reliable) {
-      const BclErr err = co_await tx_session(d.dst.node).send(std::move(p));
+      TxSession& sess = tx_session(d.dst.node);
+      const BclErr err = co_await sess.send(std::move(p));
       if (err != BclErr::kOk) {
-        // Retry budget exhausted: abandon the remaining fragments and fail
-        // the send through the event queue instead of blocking forever.
+        // Retry budget exhausted (or the peer restarted out from under the
+        // session): abandon the remaining fragments and fail the send
+        // through the event queue instead of blocking forever.
         if (trace_) trace_->msg_end(flow_key(nic_.node(), d.msg_id), false);
         if (d.notify_sender) {
           co_await deliver_send_event(find_port(d.src.port),
@@ -373,14 +661,22 @@ sim::Task<void> Mcp::send_message(const SendDescriptor& d) {
         }
         co_return;
       }
+      if (cfg_.e2e_completion && d.notify_sender && i + 1 == frags) {
+        // End-to-end mode: completion waits for the cumulative ack of the
+        // final fragment.  The session fires exactly one hook per tracked
+        // send — kOk on ack, the poison verdict on session death.
+        sess.track({sess.last_seq(), d.msg_id, d.src.port, d.dst});
+      }
     } else {
       co_await nic_.transmit(std::move(p));
     }
   }
   ++stats_.messages_sent;
-  // Local completion: the message is staged on the NIC (retransmission is
-  // the session's business); notify the sender through its event queue.
   if (d.notify_sender) {
+    if (cfg_.reliable && cfg_.e2e_completion) co_return;  // hook delivers
+    // Local completion: the message is staged on the NIC (retransmission
+    // is the session's business); notify the sender through its event
+    // queue.
     co_await deliver_send_event(find_port(d.src.port),
                                 SendEvent{d.msg_id, d.dst, true});
   }
@@ -391,6 +687,12 @@ sim::Task<void> Mcp::rx_pump() {
     hw::Packet p = co_await nic_.rx().recv();
     rx_queue_hwm_ = std::max(rx_queue_hwm_, nic_.rx().size() + 1);
     if (p.proto != kProto) continue;  // not ours
+    // Fail-stopped MCPs hear nothing (the NIC drops at the wire; this
+    // guard covers packets dequeued in the same tick as the crash), and
+    // every accepted packet must pass the incarnation fence first so
+    // old-epoch traffic can never alias the fresh sequence space.
+    if (crashed_) continue;
+    if (!fence_incarnation(p)) continue;
     switch (p.kind) {
       case hw::PacketKind::kAck: {
         co_await nic_.lanai().use(cfg_.mcp_ack_proc);
@@ -430,9 +732,12 @@ sim::Task<void> Mcp::rx_pump() {
       case hw::PacketKind::kData:
       case hw::PacketKind::kCtrl: {
         const auto op = static_cast<SendOp>(p.op_flags & 0xff);
-        if (op == SendOp::kFcUpdate || op == SendOp::kFcProbe) {
-          // Session-less flow-control packets: idempotent cumulative
-          // state carriers, never sequenced through the rx session.
+        if (op == SendOp::kFcUpdate || op == SendOp::kFcProbe ||
+            op == SendOp::kSyn || op == SendOp::kSynAck ||
+            op == SendOp::kProbe || op == SendOp::kProbeAck) {
+          // Session-less control packets: idempotent cumulative state
+          // carriers and handshake/revival traffic, never sequenced
+          // through the rx session.
           co_await nic_.lanai().use(cfg_.mcp_fc_proc);
           if (p.corrupted) {
             ++stats_.crc_drops;
@@ -452,6 +757,18 @@ sim::Task<void> Mcp::rx_pump() {
                 }
               }
             }
+          } else if (op == SendOp::kSyn) {
+            handle_syn(p);
+          } else if (op == SendOp::kSynAck) {
+            handle_syn_ack(p);
+          } else if (op == SendOp::kProbe) {
+            // Revival keepalive: any answer carries our live incarnation,
+            // which is all the prober needs.
+            ++stats_.probes_rx;
+            eng_.spawn_daemon(send_ctrl(p.src_node, SendOp::kProbeAck, 0,
+                                        p.src_incarnation));
+          } else if (op == SendOp::kProbeAck) {
+            handle_probe_ack(p);
           } else {
             ++stats_.fc_updates_rx;
           }
@@ -663,6 +980,7 @@ sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack,
   p.header_bytes = 16;
   attach_grant(p);  // the main piggyback path for credit return
   attach_cc_echo(p);
+  stamp_outbound(p);
   co_await nic_.lanai().use(cfg_.mcp_ack_proc);
   co_await nic_.transmit(std::move(p));
 }
@@ -679,6 +997,7 @@ sim::Task<void> Mcp::send_rnr(hw::NodeId dst, std::uint32_t ack) {
   p.header_bytes = 16;
   attach_grant(p);  // current limit aboard: heals any lost earlier grant
   attach_cc_echo(p);
+  stamp_outbound(p);
   co_await nic_.lanai().use(cfg_.mcp_ack_proc);
   co_await nic_.transmit(std::move(p));
 }
@@ -834,6 +1153,7 @@ sim::Task<void> Mcp::send_fc_update(std::uint32_t port_no, hw::NodeId dst) {
   p.credit_limit = it->second.limit;
   p.header_bytes = 16;
   attach_cc_echo(p);
+  stamp_outbound(p);
   co_await nic_.lanai().use(cfg_.mcp_fc_proc);
   co_await nic_.transmit(std::move(p));
 }
@@ -854,6 +1174,7 @@ sim::Task<void> Mcp::send_fc_probe(PortId dst) {
   p.kind = hw::PacketKind::kCtrl;
   p.op_flags = static_cast<std::uint16_t>(SendOp::kFcProbe);
   p.header_bytes = 16;
+  stamp_outbound(p);
   co_await nic_.lanai().use(cfg_.mcp_fc_proc);
   co_await nic_.transmit(std::move(p));
 }

@@ -15,7 +15,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bcl/cc/controller.hpp"
@@ -87,6 +89,23 @@ class Mcp {
   // run as a daemon from rx context (see the deadlock rule in INTERNALS).
   sim::Task<void> coll_send(hw::Packet p);
 
+  // -- crash–restart recovery --------------------------------------------------
+  // Fail-stop the MCP: halts the NIC (wire-level drop of all traffic both
+  // ways) and discards the protocol SRAM state — every tx session is
+  // poisoned with kPeerRestarted (in-flight and parked sends fail exactly
+  // once through the event queue), queued request-ring descriptors are
+  // failed the same way, collective groups and pending ops die, and queued
+  // rx packets are dropped.  Host-side state (ports, channels, event
+  // queues) survives: it lives in host memory, not SRAM.
+  void crash();
+  // Host-driven reboot (Driver::reset_nic, after the firmware reload
+  // delay): clears the session/ledger tables for the new life, un-halts
+  // the NIC under a bumped incarnation, and resumes service.  Sessions
+  // created after a reboot re-establish with the SYN handshake.
+  void reset();
+  bool crashed() const { return crashed_; }
+  std::uint32_t incarnation() const { return nic_.incarnation(); }
+
   TxSession& tx_session(hw::NodeId dst);
   // Lookup without creating: acks must never instantiate a session (a
   // stray or late ack for a peer we never sent to would otherwise grow
@@ -115,6 +134,16 @@ class Mcp {
     // Congestion control.
     std::uint64_t cc_marks_rx = 0;    // ECN-marked packets accepted here
     std::uint64_t cc_echoes_tx = 0;   // echoes piggybacked on acks/grants
+    // Crash–restart recovery.
+    std::uint64_t restarts = 0;           // local MCP reboots completed
+    std::uint64_t recovered_peers = 0;    // sessions re-established (SYN-ACK)
+    std::uint64_t peer_restarts = 0;      // higher peer incarnations seen
+    std::uint64_t stale_inc_drops = 0;    // packets fenced on incarnation
+    std::uint64_t restart_notices_tx = 0; // stale-dst notify replies sent
+    std::uint64_t syns_tx = 0;
+    std::uint64_t syns_rx = 0;
+    std::uint64_t probes_tx = 0;          // revival probes launched
+    std::uint64_t probes_rx = 0;
   };
   const Stats& stats() const { return stats_; }
   // Diagnostic snapshot of the receiver-side ledgers:
@@ -166,6 +195,8 @@ class Mcp {
     std::uint64_t fast_retransmits = 0;
     std::uint64_t window_stalls = 0;
     bool unreachable = false;
+    std::uint32_t incarnation = 0;       // local boot epoch at snapshot time
+    std::uint32_t peer_incarnation = 0;  // newest epoch seen from this peer
   };
   std::vector<SessionSnapshot> session_snapshot() const;
   // Queue-occupancy high-water marks, observed at dequeue time.
@@ -223,10 +254,43 @@ class Mcp {
   sim::Task<void> deliver_send_event(Port* port, SendEvent ev);
   RxSession& rx_session(hw::NodeId src);
   // Retry budget exhausted toward `dst`: fail the collective groups that
-  // include it and post a kPeerUnreachable notification event (msg_id 0)
-  // to every local port's send-event queue.
+  // include it, post a kPeerUnreachable notification event (msg_id 0) to
+  // every local port's send-event queue, and start the bounded revival
+  // prober that can later rescind the verdict.
   sim::Task<void> announce_peer_failure(hw::NodeId dst);
-  void register_session_metrics(hw::NodeId dst, TxSession& s);
+  void register_session_metrics(hw::NodeId dst);
+
+  // -- crash–restart internals -------------------------------------------------
+  // Incarnation fence, applied to every inbound kProto packet before any
+  // state is touched.  False means "fenced, drop it": the packet was
+  // addressed to a previous boot of this NIC (stale dst — answered with a
+  // rate-limited kProbeAck so the sender learns the new epoch) or carries
+  // an epoch older than the newest seen from its source.  A *higher*
+  // source epoch is the restart detection point: the dead session pair is
+  // torn down before the packet proceeds.
+  bool fence_incarnation(const hw::Packet& p);
+  // The peer rebooted: poison+retire its tx session (kPeerRestarted), drop
+  // its rx session / rx ledgers / echo window, reset the sender-side credit
+  // ledgers, and mark the peer for a SYN handshake on the next session.
+  void handle_peer_restart(hw::NodeId src);
+  // Poison the session with `err` and move it to the graveyard (its timer
+  // daemons may still be parked in a sleep and must wake on a live object).
+  void teardown_session(hw::NodeId peer, BclErr err);
+  // Stamp the outbound dst-incarnation belief for p.dst_node.
+  void stamp_outbound(hw::Packet& p);
+  std::uint32_t peer_inc(hw::NodeId dst) const;
+  // Session-less recovery control packet (kSyn/kSynAck/kProbe/kProbeAck).
+  sim::Task<void> send_ctrl(hw::NodeId dst, SendOp op, std::uint32_t seq,
+                            std::uint32_t dst_inc, std::uint64_t nonce = 0);
+  // Retries the SYN for `s` (the session it was spawned for — a replaced
+  // session runs its own daemon) until establishment, teardown, or ladder
+  // exhaustion, which draws the ordinary unreachable verdict.
+  sim::Task<void> syn_daemon(hw::NodeId dst, TxSession* s);
+  // Bounded low-rate keepalive toward an unreachable peer.
+  sim::Task<void> revival_prober(hw::NodeId dst);
+  void handle_syn(const hw::Packet& p);
+  void handle_syn_ack(const hw::Packet& p);
+  void handle_probe_ack(const hw::Packet& p);
   std::string comp() const;
 
   sim::Engine& eng_;
@@ -256,6 +320,31 @@ class Mcp {
   // Per-port round-robin cursor for the doorbell's ledger scan (fairness
   // across senders competing for the same pool's freed slots).
   std::map<std::uint32_t, std::size_t> fc_rr_next_;
+  // -- crash–restart state -----------------------------------------------------
+  bool crashed_ = false;
+  // Newest boot epoch seen from (and believed current for) each peer:
+  // compared against inbound src_incarnation, stamped into outbound
+  // dst_incarnation.
+  std::map<hw::NodeId, std::uint32_t> peer_incarnation_;
+  // Torn-down sessions are parked here, never destroyed mid-run: their
+  // timer/rnr daemons may be asleep holding `this` and must wake on a live
+  // object (they observe the poisoned flag and exit).
+  std::vector<std::unique_ptr<TxSession>> session_graveyard_;
+  // Peers whose per-session gauges are already registered (the registry
+  // binds a callback once per name; replacement sessions are reached
+  // through find_tx_session lookups instead of rebinding).
+  std::set<hw::NodeId> session_metrics_registered_;
+  // Peers whose next tx session must open with a SYN handshake (their
+  // restart was detected, or a revival probe was answered).
+  std::set<hw::NodeId> needs_syn_;
+  std::set<hw::NodeId> probing_;  // revival prober active toward these
+  // Rate limiter for stale-dst restart notices, per source.
+  std::map<hw::NodeId, sim::Time> last_restart_notice_;
+  // Receiver-side handshake idempotency: the (src incarnation, nonce) of
+  // the last SYN applied per peer, so a late retried SYN can re-draw its
+  // SYN-ACK without resetting an rx session that already took data.
+  std::map<hw::NodeId, std::pair<std::uint32_t, std::uint64_t>> syn_seen_;
+
   Stats stats_;
   FlightRecorder recorder_;
   DiagnosisHook diagnosis_hook_;

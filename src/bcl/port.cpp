@@ -24,6 +24,8 @@ const char* to_string(BclErr e) {
       return "peer unreachable";
     case BclErr::kWouldBlock:
       return "no send credits (would block)";
+    case BclErr::kPeerRestarted:
+      return "peer restarted";
   }
   return "?";
 }

@@ -112,7 +112,9 @@ std::string Postmortem::to_json() const {
        << s.retransmissions << ", \"timeouts\": " << s.timeouts
        << ", \"fast_retransmits\": " << s.fast_retransmits
        << ", \"window_stalls\": " << s.window_stalls << ", \"unreachable\": "
-       << (s.unreachable ? "true" : "false") << "}";
+       << (s.unreachable ? "true" : "false")
+       << ", \"incarnation\": " << s.incarnation
+       << ", \"peer_incarnation\": " << s.peer_incarnation << "}";
   }
   os << (sessions.empty() ? "]" : "\n  ]") << ",\n";
 

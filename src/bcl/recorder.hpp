@@ -27,6 +27,12 @@ enum class FlightKind : std::uint8_t {
   kCollTimeout,     // collective watchdog fired (msg_id = seq, aux = group)
   kGroupFailed,     // collective group torn down (aux = group)
   kPeerFailed,      // retry budget exhausted; peer declared unreachable
+  kCrash,           // local MCP fail-stopped (aux = incarnation at death)
+  kRestart,         // local MCP rebooted (aux = new incarnation)
+  kPeerRestart,     // higher incarnation seen from peer (aux = new epoch)
+  kSyn,             // re-establishment SYN (seq = iss; aux: 0 tx, 1 rx)
+  kSynAck,          // handshake completed; session re-established
+  kProbe,           // revival probe sent toward an unreachable peer
 };
 
 inline const char* to_string(FlightKind k) {
@@ -43,6 +49,12 @@ inline const char* to_string(FlightKind k) {
     case FlightKind::kCollTimeout: return "coll-timeout";
     case FlightKind::kGroupFailed: return "group-failed";
     case FlightKind::kPeerFailed: return "peer-failed";
+    case FlightKind::kCrash: return "mcp-crash";
+    case FlightKind::kRestart: return "mcp-restart";
+    case FlightKind::kPeerRestart: return "peer-restart";
+    case FlightKind::kSyn: return "syn";
+    case FlightKind::kSynAck: return "syn-ack";
+    case FlightKind::kProbe: return "revival-probe";
   }
   return "?";
 }

@@ -9,23 +9,33 @@
 namespace bcl {
 
 TxSession::TxSession(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
-                     std::uint64_t seed)
+                     std::uint64_t seed, bool handshake)
     : eng_{eng},
       nic_{nic},
       cfg_{cfg},
       window_{eng, cfg.window},
       rng_{seed},
       next_seq_{cfg.first_seq},
-      last_ack_{cfg.first_seq - 1} {}
+      last_ack_{cfg.first_seq - 1},
+      established_{eng} {
+  if (!handshake) established_.open();
+}
 
 sim::Task<BclErr> TxSession::send(hw::Packet p) {
-  if (unreachable_) co_return BclErr::kPeerUnreachable;
+  if (unreachable_) co_return fail_err_;
+  if (!established_.is_open()) {
+    // Handshake session: data holds until the SYN-ACK lands.  poison()
+    // opens the gate too, so a failed handshake surfaces here as an error
+    // instead of a parked-forever sender.
+    co_await established_.wait();
+    if (unreachable_) co_return fail_err_;
+  }
   if (!window_.try_acquire()) {
     ++window_stalls_;  // go-back-N window full: the MCP tx path blocks here
     rec(FlightKind::kWindowStall, p.msg_id);
     co_await window_.acquire();
-    // fail_peer() releases parked senders; they must not transmit.
-    if (unreachable_) co_return BclErr::kPeerUnreachable;
+    // poison() releases parked senders; they must not transmit.
+    if (unreachable_) co_return fail_err_;
   }
   // First launches are paced by the MCP before it takes the tx mutex (a
   // paced wait here would head-of-line block every other destination's
@@ -86,6 +96,7 @@ void TxSession::on_ack(std::uint32_t ack, sim::Time echo_stamp) {
     if (in_recovery_ && seq_leq(recover_, ack)) in_recovery_ = false;
     window_.release(released);
     rec(FlightKind::kAckRx, 0, ack, static_cast<std::uint64_t>(released));
+    flush_notifies(ack);
   } else if (!unacked_.empty() && ack == last_ack_) {
     // Duplicate cumulative ack: the receiver is re-acking because packets
     // arrive out of order past a hole.  k of them and we resend the window
@@ -119,6 +130,7 @@ void TxSession::on_rnr(std::uint32_t ack, sim::Time hold) {
   if (released > 0) {
     last_ack_ = ack;
     window_.release(released);
+    flush_notifies(ack);
   }
   // An RNR proves the peer is alive and responsive: the retry budget,
   // backoff ladder, and dup-ack count all restart.  A merely-slow receiver
@@ -281,16 +293,49 @@ void TxSession::note_rtt(sim::Time sample) {
   srtt_ = srtt_ * 0.875 + sample * 0.125;
 }
 
-void TxSession::fail_peer() {
+void TxSession::flush_notifies(std::uint32_t ack) {
+  while (!notifies_.empty() && seq_leq(notifies_.front().seq, ack)) {
+    const TxNotify n = notifies_.front();
+    notifies_.pop_front();
+    if (completion_hook_) completion_hook_(n, BclErr::kOk);
+  }
+}
+
+void TxSession::track(TxNotify n) {
+  if (unreachable_) {
+    // The teardown flush already ran; this entry raced it (the session
+    // died between the final fragment's transmit and its registration).
+    if (completion_hook_) completion_hook_(n, fail_err_);
+    return;
+  }
+  notifies_.push_back(std::move(n));
+}
+
+void TxSession::poison(BclErr err) {
   if (unreachable_) return;
   unreachable_ = true;
+  fail_err_ = err;
   rec(FlightKind::kPeerFailed, 0, 0,
       static_cast<std::uint64_t>(unacked_.size()));
   const auto freed = static_cast<std::int64_t>(unacked_.size());
   unacked_.clear();
+  // Every e2e-tracked message still waiting on its cumulative ack surfaces
+  // the error exactly once — never silently lost.
+  while (!notifies_.empty()) {
+    const TxNotify n = notifies_.front();
+    notifies_.pop_front();
+    if (completion_hook_) completion_hook_(n, err);
+  }
   // Wake every sender parked on the window; they observe unreachable_ and
   // fail their sends instead of transmitting into the void.
   window_.release(freed + static_cast<std::int64_t>(window_.waiting()) + 1);
+  // And every sender parked on the handshake gate.
+  established_.open();
+}
+
+void TxSession::fail_peer() {
+  if (unreachable_) return;
+  poison(BclErr::kPeerUnreachable);
   if (failure_hook_) failure_hook_();
 }
 

@@ -49,8 +49,14 @@ class TxSession {
   // session transitions to unreachable.
   using FailureHook = std::function<void()>;
 
+  // With `handshake` set the session opens un-established: send() parks on
+  // the establishment gate until the MCP's SYN/SYN-ACK exchange completes
+  // (establish()) or the session is poisoned.  Cold-start sessions at
+  // incarnation 0 skip the handshake — both ends begin at cfg.first_seq by
+  // construction, and the extra control packets would perturb the
+  // paper-calibrated baselines.
   TxSession(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
-            std::uint64_t seed = 1);
+            std::uint64_t seed = 1, bool handshake = false);
 
   void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
 
@@ -73,9 +79,50 @@ class TxSession {
   void set_cc(cc::CongestionController* cc) { cc_ = cc; }
 
   // Stamps the next sequence number, records a retransmit copy, and
-  // transmits.  Blocks while the window is full.  Returns kPeerUnreachable
-  // (without transmitting) once the retry budget has been exhausted.
+  // transmits.  Blocks while the window is full (and, for handshake
+  // sessions, until establishment).  Returns the poison error (without
+  // transmitting) once the session is dead: kPeerUnreachable after the
+  // retry budget, kPeerRestarted after a crash–restart teardown.
   sim::Task<BclErr> send(hw::Packet p);
+
+  // Parameterized teardown: marks the session dead so every parked and
+  // future send fails with `err`, clears the retransmit state, and flushes
+  // the end-to-end completion ledger with the error.  fail_peer() is
+  // poison(kPeerUnreachable) plus the failure hook; the MCP's crash and
+  // peer-restart paths poison with kPeerRestarted and no hook (a restart
+  // is not a diagnosis event).  Idempotent.
+  void poison(BclErr err);
+  // Exhausts the session the retry-budget way: poison(kPeerUnreachable)
+  // and fire the failure hook.  Public so the MCP's SYN daemon can apply
+  // the ordinary verdict when the handshake ladder is spent.
+  void fail_peer();
+
+  // -- establishment gate (crash–restart handshake) ---------------------------
+  void establish() { established_.open(); }
+  bool established() const { return established_.is_open(); }
+
+  // -- end-to-end completion ledger (cfg.e2e_completion) ----------------------
+  // The MCP registers a message's final-fragment sequence here after
+  // staging; the hook fires exactly once per entry — with kOk when the
+  // cumulative ack passes the sequence, or with the poison error if the
+  // session dies first.
+  struct TxNotify {
+    std::uint32_t seq = 0;
+    std::uint64_t msg_id = 0;
+    std::uint32_t src_port = 0;
+    PortId dst{};
+  };
+  using CompletionHook = std::function<void(const TxNotify&, BclErr)>;
+  void set_completion_hook(CompletionHook h) {
+    completion_hook_ = std::move(h);
+  }
+  // Registers an entry; on an already-poisoned session the hook fires
+  // immediately with the poison error (the teardown flush already ran).
+  void track(TxNotify n);
+
+  // Newest sequence number handed to the wire (the final fragment's, right
+  // after its send() returns).
+  std::uint32_t last_seq() const { return next_seq_ - 1; }
 
   // Cumulative acknowledgement: releases everything with seq <= ack
   // (serial order).  A duplicate cumulative ack means the receiver dropped
@@ -128,7 +175,8 @@ class TxSession {
   sim::Task<void> retransmit_window();
   sim::Time effective_rto();
   void note_rtt(sim::Time sample);
-  void fail_peer();
+  // Fires completion hooks for every ledger entry with seq <= ack.
+  void flush_notifies(std::uint32_t ack);
   void rec(FlightKind kind, std::uint64_t msg_id = 0, std::uint32_t seq = 0,
            std::uint64_t aux = 0) {
     if (recorder_ != nullptr) {
@@ -164,6 +212,16 @@ class TxSession {
   // pool that just NACKed us.
   sim::Time rnr_hold_until_ = sim::Time::zero();
   bool rnr_wait_armed_ = false;
+  // Why the session is dead (valid once unreachable_ is set): retry-budget
+  // exhaustion keeps the historical kPeerUnreachable; crash–restart
+  // teardowns poison with kPeerRestarted.
+  BclErr fail_err_ = BclErr::kPeerUnreachable;
+  // Establishment gate: open from birth for cold-start sessions, opened by
+  // the SYN-ACK (or by poison, so parked senders fail instead of hanging)
+  // for handshake sessions.
+  sim::Gate established_;
+  std::deque<TxNotify> notifies_;  // e2e ledger, seq order
+  CompletionHook completion_hook_;
   FailureHook failure_hook_;
   cc::CongestionController* cc_ = nullptr;
   FlightRecorder* recorder_ = nullptr;

@@ -56,6 +56,12 @@ enum class BclErr : std::uint8_t {
   kNoResources,  // queue/pin-table exhaustion
   kPeerUnreachable,  // reliability retry budget exhausted (fail-stop peer)
   kWouldBlock,   // no send credits toward the destination right now
+  // The peer's MCP (or our own) crashed and rebooted while the operation
+  // was in flight.  The send fails exactly once with this code — it is
+  // never silently lost and never duplicated into the peer's new
+  // incarnation — and a retry after the automatic session
+  // re-establishment is expected to succeed.
+  kPeerRestarted,
 };
 
 const char* to_string(BclErr e);
@@ -90,7 +96,11 @@ struct RecvEvent {
 // channel field (which collective packets reuse for the group id).
 // kFcUpdate/kFcProbe are MCP-internal flow-control packets: session-less
 // (no sequence number), idempotent carriers of a cumulative credit grant
-// (update) or a request for one (probe).
+// (update) or a request for one (probe).  kSyn/kSynAck carry the
+// crash–restart re-establishment handshake (seq = the sender's initial
+// sequence, msg_id = a handshake nonce for idempotent retries);
+// kProbe/kProbeAck are the revival keepalives sent toward unreachable
+// peers — all four are session-less control traffic like the fc packets.
 enum class SendOp : std::uint8_t {
   kSend = 0,
   kRmaWrite,
@@ -98,6 +108,10 @@ enum class SendOp : std::uint8_t {
   kColl,
   kFcUpdate,
   kFcProbe,
+  kSyn,
+  kSynAck,
+  kProbe,
+  kProbeAck,
 };
 
 // Packet::credit_port value meaning "no credit grant aboard".

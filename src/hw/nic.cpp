@@ -108,7 +108,12 @@ sim::Task<void> Nic::transmit(Packet p) {
   if (egress_ == nullptr || fabric_ == nullptr) {
     throw std::logic_error("nic not attached to a fabric");
   }
+  if (halted_) {  // fail-stopped: the wire never sees the packet
+    ++halted_drops_;
+    co_return;
+  }
   p.src_node = node_;
+  p.src_incarnation = incarnation_;
   fabric_->stamp_route(p);
   ++tx_packets_;
   p.enqueued_at = eng_.now();

@@ -76,10 +76,31 @@ class Nic {
     egress_ = egress;
   }
   void deliver(Packet&& p) {
+    if (halted_) {  // fail-stopped: inbound traffic vanishes at the wire
+      ++halted_drops_;
+      return;
+    }
     ++rx_packets_;
     // Unbounded: overrun policy (drop / flow control) is protocol business.
     (void)rx_.try_send(std::move(p));
   }
+
+  // -- fail-stop / reboot ----------------------------------------------------
+  // halt(): MCP fail-stop at the hardware boundary.  Outbound transmits and
+  // inbound deliveries are silently dropped until reboot(); discarding the
+  // protocol SRAM state (sessions, ledgers, groups) is the protocol layer's
+  // job (see bcl::Mcp::crash).
+  void halt() { halted_ = true; }
+  // reboot(): clears the halt and bumps the boot-epoch counter that
+  // transmit() stamps into Packet::src_incarnation, so every peer can tell
+  // this NIC's new life from its old one.
+  void reboot() {
+    halted_ = false;
+    ++incarnation_;
+  }
+  bool halted() const { return halted_; }
+  std::uint32_t incarnation() const { return incarnation_; }
+  std::uint64_t halted_drops() const { return halted_drops_; }
 
   std::uint64_t tx_packets() const { return tx_packets_; }
   std::uint64_t rx_packets() const { return rx_packets_; }
@@ -99,6 +120,9 @@ class Nic {
   std::size_t sram_used_ = 0;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;
+  bool halted_ = false;
+  std::uint32_t incarnation_ = 0;
+  std::uint64_t halted_drops_ = 0;
 };
 
 }  // namespace hw

@@ -15,6 +15,9 @@ namespace hw {
 
 using NodeId = std::uint32_t;
 
+// Wildcard destination incarnation: "whatever boot of you is listening".
+inline constexpr std::uint32_t kAnyIncarnation = 0xffffffffu;
+
 enum class PacketKind : std::uint16_t {
   kData = 0,
   kAck,
@@ -49,6 +52,19 @@ struct Packet {
   // Reliability (per src->dst session sequence).
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
+
+  // Crash–restart fencing.  src_incarnation is the sending NIC's boot
+  // epoch, stamped by Nic::transmit on every outbound packet;
+  // dst_incarnation is the sender's belief of the receiver's epoch.
+  // Receivers fence on both: a packet addressed to a previous boot of this
+  // NIC (stale dst) or carrying an epoch older than the newest seen from
+  // its source (stale src) is dropped before it can touch session state,
+  // so pre-crash sequence numbers can never alias a fresh session's
+  // RFC 1982 space.  kAnyIncarnation in dst_incarnation bypasses the dst
+  // check — revival probes must reach a NIC whose current epoch the prober
+  // cannot know.
+  std::uint32_t src_incarnation = 0;
+  std::uint32_t dst_incarnation = 0;
 
   // Flow control: cumulative credit grant piggybacked on any packet
   // (0xffff in credit_port means "no grant aboard").  credit_limit is the

@@ -12,17 +12,25 @@ namespace minimpi {
 
 namespace {
 
-// NIC collective results: kPeerUnreachable can never resolve by waiting
-// (the group lost a member), so it surfaces as an exception the rank can
-// catch; any other failure here is a programming error in this layer.
+// NIC collective results: kPeerUnreachable / kPeerRestarted mean THIS
+// operation cannot complete — the group lost a member (or this NIC's MCP
+// rebooted) and its descriptor is dead, so waiting on the same op would
+// deadlock the rank.  It surfaces as an exception the rank can catch; a
+// recovered cluster can re-register the group and collect again.  Any
+// other failure here is a programming error in this layer.
 void check_coll(bcl::BclErr err, const char* what) {
   if (err == bcl::BclErr::kOk) return;
-  if (err == bcl::BclErr::kPeerUnreachable) {
+  if (err == bcl::BclErr::kPeerUnreachable ||
+      err == bcl::BclErr::kPeerRestarted) {
     throw PeerUnreachableError(
         std::string("nic ") + what +
-        ": peer unreachable (a group member fail-stopped or the collective "
-        "watchdog expired; the cluster post-mortem names the victim op, the "
-        "congested links, and the retransmit timeline)");
+        (err == bcl::BclErr::kPeerRestarted
+             ? ": peer restarted (an MCP fail-stopped mid-operation; "
+               "re-register the group once the node is back)"
+             : ": peer unreachable (a group member fail-stopped or the "
+               "collective watchdog expired; the cluster post-mortem names "
+               "the victim op, the congested links, and the retransmit "
+               "timeline)"));
   }
   throw std::runtime_error(std::string("nic ") + what + ": " +
                            bcl::to_string(err));

@@ -23,9 +23,12 @@ inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
 // Thrown out of a collective when the reliability layer declared a member's
-// node unreachable (retry budget exhausted): the operation can never
-// complete, so blocking would deadlock the rank.  Catchable per rank —
-// survivors of a fail-stopped peer decide their own shutdown policy.
+// node unreachable (retry budget exhausted) or a member's MCP fail-stopped:
+// THIS operation cannot complete — its group descriptor is dead — so
+// blocking would deadlock the rank.  The verdict is per-operation, not
+// forever: if the peer reboots (or a revival probe is answered), sessions
+// re-establish and a re-registered group works again.  Catchable per rank —
+// survivors decide their own recovery or shutdown policy.
 class PeerUnreachableError : public std::runtime_error {
  public:
   explicit PeerUnreachableError(const std::string& what)

@@ -408,4 +408,68 @@ TEST(Postmortem, DumpCountIsBounded) {
   }
 }
 
+// A crash–restart cycle is visible from the outside: the rebooted NIC's
+// rel.restarts counter ticks, the survivor's rel.recovered_peers ticks once
+// the handshake re-establishes, and the post-mortem session snapshots carry
+// the incarnation numbers a postmortem reader needs to line traffic up
+// against epochs.
+TEST(Postmortem, RestartCountersAndIncarnationFieldsSurface) {
+  bcl::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.mem_bytes = 8u << 20;
+  cfg.cost.rto = Time::us(60);
+  cfg.cost.max_retries = 3;
+  cfg.cost.e2e_completion = true;
+  bcl::BclCluster c{cfg};
+  auto& tx = c.open_endpoint(0);
+  auto& rx = c.open_endpoint(1);
+  c.engine().spawn_daemon([](bcl::Endpoint& rx) -> Task<void> {
+    for (;;) {
+      bcl::RecvEvent ev = co_await rx.wait_recv();
+      (void)co_await rx.copy_out_system(ev);
+    }
+  }(rx));
+
+  bool done = false;
+  c.engine().spawn([](bcl::BclCluster& c, bcl::Endpoint& tx, bcl::PortId dst,
+                      bool& done) -> Task<void> {
+    constexpr std::size_t kLen = 64;
+    auto buf = tx.process().alloc(kLen);
+    tx.process().fill_pattern(buf, 9);
+    // Completion matched by msg_id: the unreachable verdict also posts a
+    // port-wide advisory event (msg_id 0).
+    const auto one = [&]() -> Task<bcl::BclErr> {
+      auto r = co_await tx.send_system(dst, buf, kLen);
+      if (r.err != bcl::BclErr::kOk) co_return r.err;
+      for (;;) {
+        bcl::SendEvent ev = co_await tx.wait_send();
+        if (ev.msg_id == r.value) co_return ev.err;
+      }
+    };
+    EXPECT_EQ(co_await one(), bcl::BclErr::kOk);
+    c.node(1).mcp().crash();
+    EXPECT_NE(co_await one(), bcl::BclErr::kOk);  // budget exhausts
+    co_await c.engine().sleep(Time::ms(2));
+    co_await c.node(1).driver().reset_nic();
+    co_await c.engine().sleep(Time::ms(2));  // revival probe answered
+    EXPECT_EQ(co_await one(), bcl::BclErr::kOk);  // re-established epoch
+    done = true;
+  }(c, tx, rx.id(), done));
+  c.engine().run();
+  EXPECT_TRUE(done);
+
+  EXPECT_EQ(c.metrics().counter("node1.nic.rel.restarts").value(), 1u);
+  EXPECT_EQ(c.metrics().counter("node0.nic.rel.restarts").value(), 0u);
+  EXPECT_GE(c.metrics().counter("node0.nic.rel.recovered_peers").value(), 1u);
+  EXPECT_GE(c.metrics().counter("node0.nic.rel.peer_failures").value(), 1u);
+  EXPECT_EQ(c.node(1).mcp().incarnation(), 1u);
+
+  // The unreachable verdict produced a dump; its session snapshots carry
+  // both ends' incarnation view.
+  ASSERT_FALSE(c.postmortems().empty());
+  const std::string js = c.postmortems_json();
+  EXPECT_NE(js.find("\"incarnation\""), std::string::npos);
+  EXPECT_NE(js.find("\"peer_incarnation\""), std::string::npos);
+}
+
 }  // namespace
