@@ -92,6 +92,24 @@ struct CostConfig {
   // can never name a message a crashed peer silently lost.
   bool e2e_completion = false;
 
+  // -- fabric fault tolerance (NIC-resident multipath failover) ------------------
+  // When the fabric offers redundant paths (Fabric::route_count > 1, i.e.
+  // the two-level Myrinet leaf/spine layout), each session tracks per-path
+  // health and fails over before the retry budget dies.  Off pins every
+  // session to the fabric's deterministic default route.
+  bool multipath = true;
+  // Consecutive RTO expiries on one path before the session rotates to the
+  // next healthy path and quarantines the struck one.  Must stay well below
+  // max_retries so several failovers fit inside one retry budget; strikes
+  // come only from timer expiries — ECN marks and congestion-inflated RTTs
+  // never count (the adaptive RTO plus the cc drain allowance absorb them).
+  int path_failover_retries = 3;
+  // Background prober walking quarantined paths (kProbe with seq =
+  // path id + 1, riding the probed path); an answered probe restores the
+  // path.  Bounded like the revival prober, and for the same reason.
+  sim::Time path_probe_interval = sim::Time::us(500);
+  int path_probe_max = 20;
+
   // -- credit-based flow control (system-channel pool protection) ----------------
   // MPICH2-over-InfiniBand-style end-to-end credits: every remote
   // system-channel send consumes one credit toward its destination port;

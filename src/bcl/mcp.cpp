@@ -98,12 +98,30 @@ Mcp::Mcp(sim::Engine& eng, hw::Nic& nic, const CostConfig& cfg,
                                            metrics);
   cc_ = std::make_unique<cc::CongestionController>(eng, cfg, nic_.name());
   cc_->set_trace(trace);
+  path_table_ = std::make_unique<PathTable>(eng, cfg.path_failover_retries);
   if (metrics != nullptr) {
     const std::string ccp = nic_.name() + ".cc";
     cc_->register_metrics(*metrics, ccp);
     metrics->counter(ccp + ".marks_rx", [this] { return stats_.cc_marks_rx; });
     metrics->counter(ccp + ".echoes_tx",
                      [this] { return stats_.cc_echoes_tx; });
+  }
+  if (metrics != nullptr) {
+    // Multipath failover state under its own <nic>.path.* prefix.
+    const std::string pathp = nic_.name() + ".path.";
+    metrics->counter(pathp + "failovers",
+                     [this] { return path_table_->failovers(); });
+    metrics->counter(pathp + "restores",
+                     [this] { return path_table_->restores(); });
+    metrics->counter(pathp + "partitions",
+                     [this] { return path_table_->partitions(); });
+    metrics->counter(pathp + "probes_tx",
+                     [this] { return stats_.path_probes_tx; });
+    metrics->counter(pathp + "probes_rx",
+                     [this] { return stats_.path_probes_rx; });
+    metrics->gauge(pathp + "quarantined", [this] {
+      return static_cast<double>(path_table_->quarantined_count());
+    });
   }
   if (metrics != nullptr) {
     // Flow-control aggregates under their own <nic>.fc.* prefix (the
@@ -164,6 +182,7 @@ sim::Task<void> Mcp::coll_send(hw::Packet p) {
     // already failed every group containing the dead peer.
     (void)co_await tx_session(p.dst_node).send(std::move(p));
   } else {
+    p.path_id = path_for(p.dst_node, p.path_id);
     co_await nic_.transmit(std::move(p));
   }
 }
@@ -195,6 +214,23 @@ TxSession& Mcp::tx_session(hw::NodeId dst) {
     s = std::make_unique<TxSession>(eng_, nic_, cfg_, seed, handshake);
     s->set_telemetry(&recorder_, trace_, dst);
     s->set_cc(cc_.get());
+    // Multipath: when the fabric offers alternative routes toward dst,
+    // track their health and let RTO strikes — never ECN marks or
+    // congestion-inflated RTTs — rotate the session across paths.
+    const hw::Fabric* fab = nic_.fabric();
+    const int nroutes = (cfg_.multipath && fab != nullptr)
+                            ? fab->route_count(nic_.node(), dst)
+                            : 1;
+    if (nroutes > 1) {
+      path_table_->init(dst, nroutes);
+      s->set_path_hooks([this, dst] { return path_table_->current(dst); },
+                        [this, dst] { return path_strike(dst); },
+                        [this, dst] { path_table_->note_good(dst); });
+      s->set_fail_verdict([this, dst] {
+        return path_table_->partitioned(dst) ? BclErr::kPartitioned
+                                             : BclErr::kPeerUnreachable;
+      });
+    }
     s->set_failure_hook([this, dst] {
       ++stats_.peer_failures;
       eng_.spawn_daemon(announce_peer_failure(dst));
@@ -265,15 +301,20 @@ sim::Task<void> Mcp::announce_peer_failure(hw::NodeId dst) {
   if (cfg_.revival_probe_max > 0 && probing_.insert(dst).second) {
     eng_.spawn_daemon(revival_prober(dst));
   }
+  // All fabric paths quarantined is a different disease than a dead peer:
+  // report "partitioned" so the postmortem (and the send events) say so.
+  const bool partitioned = path_table_->partitioned(dst);
+  const BclErr err =
+      partitioned ? BclErr::kPartitioned : BclErr::kPeerUnreachable;
   if (diagnosis_hook_) {
-    diagnosis_hook_("peer-unreachable", static_cast<int>(dst),
-                    "go-back-N session " + nic_.name() + " -> node " +
-                        std::to_string(dst));
+    diagnosis_hook_(partitioned ? "partitioned" : "peer-unreachable",
+                    static_cast<int>(dst),
+                    (partitioned ? "all fabric paths " : "go-back-N session ") +
+                        nic_.name() + " -> node " + std::to_string(dst));
   }
   co_await coll_->on_peer_failure(dst);
   for (auto& [no, port] : ports_) {
-    co_await deliver_send_event(
-        port, SendEvent{0, PortId{dst, 0}, false, BclErr::kPeerUnreachable});
+    co_await deliver_send_event(port, SendEvent{0, PortId{dst, 0}, false, err});
   }
 }
 
@@ -325,6 +366,7 @@ void Mcp::reset() {
   last_restart_notice_.clear();
   syn_seen_.clear();
   needs_syn_.clear();
+  path_table_->reset();
   flow_->reset_all();
   nic_.reboot();
   crashed_ = false;
@@ -400,7 +442,8 @@ void Mcp::stamp_outbound(hw::Packet& p) {
 }
 
 sim::Task<void> Mcp::send_ctrl(hw::NodeId dst, SendOp op, std::uint32_t seq,
-                               std::uint32_t dst_inc, std::uint64_t nonce) {
+                               std::uint32_t dst_inc, std::uint64_t nonce,
+                               std::uint8_t path) {
   hw::Packet p;
   p.id = next_packet_id_++;
   p.dst_node = dst;
@@ -410,6 +453,7 @@ sim::Task<void> Mcp::send_ctrl(hw::NodeId dst, SendOp op, std::uint32_t seq,
   p.seq = seq;
   p.msg_id = nonce;
   p.dst_incarnation = dst_inc;
+  p.path_id = path_for(dst, path);
   p.header_bytes = 16;
   // A fresh allowance rides the SYN-ACK so the re-established sender can
   // move before the first data packet's piggyback.
@@ -489,6 +533,17 @@ void Mcp::handle_syn_ack(const hw::Packet& p) {
 }
 
 void Mcp::handle_probe_ack(const hw::Packet& p) {
+  if (p.seq > 0) {
+    // Path-probe answer: the echoed seq names the quarantined path that
+    // just proved itself round-trip (the ack rode the probed path back).
+    // Requalify it — this also clears a partitioned verdict and re-points
+    // the destination's current path off a quarantined one.
+    const auto path = static_cast<std::uint8_t>(p.seq - 1);
+    if (path_table_->restore(p.src_node, path)) {
+      recorder_.record(
+          {eng_.now(), FlightKind::kPathRestore, p.src_node, 0, p.seq, path});
+    }
+  }
   // A rebooted peer was already handled by the src fence (higher epoch →
   // handle_peer_restart before we get here).  An answer reaching an
   // *unreachable* session at the very epoch that failed means the path
@@ -498,6 +553,53 @@ void Mcp::handle_probe_ack(const hw::Packet& p) {
   if (s == nullptr || !s->peer_unreachable()) return;
   teardown_session(p.src_node, BclErr::kPeerUnreachable);
   needs_syn_.insert(p.src_node);
+}
+
+std::uint8_t Mcp::path_for(hw::NodeId dst, std::uint8_t hint) const {
+  return hint != hw::kDefaultPath ? hint : path_table_->current(dst);
+}
+
+bool Mcp::path_strike(hw::NodeId dst) {
+  const std::uint8_t old_path = path_table_->current(dst);
+  const auto result = path_table_->strike(dst);
+  if (result == PathTable::StrikeResult::kNoChange) return false;
+  // The struck path is quarantined either way; probe it so an answered
+  // probe can requalify it (and rescind a partition verdict).
+  spawn_path_prober(dst, old_path);
+  if (result == PathTable::StrikeResult::kFailedOver) {
+    recorder_.record({eng_.now(), FlightKind::kPathFailover, dst, 0, old_path,
+                      path_table_->current(dst)});
+    return true;
+  }
+  // kPartitioned: no healthy path remains.  The session keeps its
+  // escalation (no reset) so the retry budget ripens into the partitioned
+  // verdict instead of rotating forever.
+  return false;
+}
+
+void Mcp::spawn_path_prober(hw::NodeId dst, std::uint8_t path) {
+  if (cfg_.path_probe_max <= 0) return;
+  if (path_probing_.insert({dst, path}).second) {
+    eng_.spawn_daemon(path_prober(dst, path));
+  }
+}
+
+sim::Task<void> Mcp::path_prober(hw::NodeId dst, std::uint8_t path) {
+  // Bounded like the revival prober: a sleeping daemon schedules engine
+  // events, so an unbounded walk of an honestly dead path would keep
+  // run() from draining.
+  for (int i = 0; i < cfg_.path_probe_max; ++i) {
+    co_await eng_.sleep(cfg_.path_probe_interval);
+    if (crashed_) break;
+    if (!path_table_->is_quarantined(dst, path)) break;  // requalified
+    ++stats_.path_probes_tx;
+    recorder_.record({eng_.now(), FlightKind::kProbe, dst, 0,
+                      static_cast<std::uint32_t>(path) + 1, 1});
+    co_await send_ctrl(dst, SendOp::kProbe,
+                       static_cast<std::uint32_t>(path) + 1,
+                       hw::kAnyIncarnation, 0, path);
+  }
+  path_probing_.erase({dst, path});
 }
 
 std::uint64_t Mcp::retransmissions() const {
@@ -762,11 +864,14 @@ sim::Task<void> Mcp::rx_pump() {
           } else if (op == SendOp::kSynAck) {
             handle_syn_ack(p);
           } else if (op == SendOp::kProbe) {
-            // Revival keepalive: any answer carries our live incarnation,
-            // which is all the prober needs.
+            // Revival keepalive (seq 0) or quarantined-path probe (seq =
+            // path+1): any answer carries our live incarnation; the echoed
+            // seq names the path the probe tested, and the reply rides the
+            // arrival path so the proof is round-trip.
             ++stats_.probes_rx;
-            eng_.spawn_daemon(send_ctrl(p.src_node, SendOp::kProbeAck, 0,
-                                        p.src_incarnation));
+            if (p.seq > 0) ++stats_.path_probes_rx;
+            eng_.spawn_daemon(send_ctrl(p.src_node, SendOp::kProbeAck, p.seq,
+                                        p.src_incarnation, 0, p.path_id));
           } else if (op == SendOp::kProbeAck) {
             handle_probe_ack(p);
           } else {
@@ -794,13 +899,17 @@ sim::Task<void> Mcp::rx_pump() {
             // dup still gets its stamp echoed — during a go-back-N resend
             // of a congested window these are the only acks flowing, and
             // they carry the freshest round-trip measurement.
-            co_await send_ack(p.src_node, rx.ack_value(), p.tx_stamp);
+            co_await send_ack(p.src_node, rx.ack_value(), p.tx_stamp,
+                              p.path_id);
             break;
           }
           note_ecn(p);  // after accept(): retransmitted dupes don't count
           const hw::NodeId src = p.src_node;
           const sim::Time stamp = p.tx_stamp;
           const std::uint32_t ack = rx.ack_value();
+          // Ack-follows-data: replies ride the path the data arrived on,
+          // so a failed-over sender's acks avoid the dead spine too.
+          const std::uint8_t rpath = p.path_id;
           const bool do_ack = (ack % static_cast<std::uint32_t>(
                                          cfg_.ack_every)) == 0 ||
                               p.frag_index + 1 == p.frag_count;
@@ -809,10 +918,10 @@ sim::Task<void> Mcp::rx_pump() {
             // back so the paced retransmission is accepted later, and tell
             // the sender explicitly instead of acking data we discarded.
             rx.regress();
-            co_await send_rnr(src, rx.ack_value());
+            co_await send_rnr(src, rx.ack_value(), rpath);
             break;
           }
-          if (do_ack) co_await send_ack(src, ack, stamp);
+          if (do_ack) co_await send_ack(src, ack, stamp, rpath);
         } else {
           note_ecn(p);
           (void)co_await handle_data(std::move(p));
@@ -968,7 +1077,7 @@ sim::Task<void> Mcp::handle_rma_read(const hw::Packet& p) {
 }
 
 sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack,
-                              sim::Time echo) {
+                              sim::Time echo, std::uint8_t path) {
   ++stats_.acks_sent;
   hw::Packet p;
   p.id = next_packet_id_++;
@@ -977,6 +1086,7 @@ sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack,
   p.kind = hw::PacketKind::kAck;
   p.ack = ack;
   p.echo_stamp = echo;  // RTT timestamp echo (see Packet::tx_stamp)
+  p.path_id = path_for(dst, path);
   p.header_bytes = 16;
   attach_grant(p);  // the main piggyback path for credit return
   attach_cc_echo(p);
@@ -985,7 +1095,8 @@ sim::Task<void> Mcp::send_ack(hw::NodeId dst, std::uint32_t ack,
   co_await nic_.transmit(std::move(p));
 }
 
-sim::Task<void> Mcp::send_rnr(hw::NodeId dst, std::uint32_t ack) {
+sim::Task<void> Mcp::send_rnr(hw::NodeId dst, std::uint32_t ack,
+                              std::uint8_t path) {
   ++stats_.rnr_nacks_tx;
   hw::Packet p;
   p.id = next_packet_id_++;
@@ -994,6 +1105,7 @@ sim::Task<void> Mcp::send_rnr(hw::NodeId dst, std::uint32_t ack) {
   p.kind = hw::PacketKind::kNack;
   p.ack = ack;  // cumulative: everything the pool did take stays acked
   p.nack_hint_us = static_cast<std::uint32_t>(cfg_.fc_rnr_backoff.to_us());
+  p.path_id = path_for(dst, path);
   p.header_bytes = 16;
   attach_grant(p);  // current limit aboard: heals any lost earlier grant
   attach_cc_echo(p);

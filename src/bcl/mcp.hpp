@@ -23,6 +23,7 @@
 #include "bcl/cc/controller.hpp"
 #include "bcl/config.hpp"
 #include "bcl/flowctl.hpp"
+#include "bcl/pathtable.hpp"
 #include "bcl/port.hpp"
 #include "bcl/recorder.hpp"
 #include "bcl/reliable.hpp"
@@ -72,6 +73,10 @@ class Mcp {
   // and the pacer every launch path consults.
   cc::CongestionController& cc() { return *cc_; }
   const cc::CongestionController& cc() const { return *cc_; }
+
+  // Per-destination fabric-path health (multipath failover state).
+  PathTable& path_table() { return *path_table_; }
+  const PathTable& path_table() const { return *path_table_; }
 
   // Library-side doorbell: a system-channel pool slot was just released;
   // top up the ledgers for `port_no` and push a standalone credit update
@@ -144,6 +149,9 @@ class Mcp {
     std::uint64_t syns_rx = 0;
     std::uint64_t probes_tx = 0;          // revival probes launched
     std::uint64_t probes_rx = 0;
+    // Multipath failover.
+    std::uint64_t path_probes_tx = 0;     // quarantined-path probes launched
+    std::uint64_t path_probes_rx = 0;
   };
   const Stats& stats() const { return stats_; }
   // Diagnostic snapshot of the receiver-side ledgers:
@@ -223,8 +231,10 @@ class Mcp {
   sim::Task<bool> handle_data(hw::Packet p);
   sim::Task<void> handle_rma_read(const hw::Packet& p);
   sim::Task<void> send_ack(hw::NodeId dst, std::uint32_t ack,
-                           sim::Time echo = sim::Time::zero());
-  sim::Task<void> send_rnr(hw::NodeId dst, std::uint32_t ack);
+                           sim::Time echo = sim::Time::zero(),
+                           std::uint8_t path = hw::kDefaultPath);
+  sim::Task<void> send_rnr(hw::NodeId dst, std::uint32_t ack,
+                           std::uint8_t path = hw::kDefaultPath);
   sim::Task<void> send_fc_update(std::uint32_t port_no, hw::NodeId dst);
   sim::Task<void> send_fc_probe(PortId dst);
   RxCredit& rx_credit(std::uint32_t port_no, hw::NodeId src);
@@ -280,8 +290,12 @@ class Mcp {
   void stamp_outbound(hw::Packet& p);
   std::uint32_t peer_inc(hw::NodeId dst) const;
   // Session-less recovery control packet (kSyn/kSynAck/kProbe/kProbeAck).
+  // `path` pins the packet onto a specific fabric path (path probes ride
+  // the path they test; replies ride the path the trigger arrived on);
+  // kDefaultPath falls back to the destination's current table path.
   sim::Task<void> send_ctrl(hw::NodeId dst, SendOp op, std::uint32_t seq,
-                            std::uint32_t dst_inc, std::uint64_t nonce = 0);
+                            std::uint32_t dst_inc, std::uint64_t nonce = 0,
+                            std::uint8_t path = hw::kDefaultPath);
   // Retries the SYN for `s` (the session it was spawned for — a replaced
   // session runs its own daemon) until establishment, teardown, or ladder
   // exhaustion, which draws the ordinary unreachable verdict.
@@ -292,6 +306,23 @@ class Mcp {
   void handle_syn_ack(const hw::Packet& p);
   void handle_probe_ack(const hw::Packet& p);
   std::string comp() const;
+
+  // -- multipath failover internals --------------------------------------------
+  // Resolve the fabric path for an outbound packet toward dst: an explicit
+  // hint (ack-follows-data: replies ride the path the trigger arrived on)
+  // wins; otherwise the destination's current table path (kDefaultPath for
+  // untracked destinations — the fabric picks its static route).
+  std::uint8_t path_for(hw::NodeId dst, std::uint8_t hint) const;
+  // One RTO strike against dst's current path.  Returns true when the
+  // table rotated to a fresh path (the session resets its escalation and
+  // retries eagerly on the new wire).
+  bool path_strike(hw::NodeId dst);
+  void spawn_path_prober(hw::NodeId dst, std::uint8_t path);
+  // Bounded background prober for one quarantined (dst, path): sends a
+  // kProbe with seq = path+1 pinned onto that path every
+  // path_probe_interval, up to path_probe_max rounds.  An answered probe
+  // (kProbeAck echoing the seq) requalifies the path via handle_probe_ack.
+  sim::Task<void> path_prober(hw::NodeId dst, std::uint8_t path);
 
   sim::Engine& eng_;
   hw::Nic& nic_;
@@ -307,6 +338,7 @@ class Mcp {
   std::unique_ptr<coll::CollectiveEngine> coll_;
   std::unique_ptr<FlowController> flow_;
   std::unique_ptr<cc::CongestionController> cc_;
+  std::unique_ptr<PathTable> path_table_;
   // Per-source echo accumulation window: accepted packets and marks seen
   // since the window opened (first accepted packet after the previous
   // flush — idle gaps between bursts must not dilute the mark fraction).
@@ -338,6 +370,8 @@ class Mcp {
   // restart was detected, or a revival probe was answered).
   std::set<hw::NodeId> needs_syn_;
   std::set<hw::NodeId> probing_;  // revival prober active toward these
+  // (dst, path) pairs with an active quarantined-path prober daemon.
+  std::set<std::pair<hw::NodeId, std::uint8_t>> path_probing_;
   // Rate limiter for stale-dst restart notices, per source.
   std::map<hw::NodeId, sim::Time> last_restart_notice_;
   // Receiver-side handshake idempotency: the (src incarnation, nonce) of

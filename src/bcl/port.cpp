@@ -26,6 +26,8 @@ const char* to_string(BclErr e) {
       return "no send credits (would block)";
     case BclErr::kPeerRestarted:
       return "peer restarted";
+    case BclErr::kPartitioned:
+      return "fabric partitioned (all paths quarantined)";
   }
   return "?";
 }

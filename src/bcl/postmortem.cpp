@@ -92,7 +92,8 @@ std::string Postmortem::to_json() const {
        << ", \"queue_hwm\": " << l.queue_hwm << ", \"packets\": "
        << l.packets << ", \"retx_packets\": " << l.retx_packets
        << ", \"dropped\": " << l.dropped << ", \"ecn_marks\": "
-       << l.ecn_marks << ", \"blocked_marks\": " << l.blocked_marks << "}";
+       << l.ecn_marks << ", \"blocked_marks\": " << l.blocked_marks
+       << ", \"failed_drops\": " << l.failed_drops << "}";
   }
   os << (top_links.empty() ? "]" : "\n  ]") << ",\n";
 
@@ -117,6 +118,26 @@ std::string Postmortem::to_json() const {
        << ", \"peer_incarnation\": " << s.peer_incarnation << "}";
   }
   os << (sessions.empty() ? "]" : "\n  ]") << ",\n";
+
+  os << "  \"path_table\": [";
+  for (std::size_t i = 0; i < path_table.size(); ++i) {
+    const auto& d = path_table[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"dst\": " << d.dst << ", \"current\": "
+       << static_cast<int>(d.current) << ", \"partitioned\": "
+       << (d.partitioned ? "true" : "false") << ", \"paths\": [";
+    for (std::size_t j = 0; j < d.paths.size(); ++j) {
+      const auto& p = d.paths[j];
+      os << (j ? ", " : "") << "{\"id\": " << static_cast<int>(p.id)
+         << ", \"strikes\": " << p.strikes << ", \"total_strikes\": "
+         << p.total_strikes << ", \"quarantined\": "
+         << (p.quarantined ? "true" : "false") << ", \"last_good_us\": "
+         << num(p.last_good.to_us()) << ", \"quarantined_at_us\": "
+         << num(p.quarantined_at.to_us()) << "}";
+    }
+    os << "]}";
+  }
+  os << (path_table.empty() ? "]" : "\n  ]") << ",\n";
 
   os << "  \"cc_rates\": [";
   for (std::size_t i = 0; i < cc_rates.size(); ++i) {
@@ -213,6 +234,7 @@ Postmortem build_postmortem(BclCluster& cluster, hw::NodeId node,
 
   Mcp& mcp = cluster.node(node).mcp();
   pm.sessions = mcp.session_snapshot();
+  pm.path_table = mcp.path_table().snapshot();
 
   // Rate-controller verdict per destination: correlate the cc snapshot
   // with the go-back-N ledgers so a reader can tell a sender that was

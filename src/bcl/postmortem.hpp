@@ -37,6 +37,11 @@ struct Postmortem {
 
   std::vector<Mcp::SessionSnapshot> sessions;
 
+  // Per-destination multipath health from the diagnosing node: current
+  // path, partition verdict, and the per-path strike history.  Empty on
+  // single-switch fabrics (no alternative paths to track).
+  std::vector<PathTable::DestSnapshot> path_table;
+
   // Per-destination rate-controller state from the diagnosing node, each
   // with a coarse diagnosis: "storming" (retransmit traffic while the rate
   // still sits at line — the echoes never reached this sender, so it keeps

@@ -33,6 +33,10 @@ enum class FlightKind : std::uint8_t {
   kSyn,             // re-establishment SYN (seq = iss; aux: 0 tx, 1 rx)
   kSynAck,          // handshake completed; session re-established
   kProbe,           // revival probe sent toward an unreachable peer
+  kPathFailover,    // session rotated to a new fabric path (seq = old path,
+                    // aux = new path)
+  kPathRestore,     // quarantined path answered a probe (aux = path id)
+  kRouteError,      // switch discarded a malformed route (aux = switch-ish)
 };
 
 inline const char* to_string(FlightKind k) {
@@ -55,6 +59,9 @@ inline const char* to_string(FlightKind k) {
     case FlightKind::kSyn: return "syn";
     case FlightKind::kSynAck: return "syn-ack";
     case FlightKind::kProbe: return "revival-probe";
+    case FlightKind::kPathFailover: return "path-failover";
+    case FlightKind::kPathRestore: return "path-restore";
+    case FlightKind::kRouteError: return "route-error";
   }
   return "?";
 }

@@ -42,6 +42,7 @@ sim::Task<BclErr> TxSession::send(hw::Packet p) {
   // egress); only the session-originated resends pace inside the session.
   p.seq = next_seq_++;
   p.tx_stamp = eng_.now();
+  if (path_current_) p.path_id = path_current_();
   rec(FlightKind::kSend, p.msg_id, p.seq);
   if (unacked_.empty()) last_progress_ = eng_.now();
   unacked_.push_back({p, eng_.now(), false});  // retransmit copy
@@ -93,6 +94,7 @@ void TxSession::on_ack(std::uint32_t ack, sim::Time echo_stamp) {
     dup_acks_ = 0;
     backoff_level_ = 0;
     consecutive_timeouts_ = 0;
+    if (path_good_) path_good_();
     if (in_recovery_ && seq_leq(recover_, ack)) in_recovery_ = false;
     window_.release(released);
     rec(FlightKind::kAckRx, 0, ack, static_cast<std::uint64_t>(released));
@@ -138,6 +140,7 @@ void TxSession::on_rnr(std::uint32_t ack, sim::Time hold) {
   consecutive_timeouts_ = 0;
   backoff_level_ = 0;
   dup_acks_ = 0;
+  if (path_good_) path_good_();
   last_progress_ = eng_.now();
   if (hold <= sim::Time::zero()) hold = cfg_.fc_rnr_backoff;
   rnr_hold_until_ = eng_.now() + hold;
@@ -172,6 +175,14 @@ sim::Task<void> TxSession::timer() {
       ++timeouts_;
       rec(FlightKind::kTimeout, 0, 0,
           static_cast<std::uint64_t>(backoff_level_));
+      // Charge the expiry to the current fabric path before it can burn
+      // the retry budget: a rotation hands the fresh path a fresh
+      // escalation ladder, so a single dead spine is survived well before
+      // the budget ripens into a peer-failure verdict.
+      if (path_strike_ && path_strike_()) {
+        consecutive_timeouts_ = 0;
+        backoff_level_ = 0;
+      }
       if (cfg_.max_retries > 0 &&
           ++consecutive_timeouts_ > cfg_.max_retries) {
         fail_peer();
@@ -227,6 +238,9 @@ sim::Task<void> TxSession::retransmit_window() {
     hw::Packet copy = it->pkt;
     copy.retransmitted = true;  // per-link retransmit heat
     copy.tx_stamp = eng_.now();  // the echo samples THIS copy's round trip
+    // Re-stamp the path: after a failover the whole in-window replay must
+    // ride the new route, not the dead one the copies were born with.
+    if (path_current_) copy.path_id = path_current_();
     ++retransmissions_;
     rec(FlightKind::kRetransmit, copy.msg_id, s);
     if (trace_ != nullptr) {
@@ -335,7 +349,7 @@ void TxSession::poison(BclErr err) {
 
 void TxSession::fail_peer() {
   if (unreachable_) return;
-  poison(BclErr::kPeerUnreachable);
+  poison(fail_verdict_ ? fail_verdict_() : BclErr::kPeerUnreachable);
   if (failure_hook_) failure_hook_();
 }
 

@@ -78,6 +78,30 @@ class TxSession {
   // outside the tx mutex.
   void set_cc(cc::CongestionController* cc) { cc_ = cc; }
 
+  // -- multipath failover (installed by the MCP; see bcl::PathTable) ----------
+  // `current`: the path id to stamp on every outbound packet, first
+  // launches and retransmits alike — Nic::transmit re-expands the source
+  // route from it, so a post-failover replay really leaves over the new
+  // wire.  `strike`: one RTO expiry charged to the current path; returns
+  // true when the path table rotated to a new healthy path, in which case
+  // the session resets its escalation (the old path's timeouts prove
+  // nothing about the new wire).  `good`: forward progress (ack advance or
+  // RNR) — clears the current path's strikes.  Strikes come only from the
+  // timer: ECN marks and congestion-inflated RTTs never reach these hooks.
+  void set_path_hooks(std::function<std::uint8_t()> current,
+                      std::function<bool()> strike,
+                      std::function<void()> good) {
+    path_current_ = std::move(current);
+    path_strike_ = std::move(strike);
+    path_good_ = std::move(good);
+  }
+  // Overrides the error fail_peer() poisons with (default
+  // kPeerUnreachable); the MCP answers kPartitioned when every path to the
+  // peer is quarantined.
+  void set_fail_verdict(std::function<BclErr()> v) {
+    fail_verdict_ = std::move(v);
+  }
+
   // Stamps the next sequence number, records a retransmit copy, and
   // transmits.  Blocks while the window is full (and, for handshake
   // sessions, until establishment).  Returns the poison error (without
@@ -223,6 +247,10 @@ class TxSession {
   std::deque<TxNotify> notifies_;  // e2e ledger, seq order
   CompletionHook completion_hook_;
   FailureHook failure_hook_;
+  std::function<std::uint8_t()> path_current_;
+  std::function<bool()> path_strike_;
+  std::function<void()> path_good_;
+  std::function<BclErr()> fail_verdict_;
   cc::CongestionController* cc_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
   sim::Trace* trace_ = nullptr;

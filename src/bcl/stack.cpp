@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "hw/myrinet_switch.hpp"
+
 namespace bcl {
 
 NodeStack::NodeStack(sim::Engine& eng, hw::NodeId id,
@@ -101,6 +103,18 @@ BclCluster::BclCluster(const ClusterConfig& cfg)
   // must also wait until here).
   fabric_->register_metrics(metrics_);
   fabric_->set_trace(&trace_);
+  // Malformed source routes caught inside the crossbars surface as a
+  // rate-limited kRouteError warning in the offending sender's flight
+  // recorder (the switch counter alone says nothing about whose route).
+  if (auto* myri = dynamic_cast<hw::MyrinetFabric*>(fabric_.get())) {
+    myri->set_route_error_hook(
+        [this](const std::string&, const hw::Packet& p) {
+          if (p.src_node >= stacks_.size()) return;
+          stacks_[p.src_node]->mcp().recorder().record(
+              {eng_.now(), FlightKind::kRouteError, p.dst_node, p.msg_id,
+               p.seq, p.route_pos});
+        });
+  }
   trace_.set_event_cap(cfg_.trace_event_cap);
   for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
     const hw::NodeId nid = i;

@@ -62,6 +62,12 @@ enum class BclErr : std::uint8_t {
   // incarnation — and a retry after the automatic session
   // re-establishment is expected to succeed.
   kPeerRestarted,
+  // Every redundant fabric path to the peer is quarantined: the retry
+  // budget died on one path after failover had already struck out the
+  // others, so this is a fabric partition, not a dead peer.  The path
+  // prober keeps walking the quarantined paths; a healed path rescinds
+  // the verdict the same way a revival probe rescinds kPeerUnreachable.
+  kPartitioned,
 };
 
 const char* to_string(BclErr e);

@@ -27,6 +27,8 @@ void register_link_metrics(sim::MetricRegistry& reg, const Link& link,
   reg.counter(prefix + ".ecn_marks", [&link] { return link.ecn_marks(); });
   reg.counter(prefix + ".blocked_marks",
               [&link] { return link.blocked_marks(); });
+  reg.counter(prefix + ".failed_drops",
+              [&link] { return link.failed_drops(); });
   reg.gauge(prefix + ".queue_wait_us",
             [&link] { return link.queue_wait().to_us(); });
   reg.gauge(prefix + ".queue_hwm", [&link] {
@@ -79,6 +81,7 @@ Fabric::LinkStats Link::stats() const {
   s.dropped = dropped_;
   s.ecn_marks = ecn_marks_;
   s.blocked_marks = blocked_marks_;
+  s.failed_drops = failed_drops_;
   return s;
 }
 
@@ -127,6 +130,11 @@ sim::Task<void> Link::pump() {
     queue_hwm_ = std::max(queue_hwm_, in_.size());
     Packet p = co_await in_.recv();
     queue_hwm_ = std::max(queue_hwm_, in_.size() + 1);
+    if (failed_flag_) {
+      // Dead wire: consume instantly, no serialization, no backpressure.
+      ++failed_drops_;
+      continue;
+    }
     const sim::Time now = eng_.now();
     const bool tracing = trace_ != nullptr && trace_->enabled();
     // Flow-key-compatible tag so wire spans join the message's timeline.

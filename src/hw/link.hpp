@@ -46,6 +46,7 @@ class Fabric {
     std::uint64_t dropped = 0;       // fault-plan discards
     std::uint64_t ecn_marks = 0;     // packets ECN-marked at this link
     std::uint64_t blocked_marks = 0; // of those, marked for wormhole blocking
+    std::uint64_t failed_drops = 0;  // discarded by persistent fail-stop
   };
 
   // Connects `nic` as node `id`; must be called exactly once per node.
@@ -56,6 +57,10 @@ class Fabric {
   virtual std::string name() const = 0;
   // Minimum number of link hops between two nodes (for latency models).
   virtual int hops(NodeId a, NodeId b) const = 0;
+  // Number of distinct paths the fabric can offer between two nodes.
+  // Fabrics with in-network or single-path routing report 1; the MCP's
+  // path table sizes its per-destination health state from this.
+  virtual int route_count(NodeId, NodeId) const { return 1; }
   // Exports wire-level observability (per-link bytes/packets/queue depth,
   // per-switch forward counts) as callback-backed metrics.  Call after
   // every node is attached; the fabric must outlive the registry reads.
@@ -208,6 +213,14 @@ class Link {
   void set_fault_plan(FaultPlan plan);
   const FaultPlan& fault_plan() const { return plan_; }
 
+  // Persistent fail-stop, distinct from the FaultPlan time window: a failed
+  // link eats its queue instantly (a dead wire exerts no backpressure) and
+  // counts every discard in failed_drops until revive() is called.
+  void fail() { failed_flag_ = true; }
+  void revive() { failed_flag_ = false; }
+  bool failed() const { return failed_flag_; }
+  std::uint64_t failed_drops() const { return failed_drops_; }
+
  private:
   sim::Task<void> pump();
   bool plan_drops(std::uint64_t ordinal);
@@ -233,6 +246,8 @@ class Link {
   std::uint64_t retx_packets_ = 0;
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t blocked_marks_ = 0;
+  bool failed_flag_ = false;
+  std::uint64_t failed_drops_ = 0;
   sim::Time blocked_ = sim::Time::zero();
   sim::Trace* trace_ = nullptr;
   // Windowed-utilization checkpoint (mutable: reading advances the window).

@@ -50,6 +50,11 @@ sim::Task<void> MeshRouter::pump(int dir) {
   auto& in = *inputs_[static_cast<std::size_t>(dir)];
   for (;;) {
     Packet p = co_await in.recv();
+    if (failed_flag_) {
+      // Dead routing chip: consume instantly, forward nothing.
+      ++failed_drops_;
+      continue;
+    }
     co_await eng_.sleep(fab_.cfg_.route_delay);
     const int out = next_dir(p);
     ++forwarded_;

@@ -83,6 +83,13 @@ class MeshRouter {
 
   std::uint64_t forwarded() const { return forwarded_; }
 
+  // Persistent fail-stop: a dead routing chip eats every packet that
+  // reaches any of its ports (counted in failed_drops) until revive().
+  void fail() { failed_flag_ = true; }
+  void revive() { failed_flag_ = false; }
+  bool failed() const { return failed_flag_; }
+  std::uint64_t failed_drops() const { return failed_drops_; }
+
  private:
   sim::Task<void> pump(int dir);
   int next_dir(const Packet& p) const;  // XY routing
@@ -95,6 +102,8 @@ class MeshRouter {
   std::vector<Link*> outputs_;
   Nic* local_nic_ = nullptr;
   std::uint64_t forwarded_ = 0;
+  bool failed_flag_ = false;
+  std::uint64_t failed_drops_ = 0;
 };
 
 }  // namespace hw

@@ -33,12 +33,34 @@ Link::Sink CrossbarSwitch::input_sink(int port) {
   return [ch](Packet&& p) { (void)ch->try_send(std::move(p)); };
 }
 
+// Malformed-route discards are diagnosable, not just counted: the first
+// error (and at most one per 100 us thereafter) is surfaced through the
+// installed hook so a flight recorder can log a kRouteError event without a
+// misbehaving sender flooding the ring.
+void CrossbarSwitch::note_route_error(const Packet& p) {
+  if (!route_error_hook_) return;
+  const sim::Time now = eng_.now();
+  if (route_error_reported_ &&
+      now - last_route_error_report_ < sim::Time::us(100)) {
+    return;
+  }
+  route_error_reported_ = true;
+  last_route_error_report_ = now;
+  route_error_hook_(name_, p);
+}
+
 sim::Task<void> CrossbarSwitch::pump(int port) {
   auto& in = *inputs_[static_cast<std::size_t>(port)];
   for (;;) {
     Packet p = co_await in.recv();
+    if (failed_flag_) {
+      // Dead crossbar: consume instantly, nothing crosses the backplane.
+      ++failed_drops_;
+      continue;
+    }
     if (p.route_pos >= p.route.size()) {
       ++route_errors_;
+      note_route_error(p);
       continue;  // malformed route: drop (reliability layer recovers)
     }
     const int out = p.route[p.route_pos++];
@@ -47,6 +69,7 @@ sim::Task<void> CrossbarSwitch::pump(int port) {
                      : nullptr;
     if (link == nullptr) {
       ++route_errors_;
+      note_route_error(p);
       continue;
     }
     co_await eng_.sleep(fall_through_);
@@ -86,6 +109,7 @@ MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
     switches_.push_back(std::make_unique<CrossbarSwitch>(
         eng_, "sw0", kPorts, cfg_.fall_through,
         cfg_.link.ecn_queue_threshold, cfg_.link.ecn_blocked_threshold));
+    switch_links_.resize(switches_.size());
     return;
   }
   const int leaves =
@@ -108,6 +132,7 @@ MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
   }
   // Leaf l, uplink port hosts_per_leaf+s  <->  spine s, port l.
   // Inter-switch links forward cut-through (wormhole).
+  switch_links_.resize(switches_.size());
   LinkConfig trunk = cfg_.link;
   trunk.cut_through = true;
   for (int l = 0; l < leaves; ++l) {
@@ -118,10 +143,16 @@ MyrinetFabric::MyrinetFabric(sim::Engine& eng, std::uint32_t n_nodes,
           eng_, "l" + std::to_string(l) + "->s" + std::to_string(s),
           trunk, spine.input_sink(l)));
       leaf.connect_output(cfg_.hosts_per_leaf + s, *links_.back());
+      switch_links_[static_cast<std::size_t>(l)].push_back(links_.back().get());
+      switch_links_[static_cast<std::size_t>(leaves + s)].push_back(
+          links_.back().get());
       links_.push_back(std::make_unique<Link>(
           eng_, "s" + std::to_string(s) + "->l" + std::to_string(l),
           trunk, leaf.input_sink(cfg_.hosts_per_leaf + s)));
       spine.connect_output(l, *links_.back());
+      switch_links_[static_cast<std::size_t>(l)].push_back(links_.back().get());
+      switch_links_[static_cast<std::size_t>(leaves + s)].push_back(
+          links_.back().get());
     }
   }
 }
@@ -137,10 +168,13 @@ void MyrinetFabric::attach(NodeId id, Nic& nic) {
   // nic -> switch: cut-through (flits stream into the crossbar).
   LinkConfig up = cfg_.link;
   up.cut_through = true;
+  const std::size_t sw_idx =
+      two_level() ? static_cast<std::size_t>(leaf_of(id)) : 0;
   links_.push_back(std::make_unique<Link>(
       eng_, "n" + std::to_string(id) + "->sw", up,
       sw.input_sink(port), /*seed=*/1000 + id));
   host_uplinks_[id] = links_.back().get();
+  switch_links_[sw_idx].push_back(links_.back().get());
   // switch -> nic: terminal hop, delivers after the last byte so the path
   // pays exactly one full serialization.
   links_.push_back(std::make_unique<Link>(
@@ -148,6 +182,7 @@ void MyrinetFabric::attach(NodeId id, Nic& nic) {
       [&nic](Packet&& p) { nic.deliver(std::move(p)); },
       /*seed=*/2000 + id));
   sw.connect_output(port, *links_.back());
+  switch_links_[sw_idx].push_back(links_.back().get());
   nic.wire(this, &host_uplinks_[id]->in());
 }
 
@@ -164,15 +199,80 @@ std::vector<std::uint8_t> MyrinetFabric::route(NodeId src, NodeId dst) const {
           static_cast<std::uint8_t>(local_port(dst))};
 }
 
+std::vector<std::uint8_t> MyrinetFabric::route_via(NodeId src, NodeId dst,
+                                                   std::uint8_t path_id) const {
+  if (path_id == kDefaultPath || !two_level() || leaf_of(src) == leaf_of(dst)) {
+    return route(src, dst);
+  }
+  const int spine =
+      static_cast<int>(path_id) % static_cast<int>(spine_count());
+  return {static_cast<std::uint8_t>(cfg_.hosts_per_leaf + spine),
+          static_cast<std::uint8_t>(leaf_of(dst)),
+          static_cast<std::uint8_t>(local_port(dst))};
+}
+
+std::vector<std::vector<std::uint8_t>> MyrinetFabric::routes(
+    NodeId src, NodeId dst) const {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (!two_level() || leaf_of(src) == leaf_of(dst)) {
+    out.push_back(route(src, dst));
+    return out;
+  }
+  for (std::size_t s = 0; s < spine_count(); ++s) {
+    out.push_back(route_via(src, dst, static_cast<std::uint8_t>(s)));
+  }
+  return out;
+}
+
+int MyrinetFabric::route_count(NodeId src, NodeId dst) const {
+  if (!two_level() || leaf_of(src) == leaf_of(dst)) return 1;
+  return static_cast<int>(spine_count());
+}
+
 void MyrinetFabric::stamp_route(Packet& p) const {
-  p.route = route(p.src_node, p.dst_node);
+  p.route = route_via(p.src_node, p.dst_node, p.path_id);
   p.route_pos = 0;
+}
+
+void MyrinetFabric::stamp_route(Packet& p, std::uint8_t path_id) const {
+  p.path_id = path_id;
+  stamp_route(p);
 }
 
 int MyrinetFabric::hops(NodeId a, NodeId b) const {
   if (a == b) return 0;
   if (!two_level() || leaf_of(a) == leaf_of(b)) return 2;  // host-sw, sw-host
   return 4;
+}
+
+void MyrinetFabric::fail_switch(std::size_t i) {
+  switches_.at(i)->fail();
+  for (Link* l : switch_links_.at(i)) l->fail();
+}
+
+void MyrinetFabric::revive_switch(std::size_t i) {
+  switches_.at(i)->revive();
+  for (Link* l : switch_links_.at(i)) l->revive();
+}
+
+Link* MyrinetFabric::find_link(const std::string& name) const {
+  for (const auto& l : links_) {
+    if (l->name() == name) return l.get();
+  }
+  throw std::invalid_argument("no such link: " + name);
+}
+
+void MyrinetFabric::fail_link(const std::string& name) {
+  find_link(name)->fail();
+}
+
+void MyrinetFabric::revive_link(const std::string& name) {
+  find_link(name)->revive();
+}
+
+void MyrinetFabric::set_route_error_hook(CrossbarSwitch::RouteErrorHook hook) {
+  route_error_hook_ = std::move(hook);
+  for (auto& sw : switches_) sw->set_route_error_hook(route_error_hook_);
 }
 
 void MyrinetFabric::set_host_link_corrupt_prob(NodeId node, double p) {
@@ -198,6 +298,15 @@ std::vector<std::string> MyrinetFabric::links_of(NodeId n) const {
     const std::string& nm = l->name();
     if (nm == "n" + id + "->sw" || nm == "sw->n" + id) out.push_back(nm);
   }
+  // Two-level: the node's traffic also rides its leaf's trunks, one pair
+  // per spine — name them all so a postmortem can implicate a dying spine.
+  if (two_level()) {
+    const std::string leaf = std::to_string(leaf_of(n));
+    for (std::size_t s = 0; s < spine_count(); ++s) {
+      out.push_back("l" + leaf + "->s" + std::to_string(s));
+      out.push_back("s" + std::to_string(s) + "->l" + leaf);
+    }
+  }
   return out;
 }
 
@@ -214,6 +323,7 @@ void MyrinetFabric::register_metrics(sim::MetricRegistry& reg) const {
     const CrossbarSwitch* s = sw.get();
     reg.counter(prefix + ".forwarded", [s] { return s->forwarded(); });
     reg.counter(prefix + ".route_errors", [s] { return s->route_errors(); });
+    reg.counter(prefix + ".failed_drops", [s] { return s->failed_drops(); });
   }
 }
 

@@ -75,6 +75,9 @@ class Nic {
     fabric_ = fabric;
     egress_ = egress;
   }
+  // The fabric this NIC is wired to (nullptr before attach); the MCP's path
+  // table reads route_count() through this to size per-destination state.
+  const Fabric* fabric() const { return fabric_; }
   void deliver(Packet&& p) {
     if (halted_) {  // fail-stopped: inbound traffic vanishes at the wire
       ++halted_drops_;

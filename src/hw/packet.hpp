@@ -18,6 +18,11 @@ using NodeId = std::uint32_t;
 // Wildcard destination incarnation: "whatever boot of you is listening".
 inline constexpr std::uint32_t kAnyIncarnation = 0xffffffffu;
 
+// Sentinel path id: "let the fabric pick its default route".  Any other
+// value selects one of Fabric::route_count() alternative paths (for the
+// two-level Myrinet fabric, the absolute spine index).
+inline constexpr std::uint8_t kDefaultPath = 0xff;
+
 enum class PacketKind : std::uint16_t {
   kData = 0,
   kAck,
@@ -113,6 +118,12 @@ struct Packet {
   // Myrinet-style source route: one output-port byte per switch hop.
   std::vector<std::uint8_t> route;
   std::size_t route_pos = 0;
+
+  // Which of the fabric's redundant paths this packet should ride
+  // (kDefaultPath = fabric's deterministic choice).  Stamped by the MCP's
+  // path table; Fabric::stamp_route honours it when expanding the source
+  // route, so a retransmit after failover really leaves over the new path.
+  std::uint8_t path_id = kDefaultPath;
 
   std::size_t header_bytes = 32;
   std::size_t wire_bytes() const { return header_bytes + payload.size(); }
